@@ -1,0 +1,22 @@
+//! One Criterion benchmark per paper table/figure (quick-mode sizes), so
+//! `cargo bench` regenerates and times every experiment. The full-size
+//! reproduction is the `repro` binary (`cargo run --release -p afs-bench
+//! --bin repro`); EXPERIMENTS.md records its output against the paper.
+
+use afs_bench::experiments::Experiment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_every_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repro_quick");
+    group.sample_size(10);
+    for e in Experiment::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(e.id()), &e, |b, e| {
+            b.iter(|| black_box(e.run(true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_every_experiment);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Real-thread runtime benchmarks: per-loop overhead of `parallel_for`
+//! under each scheduling policy, and the AFS source's grab path under
+//! contention.
+
+use afs_runtime::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let pool = Pool::new(4);
+    let n = 100_000u64;
+    let mut group = c.benchmark_group("parallel_for");
+    group.throughput(Throughput::Elements(n));
+    let policies = [
+        ("static", RuntimeScheduler::static_partition()),
+        ("ss", RuntimeScheduler::self_sched()),
+        ("gss", RuntimeScheduler::gss()),
+        ("factoring", RuntimeScheduler::factoring()),
+        ("trapezoid", RuntimeScheduler::trapezoid()),
+        ("mod_factoring", RuntimeScheduler::mod_factoring()),
+        ("afs", RuntimeScheduler::afs_k_equals_p()),
+    ];
+    for (name, policy) in &policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), policy, |b, policy| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                parallel_for(&pool, n, policy, |i| {
+                    acc.fetch_add(i & 7, Ordering::Relaxed);
+                });
+                black_box(acc.into_inner())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_barrier(c: &mut Criterion) {
+    // Pure broadcast + barrier cost (empty job).
+    for workers in [1usize, 2, 4] {
+        let pool = Pool::new(workers);
+        c.bench_function(&format!("pool_barrier_{workers}w"), |b| {
+            b.iter(|| {
+                pool.run(|w| {
+                    black_box(w);
+                })
+            });
+        });
+    }
+}
+
+fn bench_phase_region(c: &mut Criterion) {
+    // Multi-phase region with small phases: scheduler re-init overhead.
+    let pool = Pool::new(4);
+    c.bench_function("parallel_phases_100x256_afs", |b| {
+        b.iter(|| {
+            let m = parallel_phases(
+                &pool,
+                100,
+                |_| 256,
+                &RuntimeScheduler::afs_k_equals_p(),
+                |_, i| {
+                    black_box(i);
+                },
+            );
+            black_box(m.total_iters())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_for,
+    bench_pool_barrier,
+    bench_phase_region
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the scheduler grab path: how fast each algorithm's
+//! state machine hands out a whole loop (the per-grab cost a runtime pays
+//! under its queue lock).
+
+use afs_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn drain(sched: &dyn Scheduler, n: u64, p: usize) -> u64 {
+    let mut state = sched.begin_loop(n, p);
+    let mut grabs = 0;
+    let mut w = 0;
+    loop {
+        match state.next(w) {
+            Some(g) => {
+                black_box(g.range);
+                grabs += 1;
+                w = (w + 1) % p;
+            }
+            None => {
+                // Round-robin over remaining workers until all report done.
+                let mut done = 1;
+                while done < p {
+                    w = (w + 1) % p;
+                    if state.next(w).is_none() {
+                        done += 1;
+                    } else {
+                        done = 1;
+                        grabs += 1;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    grabs
+}
+
+fn bench_grab_path(c: &mut Criterion) {
+    let n = 100_000u64;
+    let p = 8;
+    let mut group = c.benchmark_group("scheduler_drain");
+    group.throughput(Throughput::Elements(n));
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("static", Box::new(StaticSched::new())),
+        ("ss", Box::new(SelfSched::new())),
+        ("css64", Box::new(ChunkSelf::new(64))),
+        ("gss", Box::new(Gss::new())),
+        ("factoring", Box::new(Factoring::new())),
+        ("trapezoid", Box::new(Trapezoid::new())),
+        ("mod_factoring", Box::new(ModFactoring::new())),
+        ("afs", Box::new(Affinity::with_k_equals_p())),
+    ];
+    for (name, sched) in &schedulers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), sched, |b, sched| {
+            b.iter(|| drain(&**sched, n, p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunk_math(c: &mut Criterion) {
+    use afs_core::chunking;
+    let mut group = c.benchmark_group("chunk_math");
+    group.bench_function("gss_chunk", |b| {
+        b.iter(|| chunking::gss_chunk(black_box(123_456), black_box(16), 1))
+    });
+    group.bench_function("factoring_chunk", |b| {
+        b.iter(|| chunking::factoring_chunk(black_box(123_456), black_box(16)))
+    });
+    group.bench_function("trapezoid_params", |b| {
+        b.iter(|| chunking::TrapezoidParams::conservative(black_box(123_456), black_box(16)))
+    });
+    group.bench_function("tapering_chunk", |b| {
+        b.iter(|| chunking::tapering_chunk(black_box(123_456), 16, 10.0, 3.0, 1.3))
+    });
+    group.finish();
+}
+
+fn bench_balanced_partition(c: &mut Criterion) {
+    let costs: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64).collect();
+    c.bench_function("balanced_contiguous_10k_8", |b| {
+        b.iter(|| afs_core::partition::balanced_contiguous(black_box(&costs), 8))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grab_path,
+    bench_chunk_math,
+    bench_balanced_partition
+);
+criterion_main!(benches);

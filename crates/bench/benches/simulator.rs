@@ -1,0 +1,79 @@
+//! Simulator engine benchmarks: event throughput of the discrete-event
+//! core on representative workloads (memory-heavy, compute-only, steal-
+//! heavy), plus the cache substrate in isolation.
+
+use afs_core::prelude::*;
+use afs_kernels::prelude::*;
+use afs_sim::cache::BlockCache;
+use afs_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+
+    // Memory workload: SOR rows with cache + bus modelling.
+    let sor = SorModel::new(256, 8);
+    group.throughput(Throughput::Elements(256 * 8));
+    group.bench_function("sor_256x8_iris_afs", |b| {
+        let cfg = SimConfig::new(MachineSpec::iris(), 8).with_jitter(0.05);
+        b.iter(|| black_box(simulate(&sor, &Affinity::with_k_equals_p(), &cfg).completion_time));
+    });
+    group.bench_function("sor_256x8_iris_gss", |b| {
+        let cfg = SimConfig::new(MachineSpec::iris(), 8).with_jitter(0.05);
+        b.iter(|| black_box(simulate(&sor, &Gss::new(), &cfg).completion_time));
+    });
+
+    // Pure-compute workload: chunk-at-a-time fast path.
+    let balanced = SyntheticLoop::balanced(1_000_000, 2.0);
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("balanced_1M_butterfly_gss", |b| {
+        let cfg = SimConfig::new(MachineSpec::butterfly(), 32);
+        b.iter(|| black_box(simulate(&balanced, &Gss::new(), &cfg).completion_time));
+    });
+
+    // Steal-heavy: skewed load forces constant migration under AFS.
+    let step = SyntheticLoop::step_front(100_000, 100.0, 1.0);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("step_100k_butterfly_afs", |b| {
+        let cfg = SimConfig::new(MachineSpec::butterfly(), 32);
+        b.iter(|| black_box(simulate(&step, &Affinity::with_k_equals_p(), &cfg).completion_time));
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("lru_hit_stream", |b| {
+        let mut cache = BlockCache::new(1 << 20);
+        for blk in 0..16u64 {
+            cache.access(blk, 4096, 0);
+        }
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(cache.access(i % 16, 4096, 0));
+            }
+        });
+    });
+    group.bench_function("lru_thrash_stream", |b| {
+        let mut cache = BlockCache::new(1 << 16); // 16 blocks of 4 KiB
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(cache.access(i % 64, 4096, 0));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_tc_model_build(c: &mut Criterion) {
+    // Deriving the transitive-closure activity trace runs real Warshall.
+    c.bench_function("tc_model_from_graph_256", |b| {
+        let g = clique_graph(256, 100);
+        b.iter(|| black_box(TcModel::from_graph(&g, "bench")));
+    });
+}
+
+criterion_group!(benches, bench_sim_engine, bench_cache, bench_tc_model_build);
+criterion_main!(benches);

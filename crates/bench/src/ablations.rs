@@ -1,0 +1,766 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation isolates one knob of affinity scheduling (or of our
+//! simulator substrate) and measures its effect, the way §3 of the paper
+//! reasons about `k` and §2.2's footnotes reason about victim selection:
+//!
+//! | id | knob | question |
+//! |---|---|---|
+//! | `ab-k` | AFS local-grab divisor `k` | sync ops vs. imbalance trade-off (Thm 3.1/3.2) |
+//! | `ab-steal` | steal amount `1/P` vs alternatives | is the paper's 1/P right? |
+//! | `ab-victim` | most-loaded scan vs random victim | §2.2's scalability remark |
+//! | `ab-lastexec` | AFS vs AFS-LE under drifting imbalance | the §4.3 extension |
+//! | `ab-cache` | cache capacity sweep | when does affinity stop paying? (§2.1 eviction) |
+//! | `ab-sync` | central-queue cost sweep | when do central queues break? (§6) |
+
+use crate::experiments::{ExperimentResult, Row};
+use afs_core::chunking::{afs_local_chunk, static_partition};
+use afs_core::policy::{AccessKind, LoopState, QueueId, QueueTopology, Scheduler, Target};
+use afs_core::prelude::*;
+use afs_core::schedulers::affinity::RangeQueue;
+use afs_kernels::prelude::*;
+use afs_sim::prelude::*;
+
+/// All ablation ids, in presentation order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "ab-k",
+        "ab-steal",
+        "ab-victim",
+        "ab-lastexec",
+        "ab-cache",
+        "ab-sync",
+        "ab-depart",
+        "ab-quantum",
+    ]
+}
+
+/// Runs an ablation by id.
+pub fn run(id: &str, quick: bool) -> Option<ExperimentResult> {
+    match id {
+        "ab-k" => Some(k_sweep(quick)),
+        "ab-steal" => Some(steal_fraction(quick)),
+        "ab-victim" => Some(victim_policy(quick)),
+        "ab-lastexec" => Some(last_exec(quick)),
+        "ab-cache" => Some(cache_sweep(quick)),
+        "ab-sync" => Some(sync_sweep(quick)),
+        "ab-depart" => Some(departures(quick)),
+        "ab-quantum" => Some(quantum_sweep(quick)),
+        _ => None,
+    }
+}
+
+/// Time-sharing quantum sweep: how much is affinity worth when a competing
+/// application corrupts the cache every quantum? Reproduces the paper's §6
+/// debate: with small quanta (Squillante & Lazowska's regime) affinity is
+/// destroyed before it can be reused and AFS ≈ GSS; with large quanta
+/// (Gupta et al.'s space-sharing-like regime) AFS's advantage returns.
+fn quantum_sweep(quick: bool) -> ExperimentResult {
+    let n = if quick { 128 } else { 512 };
+    let steps = if quick { 8 } else { 20 };
+    let wl = SorModel::new(n, steps);
+    let machine = MachineSpec::iris();
+    let p = 8;
+    // Reference point: one phase's duration under undisturbed AFS.
+    let phase_time = {
+        let cfg = SimConfig::new(machine.clone(), p).with_jitter(0.05);
+        simulate(&wl, &Affinity::with_k_equals_p(), &cfg).completion_time / steps as f64
+    };
+    let quanta = [0.1, 0.5, 1.0, 4.0, 16.0, f64::INFINITY];
+    let mut rows = Vec::new();
+    for name in ["GSS", "AFS"] {
+        let values = quanta
+            .iter()
+            .map(|&q| {
+                let sched: Box<dyn Scheduler> = if name == "AFS" {
+                    Box::new(Affinity::with_k_equals_p())
+                } else {
+                    Box::new(Gss::new())
+                };
+                let mut cfg = SimConfig::new(machine.clone(), p).with_jitter(0.05);
+                if q.is_finite() {
+                    // The competing application keeps 10% of the cache alive.
+                    cfg = cfg.with_disruption(q * phase_time, 0.1);
+                }
+                simulate(&wl, &sched, &cfg).completion_time / 1e6
+            })
+            .collect();
+        rows.push(Row {
+            label: name.into(),
+            values,
+        });
+    }
+    ExperimentResult {
+        id: "ab-quantum".into(),
+        title: format!("Time-sharing quantum sweep — SOR (N={n}), Iris P={p}"),
+        col_header: "quantum / phase time".into(),
+        columns: quanta
+            .iter()
+            .map(|q| {
+                if q.is_finite() {
+                    format!("{q}x")
+                } else {
+                    "space".into()
+                }
+            })
+            .collect(),
+        rows,
+        notes: vec![
+            "§2.1/§6: under time sharing with small quanta, cache corruption".into(),
+            "erases affinity between reuses (AFS ≈ GSS); large quanta or".into(),
+            "space sharing restore AFS's advantage.".into(),
+        ],
+    }
+}
+
+/// Processor departure robustness: the paper claims AFS "is immune to the
+/// arrival and departure of processors" (§2.2, §7). Two of eight
+/// processors stop taking work a quarter of the way in; dynamic schedulers
+/// must redistribute their remaining work, STATIC cannot (its loop never
+/// completes — rendered as ∞).
+fn departures(quick: bool) -> ExperimentResult {
+    /// A sequential loop of balanced parallel phases (departures matter in
+    /// the phases *after* the processor leaves).
+    struct PhasedBalanced {
+        n: u64,
+        phases: usize,
+    }
+    impl Workload for PhasedBalanced {
+        fn name(&self) -> String {
+            "phased-balanced".into()
+        }
+        fn phases(&self) -> usize {
+            self.phases
+        }
+        fn phase_len(&self, _p: usize) -> u64 {
+            self.n
+        }
+        fn cost(&self, _p: usize, _i: u64) -> Work {
+            Work::flops(1.0)
+        }
+        fn has_memory(&self, _p: usize) -> bool {
+            false
+        }
+    }
+
+    let n: u64 = if quick { 10_000 } else { 100_000 };
+    let phases = 8;
+    let p = 8;
+    let machine = MachineSpec::iris();
+    let wl = PhasedBalanced { n, phases };
+    let total_work = (n * phases as u64) as f64 * machine.compute_time(1.0, 0.0);
+    // Leave after ~2 of the 8 phases.
+    let depart_at = total_work / p as f64 / 4.0;
+    let rows = ["GSS", "TRAPEZOID", "FACTORING", "AFS", "STATIC"]
+        .into_iter()
+        .map(|name| {
+            let sched: Box<dyn Scheduler> = match name {
+                "GSS" => Box::new(Gss::new()),
+                "TRAPEZOID" => Box::new(Trapezoid::new()),
+                "FACTORING" => Box::new(Factoring::new()),
+                "AFS" => Box::new(Affinity::with_k_equals_p()),
+                _ => Box::new(StaticSched::new()),
+            };
+            let cfg = SimConfig::new(machine.clone(), p)
+                .with_departure(2, depart_at)
+                .with_departure(5, depart_at);
+            let res = simulate(&wl, &sched, &cfg);
+            let completion = if res.completed() {
+                res.completion_time / 1e6
+            } else {
+                f64::INFINITY // lost iterations: the loop never finishes
+            };
+            Row {
+                label: name.into(),
+                values: vec![completion, res.lost_iters() as f64],
+            }
+        })
+        .collect();
+    ExperimentResult {
+        id: "ab-depart".into(),
+        title: format!(
+            "Two of {p} processors depart after ~2 of {phases} phases — \
+             balanced loop (N={n}), Iris"
+        ),
+        col_header: "".into(),
+        columns: vec!["completion (Mtu)".into(), "lost iterations".into()],
+        rows,
+        notes: vec![
+            "Dynamic schedulers redistribute the departed processors' work;".into(),
+            "STATIC's pre-assigned iterations are orphaned (∞ = never done).".into(),
+        ],
+    }
+}
+
+/// AFS `k` sweep: local sync operations vs. completion under a delayed
+/// processor — the Theorem 3.1 / 3.2 trade-off, measured.
+fn k_sweep(quick: bool) -> ExperimentResult {
+    let n: u64 = if quick { 1 << 16 } else { 1 << 20 };
+    let p = 8;
+    let machine = MachineSpec::iris();
+    let iter_time = machine.compute_time(1.0, 0.0);
+    let wl = SyntheticLoop::balanced(n, 1.0);
+    let delay = 0.125 * n as f64 * iter_time;
+    let ks = [1u64, 2, 4, 8, 16, 32];
+    let rows = ks
+        .iter()
+        .map(|&k| {
+            let sched = Affinity::with_k(k);
+            let cfg = SimConfig::new(machine.clone(), p).with_delay(0, delay);
+            let res = simulate(&wl, &sched, &cfg);
+            Row {
+                label: format!("k={k}"),
+                values: vec![
+                    res.completion_time / 1e6,
+                    res.metrics.sync.local as f64 / p as f64,
+                    res.metrics.sync.remote as f64,
+                ],
+            }
+        })
+        .collect();
+    ExperimentResult {
+        id: "ab-k".into(),
+        title: format!("AFS k sweep — balanced loop (N={n}), one processor delayed 1/8"),
+        col_header: "k".into(),
+        columns: vec![
+            "completion (Mtu)".into(),
+            "local ops/queue".into(),
+            "steals".into(),
+        ],
+        rows,
+        notes: vec![
+            "Thm 3.1: local ops grow ~k·log(N/Pk); Thm 3.2: imbalance".into(),
+            "shrinks as k→P. k=P is the paper's sweet spot.".into(),
+        ],
+    }
+}
+
+/// AFS variant stealing a configurable fraction `1/d` of the victim queue.
+struct AfsStealFraction {
+    divisor: u64,
+}
+
+struct StealState {
+    queues: Vec<RangeQueue>,
+    p: usize,
+    k: u64,
+    steal_div: u64,
+}
+
+impl LoopState for StealState {
+    fn target(&self, worker: usize) -> Option<Target> {
+        if worker < self.p && !self.queues[worker].is_empty() {
+            return Some(Target {
+                queue: worker,
+                access: AccessKind::Local,
+            });
+        }
+        let victim = self
+            .queues
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ib.cmp(ia)))
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| i)?;
+        Some(Target {
+            queue: victim,
+            access: AccessKind::Remote,
+        })
+    }
+
+    fn take(&mut self, worker: usize, queue: QueueId) -> Option<afs_core::IterRange> {
+        if queue == worker {
+            let m = afs_local_chunk(self.queues[queue].len(), self.k);
+            self.queues[queue].take_front(m)
+        } else {
+            let len = self.queues[queue].len();
+            let m = len.div_ceil(self.steal_div).max(1);
+            self.queues[queue].take_back(m)
+        }
+    }
+}
+
+impl Scheduler for AfsStealFraction {
+    fn name(&self) -> String {
+        format!("steal 1/{}", self.divisor)
+    }
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::PerProcessor
+    }
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        Box::new(StealState {
+            queues: (0..p)
+                .map(|i| RangeQueue::from_range(static_partition(n, p, i)))
+                .collect(),
+            p,
+            k: p as u64,
+            steal_div: self.divisor,
+        })
+    }
+}
+
+/// Steal-fraction ablation on a skewed workload: too little per steal means
+/// many migrations; too much risks over-stealing and thrashing.
+fn steal_fraction(quick: bool) -> ExperimentResult {
+    let n: u64 = if quick { 5_000 } else { 50_000 };
+    let p = 8;
+    let wl = SyntheticLoop::step_front(n, 100.0, 1.0);
+    let machine = MachineSpec::butterfly();
+    let divisors = [1u64, 2, 4, 8, 16, 64];
+    let rows = divisors
+        .iter()
+        .map(|&d| {
+            let sched = AfsStealFraction { divisor: d };
+            let cfg = SimConfig::new(machine.clone(), p);
+            let res = simulate(&wl, &sched, &cfg);
+            Row {
+                label: format!("steal 1/{d}"),
+                values: vec![res.completion_time / 1e6, res.metrics.sync.remote as f64],
+            }
+        })
+        .collect();
+    ExperimentResult {
+        id: "ab-steal".into(),
+        title: format!("Steal-fraction sweep — step loop (N={n}), Butterfly, P={p}"),
+        col_header: "fraction".into(),
+        columns: vec!["completion (Mtu)".into(), "steals".into()],
+        rows,
+        notes: vec![
+            "The paper steals 1/P of the victim queue. Whole-queue steals".into(),
+            "(1/1) ping-pong work; tiny steals multiply synchronization.".into(),
+        ],
+    }
+}
+
+/// Victim-selection ablation: exhaustive most-loaded scan (the paper's
+/// implementation) vs. random probing (its suggested large-machine variant).
+fn victim_policy(quick: bool) -> ExperimentResult {
+    let n: u64 = if quick { 5_000 } else { 50_000 };
+    let wl = SyntheticLoop::step_front(n, 100.0, 1.0);
+    let machine = MachineSpec::butterfly();
+    let ps = if quick {
+        vec![8, 32]
+    } else {
+        vec![8, 16, 32, 56]
+    };
+    let mut rows = Vec::new();
+    for (label, random) in [("most-loaded scan", false), ("random probe", true)] {
+        let values = ps
+            .iter()
+            .map(|&p| {
+                let sched: Box<dyn Scheduler> = if random {
+                    Box::new(RandomVictimAfs { seed: 42 })
+                } else {
+                    Box::new(Affinity::with_k_equals_p())
+                };
+                let cfg = SimConfig::new(machine.clone(), p);
+                simulate(&wl, &sched, &cfg).completion_time / 1e6
+            })
+            .collect();
+        rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+    ExperimentResult {
+        id: "ab-victim".into(),
+        title: format!("Victim selection — step loop (N={n}), Butterfly"),
+        col_header: "P".into(),
+        columns: ps.iter().map(|p| p.to_string()).collect(),
+        rows,
+        notes: vec![
+            "§2.2: the most-loaded scan 'would not be efficient on a".into(),
+            "large-scale machine, where a randomized policy would be more".into(),
+            "appropriate'. Random probing loses little completion time.".into(),
+        ],
+    }
+}
+
+/// AFS with randomized victim probing (plus a fallback scan so the loop
+/// always terminates).
+struct RandomVictimAfs {
+    seed: u64,
+}
+
+struct RandomVictimState {
+    queues: Vec<RangeQueue>,
+    p: usize,
+    k: u64,
+    rng: std::sync::Mutex<afs_core::rng::Xoshiro256>,
+}
+
+impl LoopState for RandomVictimState {
+    fn target(&self, worker: usize) -> Option<Target> {
+        if worker < self.p && !self.queues[worker].is_empty() {
+            return Some(Target {
+                queue: worker,
+                access: AccessKind::Local,
+            });
+        }
+        let mut rng = self.rng.lock().unwrap();
+        for _ in 0..2 {
+            let v = rng.next_below(self.p as u64) as usize;
+            if !self.queues[v].is_empty() {
+                return Some(Target {
+                    queue: v,
+                    access: AccessKind::Remote,
+                });
+            }
+        }
+        drop(rng);
+        self.queues
+            .iter()
+            .position(|q| !q.is_empty())
+            .map(|v| Target {
+                queue: v,
+                access: AccessKind::Remote,
+            })
+    }
+
+    fn take(&mut self, worker: usize, queue: QueueId) -> Option<afs_core::IterRange> {
+        if queue == worker {
+            let m = afs_local_chunk(self.queues[queue].len(), self.k);
+            self.queues[queue].take_front(m)
+        } else {
+            let m = self.queues[queue].len().div_ceil(self.p as u64).max(1);
+            self.queues[queue].take_back(m)
+        }
+    }
+}
+
+impl Scheduler for RandomVictimAfs {
+    fn name(&self) -> String {
+        "AFS-RANDOM".into()
+    }
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::PerProcessor
+    }
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        Box::new(RandomVictimState {
+            queues: (0..p)
+                .map(|i| RangeQueue::from_range(static_partition(n, p, i)))
+                .collect(),
+            p,
+            k: p as u64,
+            rng: std::sync::Mutex::new(afs_core::rng::Xoshiro256::seed_from_u64(self.seed)),
+        })
+    }
+}
+
+/// A multi-phase workload whose per-row cost profile *drifts* slowly: the
+/// heavy region shifts by a few rows per phase, like a moving front in a
+/// physical simulation (§4.3's motivating case for AFS-LE).
+struct DriftingFront {
+    n: u64,
+    phases: usize,
+    front_width: u64,
+    drift_per_phase: f64,
+}
+
+impl Workload for DriftingFront {
+    fn name(&self) -> String {
+        format!("drifting-front(n={}, phases={})", self.n, self.phases)
+    }
+    fn phases(&self) -> usize {
+        self.phases
+    }
+    fn phase_len(&self, _phase: usize) -> u64 {
+        self.n
+    }
+    fn cost(&self, phase: usize, i: u64) -> Work {
+        let center = (phase as f64 * self.drift_per_phase) as u64 % self.n;
+        let dist = (i as i64 - center as i64).unsigned_abs();
+        let dist = dist.min(self.n - dist); // wrap-around distance
+        if dist < self.front_width {
+            Work::flops(200.0)
+        } else {
+            Work::flops(2.0)
+        }
+    }
+    fn reads(&self, _phase: usize, i: u64, out: &mut Vec<BlockAccess>) {
+        out.push(BlockAccess {
+            block: i,
+            bytes: 2048,
+        });
+    }
+    fn writes(&self, _phase: usize, i: u64, out: &mut Vec<BlockAccess>) {
+        out.push(BlockAccess {
+            block: i,
+            bytes: 2048,
+        });
+    }
+}
+
+/// AFS vs the §4.3 "last executed" variant under slowly drifting imbalance.
+fn last_exec(quick: bool) -> ExperimentResult {
+    let (n, phases) = if quick { (512u64, 20) } else { (2048u64, 100) };
+    let wl = DriftingFront {
+        n,
+        phases,
+        front_width: n / 16,
+        drift_per_phase: 2.0,
+    };
+    let machine = MachineSpec::iris();
+    let p = 8;
+    let rows = [
+        (
+            "AFS",
+            Box::new(Affinity::with_k_equals_p()) as Box<dyn Scheduler>,
+        ),
+        ("AFS-LE", Box::new(AffinityLastExec::with_k_equals_p())),
+        ("GSS", Box::new(Gss::new())),
+    ]
+    .into_iter()
+    .map(|(label, sched)| {
+        let cfg = SimConfig::new(machine.clone(), p).with_jitter(0.05);
+        let res = simulate(&wl, &sched, &cfg);
+        Row {
+            label: label.into(),
+            values: vec![
+                res.completion_time / 1e6,
+                res.metrics.sync.remote as f64,
+                res.cache_misses as f64,
+            ],
+        }
+    })
+    .collect();
+    ExperimentResult {
+        id: "ab-lastexec".into(),
+        title: format!("AFS vs AFS-LE — drifting heavy front (n={n}, {phases} phases), Iris P={p}"),
+        col_header: "".into(),
+        columns: vec!["completion (Mtu)".into(), "steals".into(), "misses".into()],
+        rows,
+        notes: vec![
+            "§4.3: when imbalance persists across phases, re-assigning each".into(),
+            "iteration to its *home* processor re-migrates it every phase;".into(),
+            "assigning to the last executor keeps migrations transient.".into(),
+        ],
+    }
+}
+
+/// Cache-capacity sweep: affinity is only worth what the cache can hold
+/// (§2.1's eviction discussion).
+fn cache_sweep(quick: bool) -> ExperimentResult {
+    let n = if quick { 128 } else { 512 };
+    let steps = if quick { 6 } else { 20 };
+    let wl = SorModel::new(n, steps);
+    let row_bytes = n * 8;
+    let working_set = 2 * n * row_bytes; // both buffers
+    let p = 8;
+    let fractions = [0.05, 0.125, 0.25, 0.5, 1.0, 2.0];
+    let mut rows = Vec::new();
+    for name in ["GSS", "AFS"] {
+        let values = fractions
+            .iter()
+            .map(|&f| {
+                let mut machine = MachineSpec::iris();
+                machine.cache_bytes = ((working_set as f64 * f) / p as f64) as u64;
+                let sched: Box<dyn Scheduler> = if name == "AFS" {
+                    Box::new(Affinity::with_k_equals_p())
+                } else {
+                    Box::new(Gss::new())
+                };
+                let cfg = SimConfig::new(machine, p).with_jitter(0.05);
+                simulate(&wl, &sched, &cfg).completion_time / 1e6
+            })
+            .collect();
+        rows.push(Row {
+            label: name.into(),
+            values,
+        });
+    }
+    ExperimentResult {
+        id: "ab-cache".into(),
+        title: format!("Cache capacity sweep — SOR (N={n}), Iris P={p}"),
+        col_header: "cache / (working set ÷ P)".into(),
+        columns: fractions.iter().map(|f| format!("{f}x")).collect(),
+        rows,
+        notes: vec![
+            "Below ~1x of each processor's share of the working set, every".into(),
+            "scheduler thrashes and affinity cannot help (§2.1); above it,".into(),
+            "AFS pulls away from GSS.".into(),
+        ],
+    }
+}
+
+/// Central-queue synchronization-cost sweep: where central queues break
+/// (the paper's conclusion §6: "central work queues are an inappropriate
+/// scheduling mechanism even for small-scale multiprocessors").
+fn sync_sweep(quick: bool) -> ExperimentResult {
+    let n: u64 = if quick { 20_000 } else { 100_000 };
+    let wl = SyntheticLoop::balanced(n, 5.0);
+    let p = 16;
+    let costs = [0.0, 10.0, 100.0, 1000.0, 10_000.0];
+    let mut rows = Vec::new();
+    for name in ["SS", "GSS", "TRAPEZOID", "AFS"] {
+        let values = costs
+            .iter()
+            .map(|&sc| {
+                let mut machine = MachineSpec::ideal(p);
+                machine.sync_central = sc;
+                machine.sync_remote = sc;
+                machine.sync_local = sc / 20.0;
+                let sched: Box<dyn Scheduler> = match name {
+                    "SS" => Box::new(SelfSched::new()),
+                    "GSS" => Box::new(Gss::new()),
+                    "TRAPEZOID" => Box::new(Trapezoid::new()),
+                    _ => Box::new(Affinity::with_k_equals_p()),
+                };
+                let cfg = SimConfig::new(machine, p);
+                simulate(&wl, &sched, &cfg).completion_time / 1e6
+            })
+            .collect();
+        rows.push(Row {
+            label: name.into(),
+            values,
+        });
+    }
+    ExperimentResult {
+        id: "ab-sync".into(),
+        title: format!("Central-queue cost sweep — balanced loop (N={n}), P={p}"),
+        col_header: "sync cost (tu)".into(),
+        columns: costs.iter().map(|c| format!("{c}")).collect(),
+        rows,
+        notes: vec![
+            "SS collapses first (N queue ops), then GSS/TRAPEZOID (P log".into(),
+            "N/P ops); AFS's local queues keep it flat until extreme costs.".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ablations_run_quick() {
+        for id in all_ids() {
+            let res = run(id, true).unwrap_or_else(|| panic!("missing ablation {id}"));
+            assert!(!res.rows.is_empty(), "{id} produced no rows");
+            // ab-depart legitimately reports ∞ for a loop that never
+            // completes; nothing may ever be NaN.
+            assert!(
+                res.rows
+                    .iter()
+                    .all(|r| r.values.iter().all(|v| !v.is_nan())),
+                "{id} produced NaN values"
+            );
+        }
+        assert!(run("nope", true).is_none());
+    }
+
+    #[test]
+    fn k_sweep_tradeoff_shape() {
+        let r = run("ab-k", true).unwrap();
+        // Local ops per queue grow with k (Thm 3.1)...
+        let ops: Vec<f64> = r.rows.iter().map(|row| row.values[1]).collect();
+        assert!(ops.windows(2).all(|w| w[0] <= w[1] + 1.0), "{ops:?}");
+        // ...while completion under imbalance improves from k=1 to k=P.
+        let t1 = r.rows[0].values[0];
+        let tp = r.row("k=8").unwrap().values[0];
+        assert!(tp <= t1, "k=P {tp} should beat k=1 {t1} under delay");
+    }
+
+    #[test]
+    fn steal_fraction_extremes_lose() {
+        let r = run("ab-steal", true).unwrap();
+        let paper = r.row("steal 1/8").unwrap().values[0];
+        let tiny = r.row("steal 1/64").unwrap().values[0];
+        // The paper's 1/P is no worse than stealing crumbs.
+        assert!(paper <= tiny * 1.05, "1/P {paper} vs 1/64 {tiny}");
+    }
+
+    #[test]
+    fn random_victim_is_competitive() {
+        let r = run("ab-victim", true).unwrap();
+        let scan = r.row("most-loaded scan").unwrap();
+        let rand = r.row("random probe").unwrap();
+        for (s, q) in scan.values.iter().zip(&rand.values) {
+            assert!(q <= &(s * 1.5), "random {q} too far from scan {s}");
+        }
+    }
+
+    #[test]
+    fn lastexec_reduces_migration_under_drift() {
+        let r = run("ab-lastexec", true).unwrap();
+        let afs = r.row("AFS").unwrap();
+        let le = r.row("AFS-LE").unwrap();
+        // Fewer steals and no worse completion.
+        assert!(
+            le.values[1] < afs.values[1],
+            "steals: LE {} vs AFS {}",
+            le.values[1],
+            afs.values[1]
+        );
+        assert!(le.values[0] <= afs.values[0] * 1.10);
+    }
+
+    #[test]
+    fn cache_sweep_affinity_needs_capacity() {
+        let r = run("ab-cache", true).unwrap();
+        let gss = r.row("GSS").unwrap();
+        let afs = r.row("AFS").unwrap();
+        // At the smallest cache, AFS ≈ GSS (both thrash)...
+        let tiny_ratio = gss.values[0] / afs.values[0];
+        // ...at the largest, AFS clearly wins.
+        let big_ratio = gss.values[gss.values.len() - 1] / afs.values[afs.values.len() - 1];
+        assert!(
+            big_ratio > tiny_ratio,
+            "affinity should pay more with capacity"
+        );
+        assert!(big_ratio > 1.10);
+        assert!(tiny_ratio < 1.10);
+    }
+
+    #[test]
+    fn quantum_sweep_reproduces_the_debate() {
+        let r = run("ab-quantum", true).unwrap();
+        let gss = r.row("GSS").unwrap();
+        let afs = r.row("AFS").unwrap();
+        // Tiny quanta: affinity is worthless (AFS within a few % of GSS).
+        let tiny_gap = gss.values[0] / afs.values[0];
+        // Space sharing: affinity pays.
+        let space_gap = gss.values[gss.values.len() - 1] / afs.values[afs.values.len() - 1];
+        assert!(space_gap > tiny_gap, "advantage must grow with quantum");
+        assert!(tiny_gap < 1.08, "small quanta should equalize: {tiny_gap}");
+        assert!(
+            space_gap > 1.10,
+            "space sharing should separate: {space_gap}"
+        );
+        // Disruption can only slow things down.
+        for row in [gss, afs] {
+            let space = row.values[row.values.len() - 1];
+            assert!(row.values[0] >= space * 0.999, "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn departures_orphan_static_only() {
+        let r = run("ab-depart", true).unwrap();
+        for name in ["GSS", "TRAPEZOID", "FACTORING", "AFS"] {
+            let row = r.row(name).unwrap();
+            assert!(row.values[0].is_finite(), "{name} must complete");
+            assert_eq!(row.values[1], 0.0, "{name} must lose nothing");
+        }
+        let st = r.row("STATIC").unwrap();
+        assert!(st.values[0].is_infinite(), "STATIC never completes");
+        assert!(st.values[1] > 0.0);
+        // Dynamic schedulers absorb the loss gracefully: completing with 6
+        // of 8 processors costs at most ~8/6 of the no-departure time.
+        let afs = r.row("AFS").unwrap().values[0];
+        let gss = r.row("GSS").unwrap().values[0];
+        assert!((afs - gss).abs() / gss < 0.25, "AFS {afs} vs GSS {gss}");
+    }
+
+    #[test]
+    fn sync_sweep_collapse_order() {
+        let r = run("ab-sync", true).unwrap();
+        let at = |s: &str, c: usize| r.row(s).unwrap().values[c];
+        let last = 4;
+        // At extreme sync cost: SS worst, AFS best.
+        assert!(at("SS", last) > at("GSS", last));
+        assert!(at("GSS", last) > at("AFS", last));
+        // At zero cost all equal (within chunk-tail noise).
+        assert!((at("SS", 0) - at("AFS", 0)).abs() / at("AFS", 0) < 0.02);
+    }
+}

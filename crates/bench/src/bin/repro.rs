@@ -1,0 +1,93 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro                # run everything at paper-scale parameters
+//! repro fig4 fig15     # run specific experiments
+//! repro --quick all    # shrunken smoke-test sizes
+//! repro --list         # list experiment ids
+//! ```
+
+use std::io::Write;
+
+use afs_bench::ablations;
+use afs_bench::experiments::Experiment;
+use afs_bench::report::{render, render_csv, render_json, render_plot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut format = "table";
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--plot" => format = "plot",
+            "--json" => format = "json",
+            "--csv" => format = "csv",
+            "--list" | "-l" => {
+                for e in Experiment::all() {
+                    println!("{}", e.id());
+                }
+                for id in ablations::all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--quick] [--plot|--json|--csv] [--list] \
+                     [ids... | all | ablations]"
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    enum Job {
+        Paper(Experiment),
+        Ablation(&'static str),
+    }
+    let selected: Vec<Job> = if ids.iter().any(|i| i == "ablations") {
+        ablations::all_ids()
+            .into_iter()
+            .map(Job::Ablation)
+            .collect()
+    } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        Experiment::all().into_iter().map(Job::Paper).collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                if let Some(e) = Experiment::by_id(id) {
+                    Job::Paper(e)
+                } else if let Some(a) = ablations::all_ids().into_iter().find(|a| a == id) {
+                    Job::Ablation(a)
+                } else {
+                    eprintln!("unknown experiment id: {id} (try --list)");
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    };
+
+    for job in selected {
+        let start = std::time::Instant::now();
+        let result = match job {
+            Job::Paper(e) => e.run(quick),
+            Job::Ablation(id) => ablations::run(id, quick).expect("known ablation id"),
+        };
+        let mut out = match format {
+            "plot" => render_plot(&result),
+            "json" => render_json(&result) + "\n",
+            "csv" => render_csv(&result),
+            _ => render(&result),
+        };
+        if format == "table" || format == "plot" {
+            out.push_str(&format!("  [wall: {:.2?}]\n\n", start.elapsed()));
+        }
+        // Exit quietly when the reader closed the pipe (e.g. `repro | head`).
+        if std::io::stdout().write_all(out.as_bytes()).is_err() {
+            std::process::exit(0);
+        }
+    }
+    let _ = std::io::stdout().flush();
+}

@@ -1,0 +1,813 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Each experiment runs the discrete-event simulator on the corresponding
+//! workload/machine/scheduler combination and returns paper-style rows.
+//! Simulated times are reported in Mtu (millions of abstract time units —
+//! roughly mega-cycles of the reference machine); the paper's absolute
+//! seconds are not reproducible, its *shapes* (who wins, by what factor,
+//! where crossovers fall) are what EXPERIMENTS.md checks off.
+
+use afs_core::policy::Scheduler;
+use afs_core::prelude::*;
+use afs_kernels::prelude::*;
+use afs_sim::prelude::*;
+
+/// One row of an experiment: a label and one value per column.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (scheduler name, delay fraction, ...).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+/// A fully-run experiment, ready to render.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Short id, e.g. `fig3`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Header of the column dimension (e.g. `P`).
+    pub col_header: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form annotations (workload sizes, expected shape, deviations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Looks up a row by label (exact match).
+    pub fn row(&self, label: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Value for (row label, column label).
+    pub fn value(&self, row: &str, col: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == col)?;
+        self.row(row)?.values.get(c).copied()
+    }
+}
+
+/// Every table/figure in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 1: kernel characteristics (qualitative).
+    Table1,
+    /// Fig. 3: SOR on the Iris.
+    Fig3,
+    /// Fig. 4: Gaussian elimination on the Iris.
+    Fig4,
+    /// Fig. 5: transitive closure, random input, Iris.
+    Fig5,
+    /// Fig. 6: transitive closure, skewed (clique) input, Iris.
+    Fig6,
+    /// Fig. 7: adjoint convolution, Iris.
+    Fig7,
+    /// Fig. 8: adjoint convolution scheduled in reverse, Iris.
+    Fig8,
+    /// Fig. 9: L4, Iris.
+    Fig9,
+    /// Fig. 10: triangular loop, Butterfly.
+    Fig10,
+    /// Fig. 11: parabolic loop, Butterfly.
+    Fig11,
+    /// Fig. 12: step loop (first 10% heavy), Butterfly.
+    Fig12,
+    /// Fig. 13: balanced loop, Butterfly (sync overhead in isolation).
+    Fig13,
+    /// Table 2: non-uniform processor start times, Iris.
+    Table2,
+    /// Table 3: synchronization operations, SOR.
+    Table3,
+    /// Table 4: synchronization operations, transitive closure (skewed).
+    Table4,
+    /// Table 5: synchronization operations, adjoint convolution.
+    Table5,
+    /// Fig. 14: Gaussian elimination on the Sequent Symmetry.
+    Fig14,
+    /// Fig. 15: Gaussian elimination on the KSR-1.
+    Fig15,
+    /// Fig. 16: transitive closure on the KSR-1.
+    Fig16,
+    /// Fig. 17: SOR on the KSR-1.
+    Fig17,
+    /// §5.3 table: large Gaussian elimination on 16 KSR-1 processors.
+    Table6,
+}
+
+impl Experiment {
+    /// All experiments, in paper order.
+    pub fn all() -> Vec<Experiment> {
+        use Experiment::*;
+        vec![
+            Table1, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Table2,
+            Table3, Table4, Table5, Fig14, Fig15, Fig16, Fig17, Table6,
+        ]
+    }
+
+    /// Short id (`fig3`, `table2`, ...).
+    pub fn id(&self) -> &'static str {
+        use Experiment::*;
+        match self {
+            Table1 => "table1",
+            Fig3 => "fig3",
+            Fig4 => "fig4",
+            Fig5 => "fig5",
+            Fig6 => "fig6",
+            Fig7 => "fig7",
+            Fig8 => "fig8",
+            Fig9 => "fig9",
+            Fig10 => "fig10",
+            Fig11 => "fig11",
+            Fig12 => "fig12",
+            Fig13 => "fig13",
+            Table2 => "table2",
+            Table3 => "table3",
+            Table4 => "table4",
+            Table5 => "table5",
+            Fig14 => "fig14",
+            Fig15 => "fig15",
+            Fig16 => "fig16",
+            Fig17 => "fig17",
+            Table6 => "table6",
+        }
+    }
+
+    /// Parses an experiment id.
+    pub fn by_id(id: &str) -> Option<Experiment> {
+        Experiment::all().into_iter().find(|e| e.id() == id)
+    }
+
+    /// Runs the experiment. `quick` shrinks problem sizes for smoke tests.
+    pub fn run(&self, quick: bool) -> ExperimentResult {
+        use Experiment::*;
+        match self {
+            Table1 => table1(),
+            Fig3 => fig3(quick),
+            Fig4 => fig4(quick),
+            Fig5 => fig5(quick),
+            Fig6 => fig6(quick),
+            Fig7 => fig7(quick),
+            Fig8 => fig8(quick),
+            Fig9 => fig9(quick),
+            Fig10 => fig10(quick),
+            Fig11 => fig11(quick),
+            Fig12 => fig12(quick),
+            Fig13 => fig13(quick),
+            Table2 => table2(quick),
+            Table3 => table3(quick),
+            Table4 => table4(quick),
+            Table5 => table5(quick),
+            Fig14 => fig14(quick),
+            Fig15 => fig15(quick),
+            Fig16 => fig16(quick),
+            Fig17 => fig17(quick),
+            Table6 => table6(quick),
+        }
+    }
+}
+
+/// Builds a scheduler by paper name; oracle/profile schedulers are derived
+/// from the workload.
+pub fn make_scheduler(name: &str, wl: &dyn Workload) -> Box<dyn Scheduler> {
+    match name {
+        "STATIC" => Box::new(StaticSched::new()),
+        "SS" => Box::new(SelfSched::new()),
+        "GSS" => Box::new(Gss::new()),
+        "FACTORING" => Box::new(Factoring::new()),
+        "TRAPEZOID" => Box::new(Trapezoid::new()),
+        "MOD-FACTORING" => Box::new(ModFactoring::new()),
+        "AFS" => Box::new(Affinity::with_k_equals_p()),
+        "AFS(k=2)" => Box::new(Affinity::with_k(2)),
+        "AFS-LE" => Box::new(AffinityLastExec::with_k_equals_p()),
+        "BEST-STATIC" => Box::new(OracleBestStatic::for_workload(wl)),
+        "TAPERING" => {
+            let costs = wl.cost_vector(0);
+            Box::new(Tapering::from_costs(costs.into_iter()))
+        }
+        other => panic!("unknown scheduler name: {other}"),
+    }
+}
+
+/// Completion-time sweep over processor counts (values in Mtu).
+fn sweep(
+    wl: &dyn Workload,
+    machine: &MachineSpec,
+    ps: &[usize],
+    names: &[&str],
+    jitter: f64,
+) -> Vec<Row> {
+    names
+        .iter()
+        .map(|name| {
+            let values = ps
+                .iter()
+                .map(|&p| {
+                    let sched = make_scheduler(name, wl);
+                    let cfg = SimConfig::new(machine.clone(), p).with_jitter(jitter);
+                    simulate(wl, &sched, &cfg).completion_time / 1e6
+                })
+                .collect();
+            Row {
+                label: name.to_string(),
+                values,
+            }
+        })
+        .collect()
+}
+
+fn columns_of(ps: &[usize]) -> Vec<String> {
+    ps.iter().map(|p| p.to_string()).collect()
+}
+
+/// The default jitter for machine-level experiments: enough arrival-order
+/// noise that deterministic lock-step cannot fake affinity for central-queue
+/// schedulers (see `SimConfig::jitter`).
+const JITTER: f64 = 0.05;
+
+// ---------------------------------------------------------------- Table 1
+
+fn table1() -> ExperimentResult {
+    ExperimentResult {
+        id: "table1".into(),
+        title: "Load imbalance and affinity characteristics of the suite".into(),
+        col_header: String::new(),
+        columns: vec![],
+        rows: vec![],
+        notes: vec![
+            "SOR                  | imbalance: none            | affinity: yes".into(),
+            "Gauss elimination    | imbalance: little          | affinity: yes".into(),
+            "Transitive closure   | imbalance: input dependent | affinity: yes".into(),
+            "Adjoint convolution  | imbalance: large           | affinity: no".into(),
+            "L4                   | imbalance: little          | affinity: no".into(),
+        ],
+    }
+}
+
+// ------------------------------------------------------------- Iris plots
+
+fn iris_ps() -> Vec<usize> {
+    vec![1, 2, 4, 6, 8]
+}
+
+fn fig3(quick: bool) -> ExperimentResult {
+    let (n, steps) = if quick { (128, 6) } else { (512, 20) };
+    let wl = SorModel::new(n, steps);
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+        "BEST-STATIC",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig3".into(),
+        title: format!("SOR (N={n}) on the SGI Iris — completion time (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: SS worst; GSS/FACTORING/TRAPEZOID mid-pack;".into(),
+            "AFS ≈ STATIC ≈ BEST-STATIC best; MOD-FACTORING in between.".into(),
+        ],
+    }
+}
+
+fn fig4(quick: bool) -> ExperimentResult {
+    let n = if quick { 192 } else { 768 };
+    let wl = GaussModel::new(n);
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+        "BEST-STATIC",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig4".into(),
+        title: format!("Gaussian elimination (N={n}) on the SGI Iris — completion time (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: non-affinity schedulers saturate the bus at ~2".into(),
+            "processors; AFS/STATIC ≈ 3x better at P = 8.".into(),
+        ],
+    }
+}
+
+fn fig5(quick: bool) -> ExperimentResult {
+    let n = if quick { 128 } else { 512 };
+    let graph = random_graph(n, 0.08, 0xF165);
+    let wl = TcModel::from_graph(&graph, "random");
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig5".into(),
+        title: format!("Transitive closure (random, n={n}, 8% edges) on the Iris (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: load averages out; AFS/STATIC/MOD-FACTORING beat".into(),
+            "GSS/FACTORING/SS/TRAPEZOID by preserving affinity.".into(),
+        ],
+    }
+}
+
+fn fig6(quick: bool) -> ExperimentResult {
+    let (n, clique) = if quick { (160, 80) } else { (640, 320) };
+    let graph = clique_graph(n, clique);
+    let wl = TcModel::from_graph(&graph, "clique");
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+        "BEST-STATIC",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig6".into(),
+        title: format!("Transitive closure (skewed, n={n}, {clique}-clique) on the Iris (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: STATIC poor (imbalance), GSS worst (first chunk".into(),
+            "carries 2/P of the work), AFS/MOD-FACTORING best but ≤15% over".into(),
+            "FACTORING/TRAPEZOID; BEST-STATIC wins with input knowledge.".into(),
+        ],
+    }
+}
+
+fn fig7(quick: bool) -> ExperimentResult {
+    let n = if quick { 30 } else { 75 };
+    let wl = AdjointModel::new(n);
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig7".into(),
+        title: format!(
+            "Adjoint convolution (N={n}, {} iters) on the Iris (Mtu)",
+            n * n
+        ),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: FACTORING/TRAPEZOID/AFS best; GSS and STATIC".into(),
+            "overload the first processors; SS pays per-iteration sync.".into(),
+        ],
+    }
+}
+
+fn fig8(quick: bool) -> ExperimentResult {
+    let n = if quick { 30 } else { 75 };
+    let wl = AdjointModel::reversed(n);
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig8".into(),
+        title: format!("Adjoint convolution reversed (N={n}) on the Iris (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: with cheap iterations first, every scheduler".into(),
+            "except SS performs comparably to the best of Fig. 7.".into(),
+        ],
+    }
+}
+
+fn fig9(quick: bool) -> ExperimentResult {
+    let outer = if quick { 5 } else { 50 };
+    let wl = L4Model::with_outer(0x14, outer);
+    let names = [
+        "SS",
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+    ];
+    let ps = iris_ps();
+    ExperimentResult {
+        id: "fig9".into(),
+        title: format!("L4 (outer={outer}) on the Iris (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::iris(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: no memory references, so all schedulers are close;".into(),
+            "dynamic ones slightly beat STATIC; SS clearly worst.".into(),
+        ],
+    }
+}
+
+// -------------------------------------------------------- Butterfly plots
+
+fn butterfly_ps(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4, 16, 40]
+    } else {
+        vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56]
+    }
+}
+
+const BFLY_NAMES: [&str; 3] = ["GSS", "TRAPEZOID", "AFS"];
+
+fn fig10(quick: bool) -> ExperimentResult {
+    let n = if quick { 1000 } else { 5000 };
+    let wl = SyntheticLoop::triangular(n, 1.0);
+    let ps = butterfly_ps(quick);
+    ExperimentResult {
+        id: "fig10".into(),
+        title: format!("Triangular loop (N={n}) on the Butterfly (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::butterfly(), &ps, &BFLY_NAMES, 0.0),
+        notes: vec![
+            "Paper shape: AFS ≈ TRAPEZOID (first chunk = N/2P, the Thm 3.3".into(),
+            "optimum for linear decrease); both beat GSS.".into(),
+        ],
+    }
+}
+
+fn fig11(quick: bool) -> ExperimentResult {
+    let n = 200; // the paper's size; already tiny
+    let wl = SyntheticLoop::parabolic(n, 1.0);
+    let ps = if quick {
+        vec![10, 50]
+    } else {
+        vec![1, 2, 4, 8, 16, 24, 32, 40, 50]
+    };
+    ExperimentResult {
+        id: "fig11".into(),
+        title: format!("Decreasing parabolic loop (N={n}) on the Butterfly (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::butterfly(), &ps, &BFLY_NAMES, 0.0),
+        notes: vec![
+            "Paper shape: AFS < TRAPEZOID < GSS; TRAPEZOID approaches AFS".into(),
+            "near P = 50 where its first chunk is within one iteration of".into(),
+            "the Thm 3.3 optimum.".into(),
+        ],
+    }
+}
+
+fn fig12(quick: bool) -> ExperimentResult {
+    let n = if quick { 5000 } else { 50_000 };
+    let wl = SyntheticLoop::step_front(n, 100.0, 1.0);
+    let ps = butterfly_ps(quick);
+    ExperimentResult {
+        id: "fig12".into(),
+        title: format!("Step loop (first 10% heavy, N={n}) on the Butterfly (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::butterfly(), &ps, &BFLY_NAMES, 0.0),
+        notes: vec![
+            "Paper shape: AFS clearly best — distributed queues let it use".into(),
+            "small chunks without paying central-queue synchronization.".into(),
+        ],
+    }
+}
+
+fn fig13(quick: bool) -> ExperimentResult {
+    let n = if quick { 20_000 } else { 100_000 };
+    let wl = SyntheticLoop::balanced(n, 10.0);
+    let ps = butterfly_ps(quick);
+    ExperimentResult {
+        id: "fig13".into(),
+        title: format!("Balanced loop (N={n}) on the Butterfly — sync isolation (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::butterfly(), &ps, &BFLY_NAMES, 0.0),
+        notes: vec![
+            "Paper shape: with affinity, queue distribution and imbalance".into(),
+            "factored out, GSS/TRAPEZOID/AFS are comparable.".into(),
+        ],
+    }
+}
+
+// ----------------------------------------------------------------- Table 2
+
+fn table2(quick: bool) -> ExperimentResult {
+    let n: u64 = if quick { 1 << 20 } else { 16 << 20 };
+    let p = 8;
+    let machine = MachineSpec::iris();
+    let iter_time = machine.compute_time(1.0, 0.0);
+    let delays = [0.0625, 0.125, 0.1875, 0.2031, 0.2187, 0.25];
+    let names = ["GSS", "TRAPEZOID", "FACTORING", "AFS(k=2)", "AFS"];
+    let wl = SyntheticLoop::balanced(n, 1.0);
+    let rows = delays
+        .iter()
+        .map(|&frac| {
+            let delay = frac * n as f64 * iter_time;
+            let values = names
+                .iter()
+                .map(|name| {
+                    let sched = make_scheduler(name, &wl);
+                    let cfg = SimConfig::new(machine.clone(), p).with_delay(0, delay);
+                    simulate(&wl, &sched, &cfg).completion_time / 1e6
+                })
+                .collect();
+            Row {
+                label: format!("{frac:.4}N"),
+                values,
+            }
+        })
+        .collect();
+    ExperimentResult {
+        id: "table2".into(),
+        title: format!("Balanced loop (N={n}), one processor delayed — completion (Mtu)"),
+        col_header: "delay".into(),
+        columns: names.iter().map(|s| s.to_string()).collect(),
+        rows,
+        notes: vec![
+            "Paper shape: all algorithms within ~10%; AFS(k=2) worst but".into(),
+            "close; GSS/FACTORING/AFS(k=P) finish within one iteration.".into(),
+        ],
+    }
+}
+
+// ------------------------------------------------------- Sync-op tables
+
+/// Synchronization-operation counts per loop execution (Tables 3–5).
+fn sync_table(
+    id: &str,
+    title: String,
+    wl: &dyn Workload,
+    note: &str,
+    quick: bool,
+) -> ExperimentResult {
+    let ps: Vec<usize> = if quick {
+        vec![2, 8]
+    } else {
+        vec![1, 2, 4, 6, 8]
+    };
+    let machine = MachineSpec::iris();
+    let phases = wl.phases() as f64;
+    let names = ["SS", "GSS", "FACTORING", "TRAPEZOID"];
+    let mut rows: Vec<Row> = names
+        .iter()
+        .map(|name| {
+            let values = ps
+                .iter()
+                .map(|&p| {
+                    let sched = make_scheduler(name, wl);
+                    let cfg = SimConfig::new(machine.clone(), p).with_jitter(JITTER);
+                    let res = simulate(wl, &sched, &cfg);
+                    res.metrics.sync.central as f64 / phases
+                })
+                .collect();
+            Row {
+                label: name.to_string(),
+                values,
+            }
+        })
+        .collect();
+    // AFS: remote and local ops per work queue per loop.
+    for (label, pick) in [("AFS remote/queue", 0usize), ("AFS local/queue", 1usize)] {
+        let values = ps
+            .iter()
+            .map(|&p| {
+                let sched = make_scheduler("AFS", wl);
+                let cfg = SimConfig::new(machine.clone(), p).with_jitter(JITTER);
+                let res = simulate(wl, &sched, &cfg);
+                let (local, remote) = res.metrics.per_queue_avg();
+                (if pick == 0 { remote } else { local }) / phases
+            })
+            .collect();
+        rows.push(Row {
+            label: label.to_string(),
+            values,
+        });
+    }
+    ExperimentResult {
+        id: id.into(),
+        title,
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows,
+        notes: vec![note.into()],
+    }
+}
+
+fn table3(quick: bool) -> ExperimentResult {
+    let n = if quick { 128 } else { 512 };
+    let wl = SorModel::new(n, 8);
+    sync_table(
+        "table3",
+        format!("Sync operations per loop — SOR (N={n})"),
+        &wl,
+        "Paper: SS = N; TRAPEZOID fewest; AFS remote ≈ 0–1 per queue.",
+        quick,
+    )
+}
+
+fn table4(quick: bool) -> ExperimentResult {
+    let (n, clique) = if quick { (160, 80) } else { (640, 320) };
+    let graph = clique_graph(n, clique);
+    let wl = TcModel::from_graph(&graph, "clique");
+    sync_table(
+        "table4",
+        format!("Sync operations per loop — transitive closure (skewed n={n})"),
+        &wl,
+        "Paper: AFS balances a large skew with only 1–2 remote ops/queue.",
+        quick,
+    )
+}
+
+fn table5(quick: bool) -> ExperimentResult {
+    let n = if quick { 30 } else { 75 };
+    let wl = AdjointModel::new(n);
+    sync_table(
+        "table5",
+        format!("Sync operations per loop — adjoint convolution (N={n})"),
+        &wl,
+        "Paper: SS = N² = 5625; TRAPEZOID fewest; AFS does more remote ops here.",
+        quick,
+    )
+}
+
+// ------------------------------------------------- Scaling (Symmetry, KSR)
+
+fn fig14(quick: bool) -> ExperimentResult {
+    let n = if quick { 96 } else { 256 };
+    let wl = GaussModel::new(n);
+    let names = ["GSS", "TRAPEZOID", "AFS"];
+    let ps = if quick {
+        vec![2, 8]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12]
+    };
+    ExperimentResult {
+        id: "fig14".into(),
+        title: format!("Gaussian elimination (N={n}) on the Sequent Symmetry (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::symmetry(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: slow processors make communication cheap — AFS ≈".into(),
+            "GSS; TRAPEZOID 10–15% worse from end-of-loop imbalance.".into(),
+        ],
+    }
+}
+
+fn ksr_ps(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4, 16, 48]
+    } else {
+        vec![1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 57]
+    }
+}
+
+fn fig15(quick: bool) -> ExperimentResult {
+    let n = if quick { 256 } else { 1024 };
+    let wl = GaussModel::new(n);
+    let names = ["GSS", "FACTORING", "TRAPEZOID", "MOD-FACTORING", "AFS"];
+    let ps = ksr_ps(quick);
+    ExperimentResult {
+        id: "fig15".into(),
+        title: format!("Gaussian elimination (N={n}) on the KSR-1 (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::ksr1(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: AFS ≈ 3.7x over FACTORING/GSS, ≈ 2.8x over".into(),
+            "TRAPEZOID; MOD-FACTORING good below ~12 processors, then".into(),
+            "degrades to FACTORING as transient imbalance destroys affinity.".into(),
+        ],
+    }
+}
+
+fn fig16(quick: bool) -> ExperimentResult {
+    let (n, frac) = if quick {
+        (256usize, 0.4)
+    } else {
+        (1024usize, 0.4)
+    };
+    let clique = (n as f64 * frac) as usize;
+    let graph = clique_graph(n, clique);
+    let wl = TcModel::from_graph(&graph, "clique");
+    let names = ["GSS", "FACTORING", "TRAPEZOID", "MOD-FACTORING", "AFS"];
+    let ps = ksr_ps(quick);
+    ExperimentResult {
+        id: "fig16".into(),
+        title: format!("Transitive closure (n={n}, 40% clique) on the KSR-1 (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::ksr1(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: non-affinity schedulers cannot exploit more than".into(),
+            "~12 processors; AFS best, TRAPEZOID degrades most gracefully.".into(),
+        ],
+    }
+}
+
+fn fig17(quick: bool) -> ExperimentResult {
+    let (n, steps) = if quick { (256, 16) } else { (1024, 128) };
+    let wl = SorModel::new(n, steps);
+    let names = [
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+    ];
+    let ps = ksr_ps(quick);
+    ExperimentResult {
+        id: "fig17".into(),
+        title: format!("SOR (N={n}, {steps} steps) on the KSR-1 (Mtu)"),
+        col_header: "P".into(),
+        columns: columns_of(&ps),
+        rows: sweep(&wl, &MachineSpec::ksr1(), &ps, &names, JITTER),
+        notes: vec![
+            "Paper shape: AFS/STATIC/MOD-FACTORING best but by a modest".into(),
+            "margin — the KSR's software FP divide makes SOR compute-bound.".into(),
+        ],
+    }
+}
+
+fn table6(quick: bool) -> ExperimentResult {
+    // The paper runs 4096x4096 on 16 processors (20+ minutes on the real
+    // machine); we default to 2048 (same regime: data >> cache per
+    // processor is not reached either way on the KSR's 32 MB caches, and
+    // the scheduler ratios are size-stable — see EXPERIMENTS.md).
+    let n = if quick { 768 } else { 2048 };
+    let wl = GaussModel::new(n);
+    let names = [
+        "AFS",
+        "STATIC",
+        "MOD-FACTORING",
+        "FACTORING",
+        "TRAPEZOID",
+        "GSS",
+    ];
+    let p = 16;
+    let machine = MachineSpec::ksr1();
+    let rows = names
+        .iter()
+        .map(|name| {
+            let sched = make_scheduler(name, &wl);
+            let cfg = SimConfig::new(machine.clone(), p).with_jitter(JITTER);
+            let t = simulate(&wl, &sched, &cfg).completion_time / 1e6;
+            Row {
+                label: name.to_string(),
+                values: vec![t],
+            }
+        })
+        .collect();
+    ExperimentResult {
+        id: "table6".into(),
+        title: format!("Gaussian elimination (N={n}) on 16 KSR-1 processors (Mtu)"),
+        col_header: String::new(),
+        columns: vec!["completion (Mtu)".into()],
+        rows,
+        notes: vec![
+            "Paper (4096, minutes): AFS 20.6, STATIC 20.9, MOD-FACT 22.7,".into(),
+            "FACTORING 47.3, TRAPEZOID 50.7, GSS 73.7.".into(),
+        ],
+    }
+}

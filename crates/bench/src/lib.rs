@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! # afs-bench — reproduction and benchmark harness
+//!
+//! One function per table/figure of the paper (see [`experiments`]); the
+//! `repro` binary runs them and prints paper-style rows. EXPERIMENTS.md in
+//! the repository root records paper-vs-measured for each.
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{Experiment, ExperimentResult};
+pub use report::render;

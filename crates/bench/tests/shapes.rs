@@ -1,0 +1,335 @@
+//! Shape regression tests: the qualitative claims of every figure/table
+//! must hold on the quick-mode reproduction (who wins, by roughly what
+//! factor, where crossovers fall). EXPERIMENTS.md documents the full-size
+//! results; these tests keep the shapes from silently regressing.
+
+use afs_bench::experiments::{Experiment, ExperimentResult};
+
+fn run(e: Experiment) -> ExperimentResult {
+    e.run(true)
+}
+
+fn v(r: &ExperimentResult, row: &str, col: &str) -> f64 {
+    r.value(row, col)
+        .unwrap_or_else(|| panic!("missing value ({row}, {col}) in {}", r.id))
+}
+
+#[test]
+fn fig3_sor_iris_shape() {
+    let r = run(Experiment::Fig3);
+    let at8 = |s: &str| v(&r, s, "8");
+    // SS worst of all.
+    for other in ["GSS", "FACTORING", "TRAPEZOID", "STATIC", "AFS"] {
+        assert!(at8("SS") > at8(other), "SS should be worst (vs {other})");
+    }
+    // Affinity schedulers beat the central dynamic pack.
+    for affinity in ["AFS", "STATIC", "BEST-STATIC"] {
+        for central in ["GSS", "FACTORING", "TRAPEZOID"] {
+            assert!(
+                at8(affinity) < at8(central),
+                "{affinity} ({}) should beat {central} ({})",
+                at8(affinity),
+                at8(central)
+            );
+        }
+    }
+    // AFS ≈ STATIC ≈ BEST-STATIC (within 5%).
+    assert!((at8("AFS") - at8("STATIC")).abs() / at8("STATIC") < 0.05);
+    // MOD-FACTORING lies between AFS and FACTORING.
+    assert!(at8("MOD-FACTORING") >= at8("AFS") * 0.99);
+    assert!(at8("MOD-FACTORING") <= at8("FACTORING"));
+}
+
+#[test]
+fn fig4_gauss_iris_bus_saturation() {
+    let r = run(Experiment::Fig4);
+    // Non-affinity schedulers cannot effectively use more than ~2
+    // processors: going 4 → 8 buys them nothing (bus-bound).
+    for s in ["GSS", "FACTORING", "TRAPEZOID"] {
+        let gain = v(&r, s, "4") / v(&r, s, "8");
+        assert!(gain < 1.15, "{s} should be bus-saturated: 4p/8p = {gain}");
+    }
+    // AFS keeps scaling and wins by >2x at P = 8.
+    assert!(v(&r, "AFS", "4") / v(&r, "AFS", "8") > 1.4);
+    assert!(v(&r, "GSS", "8") / v(&r, "AFS", "8") > 2.0);
+    // STATIC is as good as AFS here (no load imbalance in Gauss).
+    assert!((v(&r, "STATIC", "8") - v(&r, "AFS", "8")).abs() / v(&r, "AFS", "8") < 0.1);
+}
+
+#[test]
+fn fig5_tc_random_affinity_grouping() {
+    let r = run(Experiment::Fig5);
+    // Affinity group beats non-affinity group at P = 8.
+    for a in ["AFS", "STATIC", "MOD-FACTORING"] {
+        for b in ["GSS", "FACTORING", "SS", "TRAPEZOID"] {
+            assert!(v(&r, a, "8") < v(&r, b, "8"), "{a} should beat {b}");
+        }
+    }
+}
+
+#[test]
+fn fig6_tc_skewed_shape() {
+    let r = run(Experiment::Fig6);
+    let at8 = |s: &str| v(&r, s, "8");
+    // GSS worst of all (its first chunk carries ~2/P of the work).
+    for other in [
+        "SS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "AFS",
+        "BEST-STATIC",
+    ] {
+        assert!(at8("GSS") > at8(other), "GSS should be worst (vs {other})");
+    }
+    // STATIC suffers from the skew (clique rows all land on low workers).
+    assert!(at8("STATIC") > 1.5 * at8("AFS"));
+    // AFS within 15% of the best dynamic alternatives (paper's claim is
+    // that it *beats* them by ≤15%; allow either side).
+    assert!(at8("AFS") < 1.15 * at8("FACTORING"));
+    // BEST-STATIC is competitive with AFS given input knowledge.
+    assert!(at8("BEST-STATIC") < 1.1 * at8("AFS"));
+}
+
+#[test]
+fn fig7_adjoint_load_balance() {
+    let r = run(Experiment::Fig7);
+    let at8 = |s: &str| v(&r, s, "8");
+    // GSS and STATIC overload the first processors: ~2x the balancers.
+    for bad in ["GSS", "STATIC"] {
+        for good in ["FACTORING", "TRAPEZOID", "AFS"] {
+            assert!(
+                at8(bad) > 1.5 * at8(good),
+                "{bad} ({}) should trail {good} ({})",
+                at8(bad),
+                at8(good)
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8_reverse_order_rescues_everyone_but_static() {
+    let r = run(Experiment::Fig8);
+    let at8 = |s: &str| v(&r, s, "8");
+    // With cheap iterations first, GSS joins the good group.
+    assert!(at8("GSS") < 1.1 * at8("AFS"));
+    // STATIC's fixed contiguous split stays imbalanced.
+    assert!(at8("STATIC") > 1.5 * at8("AFS"));
+}
+
+#[test]
+fn fig9_l4_all_close_ss_worst() {
+    let r = run(Experiment::Fig9);
+    let at8 = |s: &str| v(&r, s, "8");
+    for other in [
+        "GSS",
+        "FACTORING",
+        "TRAPEZOID",
+        "MOD-FACTORING",
+        "STATIC",
+        "AFS",
+    ] {
+        assert!(at8("SS") > 1.3 * at8(other), "SS should be clearly worst");
+    }
+    // Everything else within ~10% of each other.
+    let others: Vec<f64> = ["GSS", "FACTORING", "TRAPEZOID", "STATIC", "AFS"]
+        .iter()
+        .map(|s| at8(s))
+        .collect();
+    let min = others.iter().cloned().fold(f64::MAX, f64::min);
+    let max = others.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max / min < 1.12, "non-SS spread too wide: {others:?}");
+}
+
+#[test]
+fn fig10_triangular_butterfly() {
+    let r = run(Experiment::Fig10);
+    // AFS ≈ TRAPEZOID, both clearly better than GSS.
+    let (afs, trap, gss) = (
+        v(&r, "AFS", "16"),
+        v(&r, "TRAPEZOID", "16"),
+        v(&r, "GSS", "16"),
+    );
+    assert!(
+        (afs - trap).abs() / trap < 0.1,
+        "AFS {afs} vs TRAPEZOID {trap}"
+    );
+    assert!(gss > 1.5 * afs, "GSS {gss} should trail AFS {afs}");
+}
+
+#[test]
+fn fig11_parabolic_butterfly() {
+    let r = run(Experiment::Fig11);
+    // At moderate P: AFS < TRAPEZOID < GSS.
+    assert!(v(&r, "AFS", "10") < v(&r, "TRAPEZOID", "10"));
+    assert!(v(&r, "TRAPEZOID", "10") < v(&r, "GSS", "10"));
+    // Near P = 50 TRAPEZOID closes most of the gap to AFS (Thm 3.3).
+    let ratio_10 = v(&r, "TRAPEZOID", "10") / v(&r, "AFS", "10");
+    let ratio_50 = v(&r, "TRAPEZOID", "50") / v(&r, "AFS", "50");
+    assert!(
+        ratio_50 < ratio_10,
+        "gap should shrink with P: {ratio_10} → {ratio_50}"
+    );
+    assert!(ratio_50 < 1.25);
+}
+
+#[test]
+fn fig12_step_loop_afs_superior() {
+    let r = run(Experiment::Fig12);
+    for p in ["16", "40"] {
+        assert!(v(&r, "AFS", p) * 2.0 < v(&r, "TRAPEZOID", p), "P={p}");
+        assert!(v(&r, "TRAPEZOID", p) < v(&r, "GSS", p), "P={p}");
+    }
+}
+
+#[test]
+fn fig13_balanced_loop_all_comparable() {
+    let r = run(Experiment::Fig13);
+    for p in ["4", "16", "40"] {
+        let vals = [v(&r, "GSS", p), v(&r, "TRAPEZOID", p), v(&r, "AFS", p)];
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max / min < 1.05, "P={p}: {vals:?}");
+    }
+}
+
+#[test]
+fn table2_delayed_start_shape() {
+    let r = run(Experiment::Table2);
+    // Row labels are delay fractions; columns are schedulers.
+    for row in &r.rows {
+        let gss = r.value(&row.label, "GSS").unwrap();
+        let afs = r.value(&row.label, "AFS").unwrap();
+        let afs2 = r.value(&row.label, "AFS(k=2)").unwrap();
+        // AFS(k=P) matches GSS; AFS(k=2) may trail but within ~25%.
+        assert!(
+            (afs - gss).abs() / gss < 0.02,
+            "{}: AFS {afs} vs GSS {gss}",
+            row.label
+        );
+        assert!(
+            afs2 <= gss * 1.45,
+            "{}: AFS(k=2) {afs2} too far from {gss}",
+            row.label
+        );
+    }
+    // At the largest delay, everything converges (delay dominates).
+    let last = &r.rows[r.rows.len() - 1];
+    let min = last.values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = last.values.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max / min < 1.02);
+}
+
+#[test]
+fn table3_sync_counts_sor() {
+    let r = run(Experiment::Table3);
+    // SS = N regardless of P.
+    assert_eq!(v(&r, "SS", "2"), 128.0);
+    assert_eq!(v(&r, "SS", "8"), 128.0);
+    // TRAPEZOID fewest among central dynamics.
+    assert!(v(&r, "TRAPEZOID", "8") <= v(&r, "GSS", "8"));
+    assert!(v(&r, "GSS", "8") <= v(&r, "FACTORING", "8"));
+    // AFS: almost no remote ops on a balanced loop.
+    assert!(v(&r, "AFS remote/queue", "8") < 1.5);
+    // AFS local ops per queue in the TRAPEZOID ballpark.
+    assert!(v(&r, "AFS local/queue", "8") < 1.5 * v(&r, "TRAPEZOID", "8"));
+}
+
+#[test]
+fn table4_sync_counts_tc_skewed() {
+    let r = run(Experiment::Table4);
+    // Large load skew balanced with only a couple of remote ops per queue.
+    assert!(v(&r, "AFS remote/queue", "8") < 4.0);
+    assert!(v(&r, "AFS remote/queue", "8") > 0.0);
+}
+
+#[test]
+fn table5_sync_counts_adjoint() {
+    let r = run(Experiment::Table5);
+    assert_eq!(v(&r, "SS", "8"), 900.0); // N = 30² per loop
+                                         // Linearly decreasing costs force more migration than SOR/TC.
+    let t4 = run(Experiment::Table4);
+    assert!(
+        v(&r, "AFS remote/queue", "8") > v(&t4, "AFS remote/queue", "8"),
+        "adjoint should need more remote ops than TC"
+    );
+}
+
+#[test]
+fn fig14_symmetry_communication_is_cheap() {
+    let r = run(Experiment::Fig14);
+    let (gss, afs, trap) = (
+        v(&r, "GSS", "8"),
+        v(&r, "AFS", "8"),
+        v(&r, "TRAPEZOID", "8"),
+    );
+    assert!(
+        (gss - afs).abs() / afs < 0.05,
+        "AFS {afs} should ≈ GSS {gss}"
+    );
+    assert!(
+        trap > afs * 1.05 && trap < afs * 1.30,
+        "TRAPEZOID {trap} ~10-15% worse"
+    );
+}
+
+#[test]
+fn fig15_ksr_gauss_shape() {
+    let r = run(Experiment::Fig15);
+    // AFS dominates by a large factor at high P.
+    assert!(v(&r, "GSS", "48") / v(&r, "AFS", "48") > 2.5);
+    assert!(v(&r, "TRAPEZOID", "48") / v(&r, "AFS", "48") > 2.0);
+    // Non-affinity schedulers stop scaling: 48 procs no better than 16.
+    assert!(v(&r, "GSS", "48") >= v(&r, "GSS", "16"));
+    // AFS keeps improving (or at least holds) from 16 to 48.
+    assert!(v(&r, "AFS", "48") <= 1.05 * v(&r, "AFS", "16"));
+    // MOD-FACTORING beats FACTORING at low P, converges to it at high P.
+    assert!(v(&r, "MOD-FACTORING", "4") < 0.9 * v(&r, "FACTORING", "4"));
+    let hi = v(&r, "MOD-FACTORING", "48") / v(&r, "FACTORING", "48");
+    assert!((0.85..=1.15).contains(&hi), "high-P ratio {hi}");
+}
+
+#[test]
+fn fig16_ksr_tc_shape() {
+    let r = run(Experiment::Fig16);
+    assert!(v(&r, "GSS", "48") / v(&r, "AFS", "48") > 3.0);
+    // TRAPEZOID degrades most gracefully among the non-affinity group.
+    for other in ["GSS", "FACTORING", "MOD-FACTORING"] {
+        assert!(v(&r, "TRAPEZOID", "48") <= v(&r, other, "48"), "vs {other}");
+    }
+}
+
+#[test]
+fn fig17_ksr_sor_compute_bound() {
+    let r = run(Experiment::Fig17);
+    // AFS best, but the margin over GSS stays modest (< 15%): software
+    // divides make SOR compute-bound on the KSR.
+    let (afs, gss) = (v(&r, "AFS", "48"), v(&r, "GSS", "48"));
+    assert!(afs <= gss);
+    assert!(gss / afs < 1.15, "margin should be modest: {}", gss / afs);
+    // Contrast with Gauss on the same machine (fig15), where the margin is
+    // large — the anomaly the paper highlights.
+    let g = run(Experiment::Fig15);
+    assert!(v(&g, "GSS", "48") / v(&g, "AFS", "48") > 2.0 * (gss / afs));
+}
+
+#[test]
+fn table6_large_gauss_ordering() {
+    let r = run(Experiment::Table6);
+    let t = |s: &str| r.row(s).unwrap().values[0];
+    // Paper ordering: AFS ≈ STATIC < MOD-FACTORING << FACTORING/TRAP/GSS.
+    assert!((t("AFS") - t("STATIC")).abs() / t("AFS") < 0.05);
+    assert!(t("MOD-FACTORING") < t("FACTORING"));
+    for slow in ["FACTORING", "TRAPEZOID", "GSS"] {
+        assert!(t(slow) > 1.5 * t("AFS"), "{slow} should trail AFS by >1.5x");
+    }
+}
+
+#[test]
+fn experiment_ids_roundtrip() {
+    for e in Experiment::all() {
+        assert_eq!(Experiment::by_id(e.id()), Some(e));
+    }
+    assert_eq!(Experiment::by_id("nope"), None);
+}

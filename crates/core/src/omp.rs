@@ -1,0 +1,193 @@
+//! OpenMP-style schedule clauses, mapped onto this library's schedulers.
+//!
+//! Affinity scheduling never made it into OpenMP, but the schedule kinds
+//! OpenMP standardized are exactly the paper's baselines. This shim lets a
+//! user express policies in familiar `schedule(...)` terms and get the
+//! corresponding [`Scheduler`]:
+//!
+//! | OpenMP | Here |
+//! |---|---|
+//! | `schedule(static)` | [`StaticSched`] (one contiguous block per thread) |
+//! | `schedule(static, c)` | [`StaticChunked`] (round-robin chunks) |
+//! | `schedule(dynamic)` | [`SelfSched`] (chunk = 1) |
+//! | `schedule(dynamic, c)` | [`ChunkSelf`] (fixed chunks from a shared queue) |
+//! | `schedule(guided)` | [`Gss`] |
+//! | `schedule(guided, c)` | GSS with minimum chunk `c` |
+//! | `schedule(auto)` | [`Affinity`] — this library's answer |
+//!
+//! ```
+//! use afs_core::omp::OmpSchedule;
+//! use afs_core::policy::Scheduler;
+//!
+//! let sched = OmpSchedule::Guided { min_chunk: 4 }.scheduler();
+//! let mut state = sched.begin_loop(1000, 8);
+//! assert!(state.next(0).unwrap().range.len() >= 4);
+//! ```
+
+use crate::chunking::gss_chunk;
+use crate::policy::{LoopState, QueueTopology, Scheduler};
+use crate::schedulers::central::CentralState;
+use crate::schedulers::static_chunked::StaticChunked;
+use crate::schedulers::{Affinity, ChunkSelf, Gss, SelfSched, StaticSched};
+
+/// An OpenMP `schedule(...)` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OmpSchedule {
+    /// `schedule(static)`: contiguous even blocks.
+    Static,
+    /// `schedule(static, chunk)`: round-robin chunks.
+    StaticChunk {
+        /// Chunk size.
+        chunk: u64,
+    },
+    /// `schedule(dynamic)`: one iteration per grab.
+    Dynamic,
+    /// `schedule(dynamic, chunk)`: fixed-size chunks per grab.
+    DynamicChunk {
+        /// Chunk size.
+        chunk: u64,
+    },
+    /// `schedule(guided)`: exponentially decreasing chunks.
+    Guided {
+        /// Minimum chunk size (OpenMP's optional `chunk` argument; 1 for
+        /// plain `schedule(guided)`).
+        min_chunk: u64,
+    },
+    /// `schedule(auto)`: implementation's choice — affinity scheduling.
+    Auto,
+}
+
+impl OmpSchedule {
+    /// Parses a clause like `"static"`, `"static,8"`, `"guided,4"`.
+    pub fn parse(s: &str) -> Option<OmpSchedule> {
+        let (kind, chunk) = match s.split_once(',') {
+            Some((k, c)) => (k.trim(), Some(c.trim().parse::<u64>().ok()?)),
+            None => (s.trim(), None),
+        };
+        if chunk == Some(0) {
+            return None;
+        }
+        Some(match (kind, chunk) {
+            ("static", None) => OmpSchedule::Static,
+            ("static", Some(c)) => OmpSchedule::StaticChunk { chunk: c },
+            ("dynamic", None) => OmpSchedule::Dynamic,
+            ("dynamic", Some(c)) => OmpSchedule::DynamicChunk { chunk: c },
+            ("guided", None) => OmpSchedule::Guided { min_chunk: 1 },
+            ("guided", Some(c)) => OmpSchedule::Guided { min_chunk: c },
+            ("auto", None) => OmpSchedule::Auto,
+            _ => return None,
+        })
+    }
+
+    /// The corresponding scheduler.
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        match *self {
+            OmpSchedule::Static => Box::new(StaticSched::new()),
+            OmpSchedule::StaticChunk { chunk } => Box::new(StaticChunked::new(chunk)),
+            OmpSchedule::Dynamic => Box::new(SelfSched::new()),
+            OmpSchedule::DynamicChunk { chunk } => Box::new(ChunkSelf::new(chunk)),
+            OmpSchedule::Guided { min_chunk: 1 } => Box::new(Gss::new()),
+            OmpSchedule::Guided { min_chunk } => Box::new(GuidedMin { min_chunk }),
+            OmpSchedule::Auto => Box::new(Affinity::with_k_equals_p()),
+        }
+    }
+}
+
+/// `schedule(guided, c)`: GSS with chunks clamped below at `c` (except the
+/// final partial chunk), per the OpenMP specification.
+#[derive(Clone, Copy, Debug)]
+struct GuidedMin {
+    min_chunk: u64,
+}
+
+impl Scheduler for GuidedMin {
+    fn name(&self) -> String {
+        format!("GUIDED({})", self.min_chunk)
+    }
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::Central
+    }
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        let min = self.min_chunk;
+        Box::new(CentralState::new(n, move |remaining: u64| {
+            gss_chunk(remaining, p, 1).max(min).min(remaining)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_clauses() {
+        assert_eq!(OmpSchedule::parse("static"), Some(OmpSchedule::Static));
+        assert_eq!(
+            OmpSchedule::parse("static, 16"),
+            Some(OmpSchedule::StaticChunk { chunk: 16 })
+        );
+        assert_eq!(OmpSchedule::parse("dynamic"), Some(OmpSchedule::Dynamic));
+        assert_eq!(
+            OmpSchedule::parse("dynamic,4"),
+            Some(OmpSchedule::DynamicChunk { chunk: 4 })
+        );
+        assert_eq!(
+            OmpSchedule::parse("guided"),
+            Some(OmpSchedule::Guided { min_chunk: 1 })
+        );
+        assert_eq!(
+            OmpSchedule::parse("guided,8"),
+            Some(OmpSchedule::Guided { min_chunk: 8 })
+        );
+        assert_eq!(OmpSchedule::parse("auto"), Some(OmpSchedule::Auto));
+        assert_eq!(OmpSchedule::parse("runtime"), None);
+        assert_eq!(OmpSchedule::parse("static,0"), None);
+        assert_eq!(OmpSchedule::parse("guided,x"), None);
+    }
+
+    #[test]
+    fn every_clause_covers_the_loop() {
+        let clauses = [
+            OmpSchedule::Static,
+            OmpSchedule::StaticChunk { chunk: 7 },
+            OmpSchedule::Dynamic,
+            OmpSchedule::DynamicChunk { chunk: 5 },
+            OmpSchedule::Guided { min_chunk: 1 },
+            OmpSchedule::Guided { min_chunk: 6 },
+            OmpSchedule::Auto,
+        ];
+        for clause in clauses {
+            let sched = clause.scheduler();
+            let mut st = sched.begin_loop(501, 4);
+            let mut seen = std::collections::HashSet::new();
+            for w in 0..4 {
+                while let Some(g) = st.next(w) {
+                    for i in g.range.iter() {
+                        assert!(seen.insert(i), "{clause:?}: duplicate {i}");
+                    }
+                }
+            }
+            assert_eq!(seen.len(), 501, "{clause:?}");
+        }
+    }
+
+    #[test]
+    fn guided_min_chunk_clamps() {
+        let sched = OmpSchedule::Guided { min_chunk: 10 }.scheduler();
+        let mut st = sched.begin_loop(200, 8);
+        let mut sizes = Vec::new();
+        while let Some(g) = st.next(0) {
+            sizes.push(g.range.len());
+        }
+        // All chunks at least 10 except possibly the last partial one.
+        for &c in &sizes[..sizes.len() - 1] {
+            assert!(c >= 10, "{sizes:?}");
+        }
+        assert_eq!(sizes.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn auto_is_affinity() {
+        assert_eq!(OmpSchedule::Auto.scheduler().name(), "AFS");
+    }
+}

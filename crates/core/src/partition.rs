@@ -1,0 +1,234 @@
+//! Balanced contiguous partitioning of weighted iteration sequences.
+//!
+//! The paper's BEST-STATIC baseline is "the best static assignment possible,
+//! given complete knowledge of the application and its input", constructed by
+//! hand to maximize locality and minimize imbalance. We mechanize it as the
+//! optimal *contiguous* partition (chains-on-chains partitioning): split the
+//! iteration sequence into `p` contiguous segments minimizing the maximum
+//! segment weight. Contiguity preserves affinity (each processor owns a
+//! block of consecutive rows across loop executions); optimal bottleneck
+//! weight reproduces the hand-balancing (e.g. distributing the clique rows of
+//! the skewed transitive-closure input evenly).
+//!
+//! Algorithm: binary search on the bottleneck value over prefix sums, with a
+//! greedy feasibility probe — `O(n + p·log(n)·log(W))`.
+
+use crate::range::IterRange;
+
+/// Splits `costs` into at most `p` contiguous segments minimizing the
+/// maximum segment cost. Returns exactly `p` ranges (trailing ranges may be
+/// empty), tiling `[0, costs.len())`.
+pub fn balanced_contiguous(costs: &[f64], p: usize) -> Vec<IterRange> {
+    assert!(p > 0, "need at least one processor");
+    let n = costs.len();
+    if n == 0 {
+        return vec![IterRange::empty(); p];
+    }
+    // Prefix sums; prefix[i] = sum of costs[0..i].
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0f64);
+    for &c in costs {
+        assert!(c >= 0.0, "iteration costs must be non-negative");
+        let last = *prefix.last().unwrap();
+        prefix.push(last + c);
+    }
+    let total = *prefix.last().unwrap();
+    let max_single = costs.iter().cloned().fold(0.0f64, f64::max);
+
+    // Binary search the bottleneck B in [max(max_single, total/p), total].
+    let mut lo = max_single.max(total / p as f64);
+    let mut hi = total;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(&prefix, p, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    // Build the partition greedily at the found bottleneck (with a small
+    // relative slack to absorb floating-point error).
+    let bottleneck = hi * (1.0 + 1e-12) + 1e-12;
+    let mut ranges = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for seg in 0..p {
+        if start >= n {
+            ranges.push(IterRange::new(n as u64, n as u64));
+            continue;
+        }
+        let segments_left = p - seg;
+        if segments_left == 1 {
+            ranges.push(IterRange::new(start as u64, n as u64));
+            start = n;
+            continue;
+        }
+        // Furthest end such that segment cost ≤ bottleneck.
+        let end = furthest_end(&prefix, start, bottleneck).max(start + 1);
+        ranges.push(IterRange::new(start as u64, end as u64));
+        start = end;
+    }
+    debug_assert_eq!(ranges.last().map(|r| r.end), Some(n as u64));
+    ranges
+}
+
+/// Greedy probe: can `costs` be covered by `p` contiguous segments each of
+/// weight ≤ `bound`?
+fn feasible(prefix: &[f64], p: usize, bound: f64) -> bool {
+    let n = prefix.len() - 1;
+    let mut start = 0usize;
+    let mut used = 0usize;
+    while start < n {
+        if used == p {
+            return false;
+        }
+        let end = furthest_end(prefix, start, bound);
+        if end == start {
+            return false; // single iteration exceeds the bound
+        }
+        start = end;
+        used += 1;
+    }
+    true
+}
+
+/// Largest `end > start` with `sum(costs[start..end]) ≤ bound`, found by
+/// binary search over the prefix sums. Returns `start` if even one
+/// iteration exceeds the bound.
+fn furthest_end(prefix: &[f64], start: usize, bound: f64) -> usize {
+    let n = prefix.len() - 1;
+    let base = prefix[start];
+    let target = base + bound;
+    // partition_point over prefix[start+1 ..= n].
+    let mut lo = start;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if prefix[mid] <= target {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Maximum segment cost of a partition (the bottleneck it achieves).
+pub fn bottleneck(costs: &[f64], ranges: &[IterRange]) -> f64 {
+    ranges
+        .iter()
+        .map(|r| costs[r.start as usize..r.end as usize].iter().sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tiles(ranges: &[IterRange], n: u64) {
+        let mut pos = 0;
+        for r in ranges {
+            assert_eq!(r.start, pos, "gap/overlap in {ranges:?}");
+            pos = r.end;
+        }
+        assert_eq!(pos, n);
+    }
+
+    #[test]
+    fn uniform_costs_split_evenly() {
+        let costs = vec![1.0; 100];
+        let parts = balanced_contiguous(&costs, 4);
+        assert_tiles(&parts, 100);
+        for r in &parts {
+            assert_eq!(r.len(), 25);
+        }
+    }
+
+    #[test]
+    fn skewed_costs_give_small_heavy_segments() {
+        // First 10 iterations cost 100, remaining 90 cost 1 (the paper's
+        // §4.4 step workload).
+        let mut costs = vec![100.0; 10];
+        costs.extend(vec![1.0; 90]);
+        let parts = balanced_contiguous(&costs, 5);
+        assert_tiles(&parts, 100);
+        let b = bottleneck(&costs, &parts);
+        // Total work = 1090; ideal share = 218; optimal contiguous bottleneck
+        // should be near that (within one heavy iteration).
+        assert!(b <= 302.0, "bottleneck {b} too large: {parts:?}");
+        // The first segment must contain few heavy iterations.
+        assert!(
+            parts[0].len() <= 3,
+            "first segment too long: {:?}",
+            parts[0]
+        );
+    }
+
+    #[test]
+    fn triangular_costs_balance() {
+        let n = 1000;
+        let costs: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let parts = balanced_contiguous(&costs, 8);
+        assert_tiles(&parts, n as u64);
+        let total: f64 = costs.iter().sum();
+        let b = bottleneck(&costs, &parts);
+        assert!(
+            b < total / 8.0 * 1.05,
+            "bottleneck {b} vs fair {}",
+            total / 8.0
+        );
+        // Early segments (heavy iterations) must be shorter than late ones.
+        assert!(parts[0].len() < parts[7].len());
+    }
+
+    #[test]
+    fn more_processors_than_iterations() {
+        let costs = vec![5.0, 1.0];
+        let parts = balanced_contiguous(&costs, 4);
+        assert_eq!(parts.len(), 4);
+        assert_tiles(&parts, 2);
+        assert!(parts[2].is_empty() && parts[3].is_empty());
+    }
+
+    #[test]
+    fn single_processor_takes_all() {
+        let costs = vec![3.0, 1.0, 4.0];
+        let parts = balanced_contiguous(&costs, 1);
+        assert_eq!(parts, vec![IterRange::new(0, 3)]);
+    }
+
+    #[test]
+    fn empty_costs() {
+        let parts = balanced_contiguous(&[], 3);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn zero_cost_iterations_ok() {
+        let costs = vec![0.0; 10];
+        let parts = balanced_contiguous(&costs, 3);
+        assert_tiles(&parts, 10);
+    }
+
+    #[test]
+    fn optimality_vs_bruteforce_small() {
+        // Exhaustively check optimal bottleneck on small instances.
+        let costs = [4.0, 2.0, 7.0, 1.0, 1.0, 3.0];
+        let p = 3;
+        let parts = balanced_contiguous(&costs, p);
+        let got = bottleneck(&costs, &parts);
+        // Brute force: all ways to place 2 cut points among 5 gaps.
+        let mut best = f64::INFINITY;
+        for c1 in 1..=5usize {
+            for c2 in c1..=5 {
+                let segs = [
+                    costs[..c1].iter().sum::<f64>(),
+                    costs[c1..c2].iter().sum::<f64>(),
+                    costs[c2..].iter().sum::<f64>(),
+                ];
+                best = best.min(segs.iter().cloned().fold(0.0, f64::max));
+            }
+        }
+        assert!((got - best).abs() < 1e-6, "got {got}, optimal {best}");
+    }
+}

@@ -1,0 +1,180 @@
+//! The scheduler abstraction: deterministic per-loop state machines.
+//!
+//! A [`Scheduler`] describes an algorithm; [`Scheduler::begin_loop`] produces
+//! a [`LoopState`] for one execution of one parallel loop. The state machine
+//! separates *targeting* a queue (which queue would this processor lock next —
+//! an unsynchronized load check, free per the paper's footnote 4) from
+//! *taking* a chunk (performed with the queue lock held, which is the
+//! synchronization operation the paper counts).
+//!
+//! The two-phase protocol maps directly onto both consumers:
+//!
+//! * the discrete-event simulator turns `target` into a lock-resource
+//!   acquisition and calls `take` at the grant time, and
+//! * a real runtime locks the corresponding mutex and calls the same logic.
+
+use crate::range::IterRange;
+
+/// Identifies a work queue. Central schedulers use queue `0`; distributed
+/// schedulers use one queue per processor, identified by processor index.
+pub type QueueId = usize;
+
+/// How a scheduler's work queues are organized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueTopology {
+    /// A single shared queue; every access is a global synchronization.
+    Central,
+    /// One queue per processor; accesses are local or remote.
+    PerProcessor,
+}
+
+/// The synchronization class of a single queue access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// No run-time synchronization (static assignment).
+    Free,
+    /// Access to a central shared queue.
+    Central,
+    /// Access to the processor's own queue.
+    Local,
+    /// Access to another processor's queue (work migration).
+    Remote,
+}
+
+/// A queue the processor should lock next, produced by [`LoopState::target`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Target {
+    /// Queue to lock.
+    pub queue: QueueId,
+    /// Synchronization class of the access.
+    pub access: AccessKind,
+}
+
+/// A successful grab: a range of iterations removed from a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grab {
+    /// The iterations to execute, indivisibly.
+    pub range: IterRange,
+    /// The queue they came from.
+    pub queue: QueueId,
+    /// Synchronization class of the access that removed them.
+    pub access: AccessKind,
+}
+
+/// Per-loop scheduling state machine.
+///
+/// Implementations must be deterministic: the sequence of returned chunks is
+/// a pure function of the sequence of `(method, worker)` calls.
+pub trait LoopState: Send {
+    /// Which queue should `worker` lock next?
+    ///
+    /// Returns `None` when no queue holds work the worker could take — the
+    /// worker is done with this loop. This check involves no synchronization
+    /// (it reads queue loads without locking, and may therefore be stale by
+    /// the time the lock is acquired).
+    fn target(&self, worker: usize) -> Option<Target>;
+
+    /// With the lock on `queue` held, remove a chunk for `worker`.
+    ///
+    /// Returns `None` if the queue was drained between targeting and locking
+    /// (the caller should retry [`LoopState::target`]).
+    fn take(&mut self, worker: usize, queue: QueueId) -> Option<IterRange>;
+
+    /// Convenience driver: target + take in a retry loop, as a lone caller
+    /// would experience it. Returns `None` when the loop is exhausted for
+    /// this worker.
+    fn next(&mut self, worker: usize) -> Option<Grab> {
+        loop {
+            let t = self.target(worker)?;
+            if let Some(range) = self.take(worker, t.queue) {
+                return Some(Grab {
+                    range,
+                    queue: t.queue,
+                    access: t.access,
+                });
+            }
+        }
+    }
+}
+
+/// A loop scheduling algorithm.
+pub trait Scheduler: Send + Sync {
+    /// Human-readable algorithm name (used in reports and plots).
+    fn name(&self) -> String;
+
+    /// Queue organization, which determines lock resources in simulation.
+    fn topology(&self) -> QueueTopology;
+
+    /// Starts scheduling one parallel loop of `n` iterations over `p`
+    /// processors.
+    ///
+    /// Stateful schedulers (e.g. the AFS "last executed" variant) may carry
+    /// history across successive `begin_loop` calls of the same scheduler
+    /// value; each call corresponds to one execution of the parallel loop
+    /// (one phase of an enclosing sequential loop).
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState>;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn topology(&self) -> QueueTopology {
+        (**self).topology()
+    }
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        (**self).begin_loop(n, p)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn topology(&self) -> QueueTopology {
+        (**self).topology()
+    }
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        (**self).begin_loop(n, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial one-shot state used to exercise the default `next` driver,
+    /// including the retry path after a failed take.
+    struct OneShot {
+        left: Option<IterRange>,
+        fail_first_take: bool,
+    }
+
+    impl LoopState for OneShot {
+        fn target(&self, _worker: usize) -> Option<Target> {
+            self.left.map(|_| Target {
+                queue: 0,
+                access: AccessKind::Central,
+            })
+        }
+        fn take(&mut self, _worker: usize, _queue: QueueId) -> Option<IterRange> {
+            if self.fail_first_take {
+                self.fail_first_take = false;
+                return None;
+            }
+            self.left.take()
+        }
+    }
+
+    #[test]
+    fn next_retries_after_failed_take() {
+        let mut s = OneShot {
+            left: Some(IterRange::new(0, 5)),
+            fail_first_take: true,
+        };
+        let g = s.next(0).expect("should retry and succeed");
+        assert_eq!(g.range, IterRange::new(0, 5));
+        assert_eq!(g.access, AccessKind::Central);
+        assert!(s.next(0).is_none());
+    }
+}

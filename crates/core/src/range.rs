@@ -1,0 +1,196 @@
+//! Half-open iteration ranges.
+//!
+//! All schedulers deal in contiguous half-open ranges `[start, end)` of loop
+//! iteration indices. Ranges are the unit of assignment: a scheduler hands a
+//! processor a range, and the processor executes every iteration in it
+//! indivisibly.
+
+use core::fmt;
+
+/// A half-open range `[start, end)` of loop iteration indices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IterRange {
+    /// First iteration index in the range.
+    pub start: u64,
+    /// One past the last iteration index in the range.
+    pub end: u64,
+}
+
+impl IterRange {
+    /// Creates `[start, end)`. Panics if `end < start`.
+    #[inline]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end >= start, "invalid range: [{start}, {end})");
+        Self { start, end }
+    }
+
+    /// The empty range at position 0.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self { start: 0, end: 0 }
+    }
+
+    /// Number of iterations in the range.
+    #[inline]
+    pub const fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range contains no iterations.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `i` falls inside the range.
+    #[inline]
+    pub const fn contains(&self, i: u64) -> bool {
+        self.start <= i && i < self.end
+    }
+
+    /// Splits off the first `n` iterations, leaving the remainder in `self`.
+    ///
+    /// Takes at most `len()` iterations; returns the detached front range.
+    #[inline]
+    pub fn split_front(&mut self, n: u64) -> IterRange {
+        let n = n.min(self.len());
+        let front = IterRange::new(self.start, self.start + n);
+        self.start += n;
+        front
+    }
+
+    /// Splits off the last `n` iterations, leaving the remainder in `self`.
+    #[inline]
+    pub fn split_back(&mut self, n: u64) -> IterRange {
+        let n = n.min(self.len());
+        let back = IterRange::new(self.end - n, self.end);
+        self.end -= n;
+        back
+    }
+
+    /// Iterator over the iteration indices in the range.
+    #[inline]
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = u64> {
+        self.start..self.end
+    }
+
+    /// True if `other` begins exactly where `self` ends.
+    #[inline]
+    pub const fn adjacent_before(&self, other: &IterRange) -> bool {
+        self.end == other.start
+    }
+
+    /// Merges with an adjacent following range. Panics if not adjacent.
+    #[inline]
+    pub fn merge_after(&mut self, other: IterRange) {
+        assert!(self.adjacent_before(&other), "ranges not adjacent");
+        self.end = other.end;
+    }
+}
+
+impl fmt::Debug for IterRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for IterRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl From<std::ops::Range<u64>> for IterRange {
+    fn from(r: std::ops::Range<u64>) -> Self {
+        IterRange::new(r.start, r.end)
+    }
+}
+
+impl IntoIterator for IterRange {
+    type Item = u64;
+    type IntoIter = std::ops::Range<u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.start..self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let r = IterRange::new(3, 10);
+        assert_eq!(r.len(), 7);
+        assert!(!r.is_empty());
+        assert!(r.contains(3));
+        assert!(r.contains(9));
+        assert!(!r.contains(10));
+        assert!(!r.contains(2));
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = IterRange::empty();
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = IterRange::new(5, 4);
+    }
+
+    #[test]
+    fn split_front_takes_prefix() {
+        let mut r = IterRange::new(0, 10);
+        let f = r.split_front(3);
+        assert_eq!(f, IterRange::new(0, 3));
+        assert_eq!(r, IterRange::new(3, 10));
+    }
+
+    #[test]
+    fn split_front_clamps_to_len() {
+        let mut r = IterRange::new(4, 6);
+        let f = r.split_front(100);
+        assert_eq!(f, IterRange::new(4, 6));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn split_back_takes_suffix() {
+        let mut r = IterRange::new(0, 10);
+        let b = r.split_back(4);
+        assert_eq!(b, IterRange::new(6, 10));
+        assert_eq!(r, IterRange::new(0, 6));
+    }
+
+    #[test]
+    fn split_back_clamps_to_len() {
+        let mut r = IterRange::new(2, 5);
+        let b = r.split_back(9);
+        assert_eq!(b, IterRange::new(2, 5));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn merge_adjacent() {
+        let mut a = IterRange::new(0, 5);
+        let b = IterRange::new(5, 9);
+        assert!(a.adjacent_before(&b));
+        a.merge_after(b);
+        assert_eq!(a, IterRange::new(0, 9));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let r = IterRange::new(2, 5);
+        let v: Vec<u64> = r.iter().collect();
+        assert_eq!(v, vec![2, 3, 4]);
+        let back: Vec<u64> = r.iter().rev().collect();
+        assert_eq!(back, vec![4, 3, 2]);
+    }
+}

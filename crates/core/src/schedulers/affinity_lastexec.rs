@@ -1,0 +1,197 @@
+//! AFS "last executed" variant — the extension proposed in §4.3 of the paper.
+//!
+//! Instead of reassigning every iteration to its *home* processor each loop
+//! execution (and re-migrating under persistent imbalance), this variant
+//! assigns each iteration to the processor that executed it in the *previous*
+//! execution. When the distribution of work changes slowly between phases
+//! (common in simulations of physical systems), migrations performed in one
+//! phase remain valid in the next, reducing communication. The cost is
+//! possible *fragmentation*: a queue may hold several discontiguous ranges.
+
+use super::affinity::{AfsState, KParam, RangeQueue};
+use crate::chunking::static_partition;
+use crate::policy::{LoopState, QueueId, QueueTopology, Scheduler, Target};
+use crate::range::IterRange;
+use std::sync::{Arc, Mutex};
+
+/// AFS with last-executed-processor assignment across loop executions.
+pub struct AffinityLastExec {
+    k: KParam,
+    /// Ranges executed by each worker during the previous loop execution.
+    history: Arc<Mutex<Vec<Vec<IterRange>>>>,
+}
+
+impl AffinityLastExec {
+    /// Creates the scheduler with `k = P`.
+    pub fn with_k_equals_p() -> Self {
+        Self {
+            k: KParam::EqualsP,
+            history: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Creates the scheduler with a fixed `k`.
+    pub fn with_k(k: u64) -> Self {
+        assert!(k >= 1);
+        Self {
+            k: KParam::Fixed(k),
+            history: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+struct LastExecState {
+    inner: AfsState,
+    history: Arc<Mutex<Vec<Vec<IterRange>>>>,
+}
+
+impl LoopState for LastExecState {
+    fn target(&self, worker: usize) -> Option<Target> {
+        self.inner.target(worker)
+    }
+
+    fn take(&mut self, worker: usize, queue: QueueId) -> Option<IterRange> {
+        let taken = self.inner.take(worker, queue)?;
+        let mut hist = self.history.lock().unwrap();
+        if worker < hist.len() {
+            hist[worker].push(taken);
+        }
+        Some(taken)
+    }
+}
+
+impl Scheduler for AffinityLastExec {
+    fn name(&self) -> String {
+        match self.k {
+            KParam::EqualsP => "AFS-LE".to_string(),
+            KParam::Fixed(k) => format!("AFS-LE(k={k})"),
+        }
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::PerProcessor
+    }
+
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        assert!(p > 0);
+        let k = self.k.resolve(p);
+        let mut hist = self.history.lock().unwrap();
+        let prev = std::mem::take(&mut *hist);
+        *hist = vec![Vec::new(); p];
+        drop(hist);
+
+        // Reuse the previous execution's assignment if it exactly covers
+        // [0, n) with the same processor count; otherwise fall back to the
+        // deterministic static assignment.
+        let total: u64 = prev.iter().flatten().map(|r| r.len()).sum();
+        let usable = prev.len() == p && total == n && prev.iter().flatten().all(|r| r.end <= n);
+        let queues: Vec<RangeQueue> = if usable {
+            prev.into_iter()
+                .map(|mut ranges| {
+                    ranges.sort_by_key(|r| r.start);
+                    let mut q = RangeQueue::new();
+                    for r in ranges {
+                        q.push_back(r);
+                    }
+                    q
+                })
+                .collect()
+        } else {
+            (0..p)
+                .map(|i| RangeQueue::from_range(static_partition(n, p, i)))
+                .collect()
+        };
+
+        Box::new(LastExecState {
+            inner: AfsState { queues, k, p },
+            history: Arc::clone(&self.history),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AccessKind;
+
+    /// Runs one loop where only `active` workers participate; returns the
+    /// number of remote grabs.
+    fn run_phase(state: &mut dyn LoopState, active: &[usize]) -> u64 {
+        let mut remote = 0;
+        let mut live: Vec<usize> = active.to_vec();
+        while !live.is_empty() {
+            let mut next = Vec::new();
+            for &w in &live {
+                if let Some(g) = state.next(w) {
+                    if g.access == AccessKind::Remote {
+                        remote += 1;
+                    }
+                    next.push(w);
+                }
+            }
+            live = next;
+        }
+        remote
+    }
+
+    #[test]
+    fn first_execution_uses_static_assignment() {
+        let s = AffinityLastExec::with_k_equals_p();
+        let mut st = s.begin_loop(100, 4);
+        let g = st.next(1).unwrap();
+        assert_eq!(g.queue, 1);
+        assert!(g.range.start >= 25 && g.range.end <= 50);
+    }
+
+    #[test]
+    fn persistent_imbalance_stops_causing_steals() {
+        // Worker 3 never participates. In the first execution its whole
+        // queue must be stolen; in the second, those iterations start on the
+        // thieves' queues, so far fewer steals are needed.
+        let s = AffinityLastExec::with_k_equals_p();
+        let mut st1 = s.begin_loop(256, 4);
+        let steals1 = run_phase(&mut *st1, &[0, 1, 2]);
+        drop(st1);
+        let mut st2 = s.begin_loop(256, 4);
+        let steals2 = run_phase(&mut *st2, &[0, 1, 2]);
+        assert!(steals1 > 0);
+        // The second phase may still see a couple of end-of-loop steals
+        // (queue lengths differ by a few iterations), but the bulk migration
+        // of worker 3's chunk must not repeat.
+        assert!(
+            steals2 <= 3 && steals2 < steals1,
+            "phase 1: {steals1} steals, phase 2: {steals2}"
+        );
+    }
+
+    #[test]
+    fn every_iteration_covered_in_second_phase() {
+        let s = AffinityLastExec::with_k_equals_p();
+        let mut st1 = s.begin_loop(64, 4);
+        run_phase(&mut *st1, &[0, 1]);
+        drop(st1);
+        let mut st2 = s.begin_loop(64, 4);
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..4 {
+            while let Some(g) = st2.next(w) {
+                for i in g.range.iter() {
+                    assert!(seen.insert(i));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn size_change_falls_back_to_static() {
+        let s = AffinityLastExec::with_k_equals_p();
+        let mut st1 = s.begin_loop(64, 4);
+        run_phase(&mut *st1, &[0]);
+        drop(st1);
+        // Different N: history is unusable; static assignment applies.
+        let mut st2 = s.begin_loop(128, 4);
+        let g = st2.next(2).unwrap();
+        assert_eq!(g.queue, 2);
+        assert!(g.range.start >= 64 && g.range.end <= 96);
+    }
+}

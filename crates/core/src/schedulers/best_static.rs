@@ -1,0 +1,152 @@
+//! BEST-STATIC — the paper's hand-tuned oracle baseline (§4.1).
+//!
+//! "Our attempt at the best static assignment possible, given complete
+//! knowledge of the application and its input", built by hand to maximize
+//! locality of reference and minimize load imbalance. We mechanize the hand
+//! tuning as the *optimal contiguous partition* of the known per-iteration
+//! costs (see [`crate::partition`]): contiguity preserves affinity, and the
+//! bottleneck-optimal cuts reproduce the balanced distribution a programmer
+//! would construct.
+//!
+//! Not realizable in practice (it requires the input in advance); used as a
+//! baseline only.
+
+use crate::partition::balanced_contiguous;
+use crate::policy::{AccessKind, LoopState, QueueId, QueueTopology, Scheduler, Target};
+use crate::range::IterRange;
+use std::sync::Arc;
+
+/// Oracle static scheduler built from known per-iteration costs.
+#[derive(Clone)]
+pub struct BestStatic {
+    costs: Arc<Vec<f64>>,
+}
+
+impl BestStatic {
+    /// Creates the oracle from the exact cost of every iteration.
+    pub fn from_costs(costs: Vec<f64>) -> Self {
+        Self {
+            costs: Arc::new(costs),
+        }
+    }
+
+    /// Oracle for a uniform loop (equivalent to STATIC).
+    pub fn uniform(n: u64) -> Self {
+        Self::from_costs(vec![1.0; n as usize])
+    }
+}
+
+struct BestStaticState {
+    parts: Vec<IterRange>,
+    taken: Vec<bool>,
+}
+
+impl LoopState for BestStaticState {
+    fn target(&self, worker: usize) -> Option<Target> {
+        if worker >= self.parts.len() || self.taken[worker] || self.parts[worker].is_empty() {
+            return None;
+        }
+        Some(Target {
+            queue: worker,
+            access: AccessKind::Free,
+        })
+    }
+
+    fn take(&mut self, worker: usize, _queue: QueueId) -> Option<IterRange> {
+        if worker >= self.parts.len() || self.taken[worker] {
+            return None;
+        }
+        self.taken[worker] = true;
+        let r = self.parts[worker];
+        (!r.is_empty()).then_some(r)
+    }
+}
+
+impl Scheduler for BestStatic {
+    fn name(&self) -> String {
+        "BEST-STATIC".to_string()
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::PerProcessor
+    }
+
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        assert!(p > 0);
+        // If the provided costs do not match this loop length, degrade to a
+        // uniform partition rather than guessing.
+        let parts = if self.costs.len() as u64 == n {
+            balanced_contiguous(&self.costs, p)
+        } else {
+            let uniform = vec![1.0; n as usize];
+            balanced_contiguous(&uniform, p)
+        };
+        Box::new(BestStaticState {
+            parts,
+            taken: vec![false; p],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_static_partition() {
+        let s = BestStatic::uniform(100);
+        let mut st = s.begin_loop(100, 4);
+        let mut total = 0;
+        for w in 0..4 {
+            let g = st.next(w).unwrap();
+            assert_eq!(g.range.len(), 25);
+            total += g.range.len();
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn skewed_costs_give_balanced_work() {
+        // Triangular workload: segment work should be near-even.
+        let n = 1024u64;
+        let costs: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let total: f64 = costs.iter().sum();
+        let s = BestStatic::from_costs(costs.clone());
+        let mut st = s.begin_loop(n, 8);
+        for w in 0..8 {
+            if let Some(g) = st.next(w) {
+                let work: f64 = costs[g.range.start as usize..g.range.end as usize]
+                    .iter()
+                    .sum();
+                assert!(
+                    work <= total / 8.0 * 1.05,
+                    "worker {w} got {work} of {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_grab_per_worker_no_sync() {
+        let s = BestStatic::uniform(64);
+        let mut st = s.begin_loop(64, 4);
+        for w in 0..4 {
+            let g = st.next(w).unwrap();
+            assert_eq!(g.access, AccessKind::Free);
+            assert!(st.next(w).is_none());
+        }
+    }
+
+    #[test]
+    fn mismatched_costs_fall_back_to_uniform() {
+        let s = BestStatic::from_costs(vec![1.0; 10]);
+        let mut st = s.begin_loop(100, 4); // costs are for n=10, loop is 100
+        let mut total = 0;
+        for w in 0..4 {
+            if let Some(g) = st.next(w) {
+                total += g.range.len();
+            }
+        }
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared machinery for central-work-queue schedulers.
+//!
+//! Self-scheduling, fixed-size chunking, GSS, adaptive GSS, factoring,
+//! tapering, and trapezoid all hand out chunks from the front of a single
+//! shared queue; they differ only in the chunk-size rule. That rule is a
+//! [`ChunkSizer`]; the queue protocol lives here once.
+
+use crate::policy::{AccessKind, LoopState, QueueId, Target};
+use crate::range::IterRange;
+
+/// A chunk-size rule for a central-queue scheduler.
+///
+/// `next_size(remaining)` is called with the queue lock held and must return
+/// a size in `1..=remaining` (callers clamp defensively, but implementations
+/// should already satisfy this). It may keep internal state (e.g. factoring
+/// phases).
+pub trait ChunkSizer: Send {
+    /// Chunk size to hand out when `remaining` iterations are left.
+    fn next_size(&mut self, remaining: u64) -> u64;
+}
+
+impl<F: FnMut(u64) -> u64 + Send> ChunkSizer for F {
+    fn next_size(&mut self, remaining: u64) -> u64 {
+        self(remaining)
+    }
+}
+
+/// Loop state for a central-queue scheduler: iterations `[next, end)` remain.
+pub struct CentralState<S: ChunkSizer> {
+    sizer: S,
+    next: u64,
+    end: u64,
+}
+
+impl<S: ChunkSizer> CentralState<S> {
+    /// Creates state for a loop of `n` iterations.
+    pub fn new(n: u64, sizer: S) -> Self {
+        Self {
+            sizer,
+            next: 0,
+            end: n,
+        }
+    }
+
+    /// Iterations not yet handed out.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+}
+
+impl<S: ChunkSizer> LoopState for CentralState<S> {
+    fn target(&self, _worker: usize) -> Option<Target> {
+        (self.next < self.end).then_some(Target {
+            queue: 0,
+            access: AccessKind::Central,
+        })
+    }
+
+    fn take(&mut self, _worker: usize, _queue: QueueId) -> Option<IterRange> {
+        let remaining = self.remaining();
+        if remaining == 0 {
+            return None;
+        }
+        let size = self.sizer.next_size(remaining).clamp(1, remaining);
+        let start = self.next;
+        self.next += size;
+        Some(IterRange::new(start, start + size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hands_out_front_chunks_in_order() {
+        let mut st = CentralState::new(10, |_r: u64| 3u64);
+        assert_eq!(st.take(0, 0), Some(IterRange::new(0, 3)));
+        assert_eq!(st.take(1, 0), Some(IterRange::new(3, 6)));
+        assert_eq!(st.take(0, 0), Some(IterRange::new(6, 9)));
+        // Clamped to what remains.
+        assert_eq!(st.take(2, 0), Some(IterRange::new(9, 10)));
+        assert_eq!(st.take(2, 0), None);
+        assert!(st.target(0).is_none());
+    }
+
+    #[test]
+    fn sizer_zero_is_clamped_to_one() {
+        let mut st = CentralState::new(5, |_r: u64| 0u64);
+        let mut total = 0;
+        while let Some(r) = st.take(0, 0) {
+            assert_eq!(r.len(), 1);
+            total += r.len();
+        }
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn target_reports_central_access() {
+        let st = CentralState::new(1, |_r: u64| 1u64);
+        let t = st.target(3).unwrap();
+        assert_eq!(t.queue, 0);
+        assert_eq!(t.access, AccessKind::Central);
+    }
+
+    #[test]
+    fn empty_loop_has_no_target() {
+        let st = CentralState::new(0, |_r: u64| 1u64);
+        assert!(st.target(0).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! FACTORING (Hummel, Schonberg & Flynn '92).
+//!
+//! Allocation proceeds in phases: each phase divides *half* of the remaining
+//! iterations into `P` equal chunks. Starting each phase at half the
+//! remainder (rather than GSS's full `R/P` first chunk) protects against
+//! loops whose early iterations are the expensive ones, at the cost of
+//! `O(P·log N)` central-queue operations.
+
+use super::central::{CentralState, ChunkSizer};
+use crate::chunking::factoring_chunk;
+use crate::policy::{LoopState, QueueTopology, Scheduler};
+
+/// The factoring scheduler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Factoring;
+
+impl Factoring {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Phase-tracking chunk sizer: `chunks_left` chunks of `size` remain in the
+/// current phase; a new phase is dealt when they run out.
+pub(crate) struct FactoringSizer {
+    pub(crate) p: usize,
+    pub(crate) chunks_left: usize,
+    pub(crate) size: u64,
+}
+
+impl FactoringSizer {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            p,
+            chunks_left: 0,
+            size: 0,
+        }
+    }
+}
+
+impl ChunkSizer for FactoringSizer {
+    fn next_size(&mut self, remaining: u64) -> u64 {
+        if self.chunks_left == 0 || self.size == 0 {
+            self.size = factoring_chunk(remaining, self.p);
+            self.chunks_left = self.p;
+        }
+        self.chunks_left -= 1;
+        self.size.min(remaining)
+    }
+}
+
+impl Scheduler for Factoring {
+    fn name(&self) -> String {
+        "FACTORING".to_string()
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::Central
+    }
+
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        Box::new(CentralState::new(n, FactoringSizer::new(p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(n: u64, p: usize) -> Vec<u64> {
+        let mut st = Factoring::new().begin_loop(n, p);
+        std::iter::from_fn(|| st.next(0).map(|g| g.range.len())).collect()
+    }
+
+    #[test]
+    fn phases_of_p_equal_chunks() {
+        // N = 100, P = 4: phase sizes 13,13,13,13 then R=48: 6,6,6,6 then
+        // R=24: 3,3,3,3, then R=12: 2,2,2,2, R=4: 1,1,1,1.
+        let seq = sizes(100, 4);
+        assert_eq!(&seq[..4], &[13, 13, 13, 13]);
+        assert_eq!(&seq[4..8], &[6, 6, 6, 6]);
+        assert_eq!(seq.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn first_chunk_half_of_gss() {
+        let f = sizes(512, 8);
+        assert_eq!(f[0], 32); // ceil(ceil(512/2)/8); GSS would take 64
+    }
+
+    #[test]
+    fn covers_awkward_sizes() {
+        for &(n, p) in &[(1u64, 4usize), (7, 4), (101, 3), (1000, 7)] {
+            let seq = sizes(n, p);
+            assert_eq!(seq.iter().sum::<u64>(), n, "n={n} p={p}");
+            assert!(seq.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_nonincreasing_across_phases() {
+        let seq = sizes(10_000, 8);
+        // Within the sequence, sizes never increase (each phase halves).
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]), "{seq:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! GSS — guided self-scheduling (Polychronopoulos & Kuck '87).
+//!
+//! Each grab takes `⌈R/P⌉` of the `R` remaining iterations: large chunks
+//! early (few synchronizations), single iterations late (balance). If all
+//! iterations take the same time, processors finish within one iteration of
+//! each other using `O(P·log(N/P))` central-queue operations.
+//!
+//! The divisor variant GSS(k) takes `⌈R/(k·P)⌉` instead — the "trivial
+//! change" of §4.3 that starts with smaller chunks when early iterations are
+//! disproportionately expensive.
+
+use super::central::CentralState;
+use crate::chunking::gss_chunk;
+use crate::policy::{LoopState, QueueTopology, Scheduler};
+
+/// Guided self-scheduling, with an optional chunk divisor.
+#[derive(Clone, Copy, Debug)]
+pub struct Gss {
+    divisor: u64,
+}
+
+impl Default for Gss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gss {
+    /// Classic GSS: grab `⌈R/P⌉`.
+    pub fn new() -> Self {
+        Self { divisor: 1 }
+    }
+
+    /// GSS(k): grab `⌈R/(k·P)⌉`.
+    pub fn with_divisor(k: u64) -> Self {
+        assert!(k >= 1);
+        Self { divisor: k }
+    }
+}
+
+impl Scheduler for Gss {
+    fn name(&self) -> String {
+        if self.divisor == 1 {
+            "GSS".to_string()
+        } else {
+            format!("GSS/{}", self.divisor)
+        }
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::Central
+    }
+
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        let divisor = self.divisor;
+        Box::new(CentralState::new(n, move |remaining: u64| {
+            gss_chunk(remaining, p, divisor)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(n: u64, p: usize, div: u64) -> Vec<u64> {
+        let s = Gss { divisor: div };
+        let mut st = s.begin_loop(n, p);
+        std::iter::from_fn(|| st.next(0).map(|g| g.range.len())).collect()
+    }
+
+    #[test]
+    fn classic_gss_sequence() {
+        let seq = sizes(100, 4, 1);
+        assert_eq!(seq[0], 25);
+        assert_eq!(seq[1], 19);
+        assert_eq!(seq.iter().sum::<u64>(), 100);
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(*seq.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn divisor_starts_smaller_uses_more_grabs() {
+        let g1 = sizes(1000, 8, 1);
+        let g2 = sizes(1000, 8, 2);
+        assert!(g2[0] < g1[0]);
+        assert!(g2.len() > g1.len());
+        assert_eq!(g2.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn single_processor_takes_everything_at_once() {
+        let seq = sizes(64, 1, 1);
+        assert_eq!(seq, vec![64]);
+    }
+
+    #[test]
+    fn grab_count_matches_drain_count() {
+        use crate::chunking::drain_count;
+        for &(n, p) in &[(512u64, 8usize), (100, 4), (5000, 16)] {
+            let grabs = sizes(n, p, 1).len() as u64;
+            assert_eq!(grabs, drain_count(n, p as u64), "n={n} p={p}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! MOD-FACTORING — affinity-aware factoring (§2.3 of the paper).
+//!
+//! Factoring groups iterations into phases of `P` equal chunks on a central
+//! queue. The modification: during each phase, processor `i` prefers the
+//! `i`-th chunk of that phase rather than whichever chunk is at the front.
+//! Because chunk boundaries are deterministic, a processor tends to execute
+//! the same iterations every time the loop runs, preserving affinity — but
+//! every access still pays the central-queue synchronization cost, and any
+//! transient imbalance sends a processor to someone else's chunk, destroying
+//! affinity (the effect that makes MOD-FACTORING degrade on many processors
+//! in the paper's Figure 15).
+
+use crate::chunking::factoring_chunk;
+use crate::policy::{AccessKind, LoopState, QueueId, QueueTopology, Scheduler, Target};
+use crate::range::IterRange;
+
+/// Modified factoring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModFactoring;
+
+impl ModFactoring {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+struct ModFactoringState {
+    p: usize,
+    /// Next iteration index not yet dealt into a phase.
+    next: u64,
+    /// End of the loop.
+    end: u64,
+    /// Chunks of the current phase, indexed by preferred processor; `None`
+    /// once taken (or never dealt because the loop ran out).
+    phase: Vec<Option<IterRange>>,
+}
+
+impl ModFactoringState {
+    fn new(n: u64, p: usize) -> Self {
+        Self {
+            p,
+            next: 0,
+            end: n,
+            phase: vec![None; p],
+        }
+    }
+
+    fn undealt(&self) -> u64 {
+        self.end - self.next
+    }
+
+    fn phase_has_chunks(&self) -> bool {
+        self.phase.iter().any(|c| c.is_some())
+    }
+
+    /// Deals a new phase of `p` chunks of `factoring_chunk(R, p)` iterations.
+    fn deal_phase(&mut self) {
+        let size = factoring_chunk(self.undealt(), self.p);
+        for slot in self.phase.iter_mut() {
+            let take = size.min(self.end - self.next);
+            *slot = (take > 0).then(|| {
+                let r = IterRange::new(self.next, self.next + take);
+                self.next += take;
+                r
+            });
+        }
+    }
+}
+
+impl LoopState for ModFactoringState {
+    fn target(&self, _worker: usize) -> Option<Target> {
+        (self.phase_has_chunks() || self.undealt() > 0).then_some(Target {
+            queue: 0,
+            access: AccessKind::Central,
+        })
+    }
+
+    fn take(&mut self, worker: usize, _queue: QueueId) -> Option<IterRange> {
+        if !self.phase_has_chunks() {
+            if self.undealt() == 0 {
+                return None;
+            }
+            self.deal_phase();
+        }
+        // Prefer this processor's own chunk of the current phase.
+        let slot = worker % self.p;
+        if let Some(r) = self.phase[slot].take() {
+            return Some(r);
+        }
+        // Otherwise take the first chunk remaining in the phase.
+        self.phase.iter_mut().find_map(|c| c.take())
+    }
+}
+
+impl Scheduler for ModFactoring {
+    fn name(&self) -> String {
+        "MOD-FACTORING".to_string()
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::Central
+    }
+
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        assert!(p > 0);
+        Box::new(ModFactoringState::new(n, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_get_their_preferred_chunks() {
+        let s = ModFactoring::new();
+        let mut st = s.begin_loop(104, 4); // phase chunk = ceil(52/4) = 13
+                                           // Workers arriving in any order get *their* chunk of the phase.
+        let g2 = st.next(2).unwrap();
+        assert_eq!(g2.range, IterRange::new(26, 39));
+        let g0 = st.next(0).unwrap();
+        assert_eq!(g0.range, IterRange::new(0, 13));
+        let g3 = st.next(3).unwrap();
+        assert_eq!(g3.range, IterRange::new(39, 52));
+        let g1 = st.next(1).unwrap();
+        assert_eq!(g1.range, IterRange::new(13, 26));
+    }
+
+    #[test]
+    fn chunk_sizes_match_plain_factoring() {
+        // When workers arrive in round-robin order, the sequence of chunk
+        // sizes equals plain factoring's.
+        let s = ModFactoring::new();
+        let mut st = s.begin_loop(100, 4);
+        let mut mod_sizes = Vec::new();
+        let mut w = 0;
+        while let Some(g) = st.next(w) {
+            mod_sizes.push(g.range.len());
+            w = (w + 1) % 4;
+        }
+        let mut st = super::super::factoring::Factoring::new().begin_loop(100, 4);
+        let fact_sizes: Vec<u64> =
+            std::iter::from_fn(|| st.next(0).map(|g| g.range.len())).collect();
+        assert_eq!(mod_sizes, fact_sizes);
+    }
+
+    #[test]
+    fn idle_worker_falls_back_to_first_available() {
+        let s = ModFactoring::new();
+        let mut st = s.begin_loop(104, 4);
+        // Worker 0 takes its own chunk, then (arriving again before anyone
+        // else) takes the first remaining chunk — worker 1's.
+        let a = st.next(0).unwrap();
+        assert_eq!(a.range, IterRange::new(0, 13));
+        let b = st.next(0).unwrap();
+        assert_eq!(b.range, IterRange::new(13, 26));
+    }
+
+    #[test]
+    fn deterministic_layout_across_executions() {
+        // The phase layout depends only on (n, p): two executions hand the
+        // same chunk to the same worker when arrival order repeats.
+        let s = ModFactoring::new();
+        let mut a = s.begin_loop(512, 8);
+        let mut b = s.begin_loop(512, 8);
+        for w in 0..8 {
+            assert_eq!(a.next(w).map(|g| g.range), b.next(w).map(|g| g.range));
+        }
+    }
+
+    #[test]
+    fn covers_awkward_sizes() {
+        for &(n, p) in &[(1u64, 4usize), (3, 4), (7, 3), (100, 7), (0, 2)] {
+            let s = ModFactoring::new();
+            let mut st = s.begin_loop(n, p);
+            let mut total = 0;
+            let mut w = 0;
+            while let Some(g) = st.next(w) {
+                total += g.range.len();
+                w = (w + 1) % p;
+            }
+            assert_eq!(total, n, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn all_access_is_central() {
+        let s = ModFactoring::new();
+        let mut st = s.begin_loop(50, 4);
+        while let Some(g) = st.next(1) {
+            assert_eq!(g.access, AccessKind::Central);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! SS — self-scheduling: one iteration per grab (Smith '81; Tang & Yew '86).
+//!
+//! Near-perfect load balance (processors finish within one iteration of each
+//! other) at the cost of one central-queue synchronization per iteration —
+//! the paper's Tables 3–5 show exactly `N` operations regardless of `P`.
+
+use super::central::CentralState;
+use crate::policy::{LoopState, QueueTopology, Scheduler};
+
+/// Self-scheduling (chunk size 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelfSched;
+
+impl SelfSched {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for SelfSched {
+    fn name(&self) -> String {
+        "SS".to_string()
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::Central
+    }
+
+    fn begin_loop(&self, n: u64, _p: usize) -> Box<dyn LoopState> {
+        Box::new(CentralState::new(n, |_remaining: u64| 1u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_iteration_per_grab() {
+        let s = SelfSched::new();
+        let mut st = s.begin_loop(5, 3);
+        let mut count = 0;
+        while let Some(g) = st.next(count % 3) {
+            assert_eq!(g.range.len(), 1);
+            count += 1;
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn grab_count_is_n_independent_of_p() {
+        for p in [1usize, 2, 8] {
+            let s = SelfSched::new();
+            let mut st = s.begin_loop(512, p);
+            let mut count = 0;
+            while st.next(count % p).is_some() {
+                count += 1;
+            }
+            assert_eq!(count, 512, "p = {p}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! STATIC scheduling: a fixed, even, contiguous partition.
+//!
+//! Processor `i` executes iterations `⌈i·N/P⌉ .. ⌈(i+1)·N/P⌉` with no
+//! run-time synchronization at all. Because the partition is deterministic,
+//! STATIC inherently preserves affinity across repeated loop executions —
+//! which is why the paper finds it competitive with AFS whenever the load is
+//! balanced (SOR, Gaussian elimination) and terrible when it is not
+//! (skewed transitive closure, adjoint convolution).
+
+use crate::chunking::static_partition;
+use crate::policy::{AccessKind, LoopState, QueueId, QueueTopology, Scheduler, Target};
+use crate::range::IterRange;
+
+/// Static even partitioning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticSched;
+
+impl StaticSched {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+struct StaticState {
+    n: u64,
+    p: usize,
+    taken: Vec<bool>,
+}
+
+impl LoopState for StaticState {
+    fn target(&self, worker: usize) -> Option<Target> {
+        if worker >= self.p || self.taken[worker] {
+            return None;
+        }
+        if static_partition(self.n, self.p, worker).is_empty() {
+            return None;
+        }
+        Some(Target {
+            queue: worker,
+            access: AccessKind::Free,
+        })
+    }
+
+    fn take(&mut self, worker: usize, _queue: QueueId) -> Option<IterRange> {
+        if worker >= self.p || self.taken[worker] {
+            return None;
+        }
+        self.taken[worker] = true;
+        let r = static_partition(self.n, self.p, worker);
+        (!r.is_empty()).then_some(r)
+    }
+}
+
+impl Scheduler for StaticSched {
+    fn name(&self) -> String {
+        "STATIC".to_string()
+    }
+
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::PerProcessor
+    }
+
+    fn begin_loop(&self, n: u64, p: usize) -> Box<dyn LoopState> {
+        assert!(p > 0);
+        Box::new(StaticState {
+            n,
+            p,
+            taken: vec![false; p],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_worker_gets_its_partition_once() {
+        let s = StaticSched::new();
+        let mut st = s.begin_loop(100, 4);
+        for w in 0..4 {
+            let g = st.next(w).unwrap();
+            assert_eq!(g.range, static_partition(100, 4, w));
+            assert_eq!(g.access, AccessKind::Free);
+            assert!(st.next(w).is_none(), "worker {w} got work twice");
+        }
+    }
+
+    #[test]
+    fn assignment_is_identical_across_loop_executions() {
+        let s = StaticSched::new();
+        let mut a = s.begin_loop(512, 8);
+        let mut b = s.begin_loop(512, 8);
+        for w in (0..8).rev() {
+            assert_eq!(a.next(w).map(|g| g.range), b.next(w).map(|g| g.range));
+        }
+    }
+
+    #[test]
+    fn workers_beyond_work_get_nothing() {
+        let s = StaticSched::new();
+        let mut st = s.begin_loop(2, 8);
+        let served: Vec<bool> = (0..8).map(|w| st.next(w).is_some()).collect();
+        assert_eq!(served.iter().filter(|&&x| x).count(), 2);
+    }
+
+    #[test]
+    fn no_synchronization_operations() {
+        let s = StaticSched::new();
+        let mut st = s.begin_loop(100, 4);
+        let mut m = crate::metrics::LoopMetrics::new(4, 4);
+        for w in 0..4 {
+            if let Some(g) = st.next(w) {
+                m.record(w, &g);
+            }
+        }
+        assert_eq!(m.sync.synchronized(), 0);
+        assert_eq!(m.sync.free, 4);
+    }
+}

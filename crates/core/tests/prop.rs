@@ -1,0 +1,253 @@
+//! Property-based tests for the scheduler state machines.
+//!
+//! The central invariant for every scheduler: driven by *any* interleaving of
+//! worker requests, it hands out every iteration of `[0, n)` exactly once and
+//! then reports exhaustion to every worker.
+
+use afs_core::chunking::{self, TrapezoidParams};
+use afs_core::policy::{AccessKind, LoopState, Scheduler};
+use afs_core::prelude::*;
+use afs_core::theory;
+use proptest::prelude::*;
+
+/// All schedulers that need no per-input configuration.
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(StaticSched::new()),
+        Box::new(SelfSched::new()),
+        Box::new(ChunkSelf::new(4)),
+        Box::new(Gss::new()),
+        Box::new(Gss::with_divisor(2)),
+        Box::new(AdaptiveGss::new()),
+        Box::new(Factoring::new()),
+        Box::new(Tapering::new(10.0, 5.0)),
+        Box::new(Trapezoid::new()),
+        Box::new(ModFactoring::new()),
+        Box::new(Affinity::with_k_equals_p()),
+        Box::new(Affinity::with_k(2)),
+        Box::new(AffinityLastExec::with_k_equals_p()),
+        Box::new(afs_core::schedulers::StaticChunked::new(3)),
+        afs_core::omp::OmpSchedule::Guided { min_chunk: 4 }.scheduler(),
+    ]
+}
+
+/// Drives `state` with a pseudo-random interleaving derived from `order_seed`
+/// and returns per-iteration execution counts.
+fn drive(state: &mut dyn LoopState, n: u64, p: usize, order_seed: u64) -> Vec<u32> {
+    let mut counts = vec![0u32; n as usize];
+    let mut rng = afs_core::rng::Xoshiro256::seed_from_u64(order_seed);
+    let mut live: Vec<usize> = (0..p).collect();
+    let mut fuel = 20 * n + 1000;
+    while !live.is_empty() {
+        assert!(fuel > 0, "scheduler did not terminate");
+        fuel -= 1;
+        let pick = rng.next_below(live.len() as u64) as usize;
+        let w = live[pick];
+        match state.next(w) {
+            Some(grab) => {
+                for i in grab.range.iter() {
+                    counts[i as usize] += 1;
+                }
+            }
+            None => {
+                live.swap_remove(pick);
+            }
+        }
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_scheduler_covers_exactly_once(
+        n in 0u64..2000,
+        p in 1usize..17,
+        seed in any::<u64>(),
+    ) {
+        for sched in all_schedulers() {
+            let mut state = sched.begin_loop(n, p);
+            let counts = drive(&mut *state, n, p, seed);
+            prop_assert!(
+                counts.iter().all(|&c| c == 1),
+                "{}: n={n} p={p}: some iteration not executed exactly once",
+                sched.name()
+            );
+        }
+    }
+
+    #[test]
+    fn static_partition_tiles_any_n_p(n in 0u64..100_000, p in 1usize..64) {
+        let mut covered = 0u64;
+        for i in 0..p {
+            let r = chunking::static_partition(n, p, i);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+            // Balanced to within one iteration.
+            prop_assert!(r.len() <= n / p as u64 + 1);
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn gss_chunks_never_increase(n in 1u64..100_000, p in 1usize..64) {
+        let mut remaining = n;
+        let mut prev = u64::MAX;
+        while remaining > 0 {
+            let c = chunking::gss_chunk(remaining, p, 1);
+            prop_assert!(c >= 1 && c <= remaining);
+            prop_assert!(c <= prev);
+            prev = c;
+            remaining -= c;
+        }
+    }
+
+    #[test]
+    fn trapezoid_always_covers(n in 1u64..100_000, p in 1usize..64) {
+        let t = TrapezoidParams::conservative(n, p);
+        let mut total = 0u64;
+        let mut i = 0u64;
+        while total < n {
+            let c = t.chunk(i).min(n - total);
+            prop_assert!(c >= 1, "stalled at chunk {} (n={}, p={})", i, n, p);
+            total += c;
+            i += 1;
+        }
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn afs_steals_only_under_imbalance(
+        n in 1u64..2000,
+        p in 2usize..12,
+    ) {
+        // Lock-step round-robin draining is perfectly balanced (up to queue
+        // size differences of 1): the number of remote grabs must be tiny
+        // compared to the number of local grabs.
+        let sched = Affinity::with_k_equals_p();
+        let mut state = sched.begin_loop(n, p);
+        let mut local = 0u64;
+        let mut remote = 0u64;
+        let mut live: Vec<usize> = (0..p).collect();
+        while !live.is_empty() {
+            let mut next = Vec::new();
+            for &w in &live {
+                if let Some(g) = state.next(w) {
+                    match g.access {
+                        AccessKind::Local => local += 1,
+                        AccessKind::Remote => remote += 1,
+                        _ => {}
+                    }
+                    next.push(w);
+                }
+            }
+            live = next;
+        }
+        // Remote grabs only mop up the ±1 queue-length differences.
+        prop_assert!(
+            remote <= p as u64,
+            "n={} p={}: {} remote vs {} local grabs",
+            n, p, remote, local
+        );
+    }
+
+    #[test]
+    fn afs_local_access_count_within_lemma_bound(
+        n in 100u64..1_000_000,
+        p in 1usize..64,
+    ) {
+        let k = p as u64;
+        let exact = theory::afs_local_accesses_exact(n, p, k) as f64;
+        let bound = theory::lemma31_bound(n / p as u64, k);
+        // Exact count is O(k log(N/(Pk))): allow constant factor 3 plus an
+        // additive k (the bound's hidden constants).
+        prop_assert!(
+            exact <= 3.0 * bound + 3.0 * k as f64 + 3.0,
+            "n={} p={}: exact {} vs bound {}", n, p, exact, bound
+        );
+    }
+
+    #[test]
+    fn balanced_partition_never_worse_than_static(
+        costs in prop::collection::vec(0.0f64..100.0, 1..200),
+        p in 1usize..9,
+    ) {
+        let parts = afs_core::partition::balanced_contiguous(&costs, p);
+        let opt = afs_core::partition::bottleneck(&costs, &parts);
+        // Compare against the naive even split.
+        let naive: Vec<IterRange> = (0..p)
+            .map(|i| chunking::static_partition(costs.len() as u64, p, i))
+            .collect();
+        let naive_b = afs_core::partition::bottleneck(&costs, &naive);
+        prop_assert!(opt <= naive_b * (1.0 + 1e-9) + 1e-9,
+            "optimal {} worse than naive {}", opt, naive_b);
+    }
+
+    #[test]
+    fn tapering_chunk_bounds(
+        remaining in 1u64..100_000,
+        p in 1usize..64,
+        mu in 0.1f64..100.0,
+        sigma in 0.0f64..100.0,
+    ) {
+        let c = chunking::tapering_chunk(remaining, p, mu, sigma, 1.3);
+        prop_assert!(c >= 1 && c <= remaining);
+        // Never larger than the GSS chunk.
+        prop_assert!(c <= chunking::gss_chunk(remaining, p, 1).max(1));
+    }
+
+    #[test]
+    fn thm33_chunk_holds_at_most_fair_work(
+        remaining in 10u64..5000,
+        p in 1usize..32,
+        k in 0u32..4,
+    ) {
+        let chunk = theory::thm33_balanced_chunk(remaining, p, k);
+        let work = theory::poly_prefix_work(remaining, chunk, k);
+        let total = theory::poly_total_work(remaining, k);
+        // The theorem guarantees ≤ 1/P of the remaining work, up to the ±1
+        // iteration granularity of integer chunks.
+        let slack = theory::decreasing_poly_cost(remaining, 0, k);
+        prop_assert!(
+            work <= total / p as f64 + slack,
+            "remaining={} p={} k={}: work {} vs fair {}",
+            remaining, p, k, work, total / p as f64
+        );
+    }
+}
+
+#[test]
+fn afs_iteration_never_reassigned_twice() {
+    // Adversarial interleavings: one worker races ahead, stealing constantly.
+    for seed in 0..20u64 {
+        let sched = Affinity::with_k_equals_p();
+        let n = 512;
+        let p = 8;
+        let mut state = sched.begin_loop(n, p);
+        let mut rng = afs_core::rng::Xoshiro256::seed_from_u64(seed);
+        let mut counts = vec![0u32; n as usize];
+        // Worker 0 issues requests 4x as often as the rest.
+        let mut live: Vec<usize> = (0..p).collect();
+        while !live.is_empty() {
+            let biased = if rng.chance(0.5) {
+                0
+            } else {
+                rng.next_below(p as u64) as usize
+            };
+            if !live.contains(&biased) {
+                continue;
+            }
+            match state.next(biased) {
+                Some(g) => {
+                    for i in g.range.iter() {
+                        counts[i as usize] += 1;
+                        assert_eq!(counts[i as usize], 1, "iteration {i} reassigned");
+                    }
+                }
+                None => live.retain(|&w| w != biased),
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,172 @@
+//! Adjoint convolution: a single parallel loop with linearly decreasing
+//! iteration cost.
+//!
+//! The paper's structure (§4.2): iteration `i` of `n²` runs an inner loop of
+//! `n² − i` steps — large load imbalance, and *no* affinity to exploit (the
+//! parallel loop is not nested inside a sequential loop). It isolates each
+//! scheduler's load-balancing behaviour (Fig. 7), and its reverse-index
+//! variant (Fig. 8) demonstrates the paper's observation that scheduling the
+//! cheap iterations first makes almost any dynamic algorithm balance well.
+
+use afs_sim::{Work, Workload};
+
+/// The adjoint convolution computation.
+#[derive(Clone, Debug)]
+pub struct AdjointConvolution {
+    n: usize,
+    /// Input vector `b` of length `n²`.
+    pub b: Vec<f64>,
+    /// Input vector `c` of length `n²`.
+    pub c: Vec<f64>,
+    /// Output vector `a` of length `n²`.
+    pub a: Vec<f64>,
+    /// Scalar multiplier.
+    pub x: f64,
+}
+
+impl AdjointConvolution {
+    /// Builds deterministic inputs for parameter `n` (loop length `n²`).
+    pub fn new(n: usize, seed: u64) -> Self {
+        let len = n * n;
+        let mut rng = afs_core::rng::Xoshiro256::seed_from_u64(seed);
+        let b: Vec<f64> = (0..len).map(|_| rng.next_f64()).collect();
+        let c: Vec<f64> = (0..len).map(|_| rng.next_f64()).collect();
+        Self {
+            n,
+            b,
+            c,
+            a: vec![0.0; len],
+            x: 0.5,
+        }
+    }
+
+    /// Loop length (`n²`).
+    pub fn len(&self) -> u64 {
+        (self.n * self.n) as u64
+    }
+
+    /// Whether the loop is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Computes element `i` — the parallel-loop body. Pure function of the
+    /// inputs, so iterations are trivially independent.
+    pub fn element(&self, i: u64) -> f64 {
+        let len = self.len() as usize;
+        let i = i as usize;
+        let mut acc = 0.0;
+        for k in i..len {
+            // The paper's `C(I-K)` index is negative for k > i; real codes
+            // wrap or mirror. We mirror: |i − k| stays in bounds.
+            acc += self.x * self.b[k] * self.c[k - i];
+        }
+        acc
+    }
+
+    /// Runs the whole loop sequentially.
+    pub fn run_sequential(&mut self) {
+        for i in 0..self.len() {
+            self.a[i as usize] = self.element(i);
+        }
+    }
+
+    /// Checksum of the output.
+    pub fn checksum(&self) -> f64 {
+        self.a.iter().sum()
+    }
+}
+
+/// Simulator workload model: cost `∝ (n² − i)`, or `∝ (i + 1)` when
+/// scheduled in reverse index order.
+#[derive(Clone, Debug)]
+pub struct AdjointModel {
+    n: u64,
+    reversed: bool,
+}
+
+impl AdjointModel {
+    /// Forward index order (Fig. 7).
+    pub fn new(n: u64) -> Self {
+        Self { n, reversed: false }
+    }
+
+    /// Reverse index order (Fig. 8): the cheap iterations come first.
+    pub fn reversed(n: u64) -> Self {
+        Self { n, reversed: true }
+    }
+}
+
+impl Workload for AdjointModel {
+    fn name(&self) -> String {
+        format!(
+            "ADJOINT(n={}{})",
+            self.n,
+            if self.reversed { ", reversed" } else { "" }
+        )
+    }
+
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn phase_len(&self, _phase: usize) -> u64 {
+        self.n * self.n
+    }
+
+    fn cost(&self, _phase: usize, i: u64) -> Work {
+        let len = self.n * self.n;
+        let work = if self.reversed { i + 1 } else { len - i };
+        // 3 flops per inner step (multiply, multiply, add).
+        Work::flops(3.0 * work as f64)
+    }
+
+    fn has_memory(&self, _phase: usize) -> bool {
+        // Single execution of the loop: no reuse, hence no affinity — the
+        // paper uses this kernel to isolate load balancing.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_cost_decreases_with_index() {
+        let adj = AdjointConvolution::new(8, 1);
+        // First element sums 64 terms, last sums 1.
+        let first: f64 = adj.element(0);
+        let last: f64 = adj.element(63);
+        assert!(first.abs() > 0.0);
+        assert!(last.abs() > 0.0);
+        // Verify the last element is a single term.
+        assert!((last - adj.x * adj.b[63] * adj.c[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_matches_elementwise() {
+        let mut adj = AdjointConvolution::new(6, 9);
+        let expect: Vec<f64> = (0..adj.len()).map(|i| adj.element(i)).collect();
+        adj.run_sequential();
+        assert_eq!(adj.a, expect);
+    }
+
+    #[test]
+    fn model_cost_shapes() {
+        let fwd = AdjointModel::new(10);
+        assert_eq!(fwd.phase_len(0), 100);
+        assert_eq!(fwd.cost(0, 0).flops, 300.0);
+        assert_eq!(fwd.cost(0, 99).flops, 3.0);
+        let rev = AdjointModel::reversed(10);
+        assert_eq!(rev.cost(0, 0).flops, 3.0);
+        assert_eq!(rev.cost(0, 99).flops, 300.0);
+    }
+
+    #[test]
+    fn total_work_is_order_independent() {
+        let fwd = AdjointModel::new(12);
+        let rev = AdjointModel::reversed(12);
+        assert_eq!(fwd.total_work().flops, rev.total_work().flops);
+    }
+}

@@ -1,0 +1,279 @@
+//! Gaussian elimination (no pivoting) on an `n × n` system.
+//!
+//! The paper's structure (§4.2): the sequential loop runs over elimination
+//! steps `k`; the parallel loop updates rows `k..n` against pivot row `k−1`.
+//! The parallel loop *shrinks* with `k` (slight imbalance); iteration `j`
+//! mostly touches the same row it touched in earlier phases (strong but
+//! imperfect affinity) plus the shared pivot row (true sharing).
+//!
+//! The `A[i][k−1] / A[k−1][k−1]` multiplier is row-invariant and hoisted out
+//! of the inner loop — one divide per row update (this is why Gaussian
+//! elimination does *not* hit the KSR-1 software-divide anomaly that SOR
+//! does; see DESIGN.md).
+
+use afs_sim::{BlockAccess, Work, Workload};
+
+/// A dense linear system being eliminated in place.
+#[derive(Clone, Debug)]
+pub struct GaussSystem {
+    n: usize,
+    /// Row-major `n × (n+1)` augmented matrix.
+    pub a: Vec<f64>,
+}
+
+impl GaussSystem {
+    /// Creates a diagonally dominant system (elimination never divides by
+    /// ~zero) with deterministic pseudo-random entries.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let cols = n + 1;
+        let mut rng = afs_core::rng::Xoshiro256::seed_from_u64(seed);
+        let mut a = vec![0.0; n * cols];
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..cols {
+                let v = rng.next_f64() * 2.0 - 1.0;
+                a[r * cols + c] = v;
+                if c < n && c != r {
+                    row_sum += v.abs();
+                }
+            }
+            // Dominant diagonal.
+            a[r * cols + r] = row_sum + 1.0;
+        }
+        Self { n, a }
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (n + 1, augmented).
+    pub fn cols(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Number of elimination phases (`n − 1`).
+    pub fn phases(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Rows updated in `phase` (0-based): rows `phase+1 .. n`.
+    pub fn phase_len(&self, phase: usize) -> u64 {
+        (self.n - 1 - phase) as u64
+    }
+
+    /// Runs the full elimination sequentially.
+    pub fn run_sequential(&mut self) {
+        for phase in 0..self.phases() {
+            let pivot = self.pivot_row(phase).to_vec();
+            for j in 0..self.phase_len(phase) {
+                let row = self.iter_row(phase, j);
+                let cols = self.cols();
+                eliminate_row(&pivot, &mut self.a[row * cols..(row + 1) * cols], phase);
+            }
+        }
+    }
+
+    /// The pivot row of `phase` (row index `phase`).
+    pub fn pivot_row(&self, phase: usize) -> &[f64] {
+        let cols = self.cols();
+        &self.a[phase * cols..(phase + 1) * cols]
+    }
+
+    /// Maps parallel-iteration `j` of `phase` to its matrix row.
+    pub fn iter_row(&self, phase: usize, j: u64) -> usize {
+        phase + 1 + j as usize
+    }
+
+    /// Back-substitutes and returns the solution vector (after elimination).
+    pub fn solve_back(&self) -> Vec<f64> {
+        let (n, cols) = (self.n, self.cols());
+        let mut x = vec![0.0; n];
+        for r in (0..n).rev() {
+            let mut s = self.a[r * cols + n];
+            for (c, &xc) in x.iter().enumerate().take(n).skip(r + 1) {
+                s -= self.a[r * cols + c] * xc;
+            }
+            x[r] = s / self.a[r * cols + r];
+        }
+        x
+    }
+
+    /// Checksum over the eliminated matrix.
+    pub fn checksum(&self) -> f64 {
+        self.a.iter().map(|v| v.abs().min(1e6)).sum()
+    }
+}
+
+/// Eliminates one row against the pivot row: the parallel-loop body.
+///
+/// `phase` is the 0-based elimination step; columns `< phase` are already
+/// zero and skipped.
+pub fn eliminate_row(pivot: &[f64], row: &mut [f64], phase: usize) {
+    let mult = row[phase] / pivot[phase]; // hoisted divide
+    for c in phase..row.len() {
+        row[c] -= pivot[c] * mult;
+    }
+}
+
+/// Simulator workload model of Gaussian elimination.
+#[derive(Clone, Debug)]
+pub struct GaussModel {
+    n: u64,
+}
+
+impl GaussModel {
+    /// Elimination of an `n × n` system.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2);
+        Self { n }
+    }
+
+    fn active_bytes(&self, phase: usize) -> u32 {
+        // Columns phase..n+1 are touched.
+        ((self.n as usize + 1 - phase) * 8) as u32
+    }
+}
+
+impl Workload for GaussModel {
+    fn name(&self) -> String {
+        format!("GAUSS(n={})", self.n)
+    }
+
+    fn phases(&self) -> usize {
+        (self.n - 1) as usize
+    }
+
+    fn phase_len(&self, phase: usize) -> u64 {
+        self.n - 1 - phase as u64
+    }
+
+    fn cost(&self, phase: usize, _i: u64) -> Work {
+        // 2 flops per touched element (multiply + subtract), 1 hoisted div.
+        let elems = (self.n as usize + 1 - phase) as f64;
+        Work::new(2.0 * elems, 1.0)
+    }
+
+    fn reads(&self, phase: usize, i: u64, out: &mut Vec<BlockAccess>) {
+        let bytes = self.active_bytes(phase);
+        // Pivot row (true sharing) and the row being updated.
+        out.push(BlockAccess {
+            block: phase as u64,
+            bytes,
+        });
+        out.push(BlockAccess {
+            block: phase as u64 + 1 + i,
+            bytes,
+        });
+    }
+
+    fn writes(&self, phase: usize, i: u64, out: &mut Vec<BlockAccess>) {
+        out.push(BlockAccess {
+            block: phase as u64 + 1 + i,
+            bytes: self.active_bytes(phase),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elimination_solves_the_system() {
+        let n = 24;
+        let sys0 = GaussSystem::new(n, 7);
+        // Record A and b to verify the solution.
+        let a0 = sys0.a.clone();
+        let mut sys = sys0;
+        sys.run_sequential();
+        let x = sys.solve_back();
+        let cols = n + 1;
+        for r in 0..n {
+            let mut s = 0.0;
+            for c in 0..n {
+                s += a0[r * cols + c] * x[c];
+            }
+            let b = a0[r * cols + n];
+            assert!((s - b).abs() < 1e-8, "row {r}: Ax = {s}, b = {b}");
+        }
+    }
+
+    #[test]
+    fn elimination_zeroes_subdiagonal() {
+        let mut sys = GaussSystem::new(16, 3);
+        sys.run_sequential();
+        let cols = sys.cols();
+        for r in 1..16 {
+            for c in 0..r {
+                assert!(
+                    sys.a[r * cols + c].abs() < 1e-9,
+                    "a[{r}][{c}] = {}",
+                    sys.a[r * cols + c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_rows_are_disjoint() {
+        let sys = GaussSystem::new(10, 1);
+        for phase in 0..sys.phases() {
+            let rows: Vec<usize> = (0..sys.phase_len(phase))
+                .map(|j| sys.iter_row(phase, j))
+                .collect();
+            let set: std::collections::HashSet<_> = rows.iter().collect();
+            assert_eq!(set.len(), rows.len());
+            assert!(
+                rows.iter().all(|&r| r > phase),
+                "no row may alias the pivot"
+            );
+        }
+    }
+
+    #[test]
+    fn row_elimination_is_order_independent_within_phase() {
+        let mut a = GaussSystem::new(12, 5);
+        let mut b = a.clone();
+        // Phase 0, rows updated in opposite orders.
+        let pa = a.pivot_row(0).to_vec();
+        let cols = a.cols();
+        for j in 0..a.phase_len(0) {
+            let r = a.iter_row(0, j);
+            eliminate_row(&pa, &mut a.a[r * cols..(r + 1) * cols], 0);
+        }
+        let pb = b.pivot_row(0).to_vec();
+        for j in (0..b.phase_len(0)).rev() {
+            let r = b.iter_row(0, j);
+            eliminate_row(&pb, &mut b.a[r * cols..(r + 1) * cols], 0);
+        }
+        assert_eq!(a.a, b.a);
+    }
+
+    #[test]
+    fn model_shapes_match_system() {
+        let sys = GaussSystem::new(64, 2);
+        let model = GaussModel::new(64);
+        assert_eq!(model.phases(), sys.phases());
+        for ph in 0..model.phases() {
+            assert_eq!(model.phase_len(ph), sys.phase_len(ph));
+        }
+        // Shrinking cost.
+        assert!(model.cost(0, 0).flops > model.cost(30, 0).flops);
+        assert_eq!(model.cost(0, 0).divs, 1.0);
+    }
+
+    #[test]
+    fn model_footprint_reads_pivot_and_own_row() {
+        let m = GaussModel::new(16);
+        let mut reads = Vec::new();
+        m.reads(3, 5, &mut reads);
+        assert_eq!(reads[0].block, 3); // pivot row
+        assert_eq!(reads[1].block, 9); // row 3+1+5
+        let mut writes = Vec::new();
+        m.writes(3, 5, &mut writes);
+        assert_eq!(writes[0].block, 9);
+    }
+}

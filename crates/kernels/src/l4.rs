@@ -1,0 +1,165 @@
+//! L4 — the hybrid nested-loop benchmark of Polychronopoulos & Kuck,
+//! reproduced by the paper (Figure 2) for comparison with published GSS
+//! results.
+//!
+//! The original structure is a 50-iteration sequential loop containing
+//! non-perfectly-nested and multi-way nested parallel loops with
+//! probabilistic conditional work (`{w}` denotes `w` units; `[if C then
+//! {w}]` adds `w` with probability 0.5). Nested parallel loops are
+//! *coalesced* into single loops (the transformation the paper cites
+//! Polychronopoulos); each outer iteration becomes four parallel phases:
+//!
+//! | phase | source loops | iterations | cost (units) |
+//! |---|---|---|---|
+//! | a | loops 2×3×4 coalesced | 1000 | 10 (+50 w.p. ½) |
+//! | b | loop 5 body | 100 | 50 |
+//! | c | loops 5×6 coalesced | 500 | 100 (+30 w.p. ½) |
+//! | d | loops 7×8 coalesced | 80 | 30 |
+//!
+//! L4 performs no memory accesses, so there is no affinity to exploit —
+//! the paper uses it to confirm that AFS matches the other dynamic
+//! schedulers when only synchronization and balance matter (Fig. 9).
+
+use afs_core::rng::SplitMix64;
+use afs_sim::{Work, Workload};
+
+/// Phase shapes per outer iteration: (iterations, base cost, conditional
+/// extra cost applied with probability ½).
+const SUBLOOPS: [(u64, f64, f64); 4] = [
+    (1000, 10.0, 50.0),
+    (100, 50.0, 0.0),
+    (500, 100.0, 30.0),
+    (80, 30.0, 0.0),
+];
+
+/// Number of outer sequential iterations in L4.
+pub const OUTER: usize = 50;
+
+/// The L4 workload model.
+#[derive(Clone, Debug)]
+pub struct L4Model {
+    seed: u64,
+    outer: usize,
+}
+
+impl L4Model {
+    /// Standard L4 (50 outer iterations).
+    pub fn new(seed: u64) -> Self {
+        Self { seed, outer: OUTER }
+    }
+
+    /// L4 with a custom outer-loop count (for cheap tests).
+    pub fn with_outer(seed: u64, outer: usize) -> Self {
+        assert!(outer >= 1);
+        Self { seed, outer }
+    }
+
+    /// Deterministic Bernoulli(½) draw for `(phase, i)`.
+    fn coin(&self, phase: usize, i: u64) -> bool {
+        let mut h = SplitMix64::new(
+            self.seed
+                .wrapping_add((phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(i.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        );
+        h.next_u64() & 1 == 1
+    }
+
+    /// The exact time-unit cost of iteration `i` of `phase` (used by the
+    /// runtime integration to burn equivalent work).
+    pub fn units(&self, phase: usize, i: u64) -> f64 {
+        let (_, base, extra) = SUBLOOPS[phase % 4];
+        if extra > 0.0 && self.coin(phase, i) {
+            base + extra
+        } else {
+            base
+        }
+    }
+}
+
+impl Workload for L4Model {
+    fn name(&self) -> String {
+        format!("L4(outer={})", self.outer)
+    }
+
+    fn phases(&self) -> usize {
+        self.outer * SUBLOOPS.len()
+    }
+
+    fn phase_len(&self, phase: usize) -> u64 {
+        SUBLOOPS[phase % 4].0
+    }
+
+    fn cost(&self, phase: usize, i: u64) -> Work {
+        Work::flops(self.units(phase, i))
+    }
+
+    fn has_memory(&self, _phase: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_structure_matches_figure_2() {
+        let l4 = L4Model::new(0);
+        assert_eq!(l4.phases(), 200);
+        assert_eq!(l4.phase_len(0), 1000);
+        assert_eq!(l4.phase_len(1), 100);
+        assert_eq!(l4.phase_len(2), 500);
+        assert_eq!(l4.phase_len(3), 80);
+        assert_eq!(l4.phase_len(4), 1000); // next outer iteration
+    }
+
+    #[test]
+    fn conditional_costs_are_bimodal() {
+        let l4 = L4Model::new(42);
+        let mut low = 0;
+        let mut high = 0;
+        for i in 0..1000 {
+            let flops = l4.cost(0, i).flops;
+            if flops == 10.0 {
+                low += 1;
+            } else if flops == 60.0 {
+                high += 1;
+            } else {
+                panic!("unexpected cost {flops}");
+            }
+        }
+        // Roughly half and half.
+        assert!((400..=600).contains(&low), "low = {low}");
+        assert_eq!(low + high, 1000);
+    }
+
+    #[test]
+    fn unconditional_phases_are_uniform() {
+        let l4 = L4Model::new(7);
+        for i in 0..100 {
+            assert_eq!(l4.cost(1, i).flops, 50.0);
+        }
+        for i in 0..80 {
+            assert_eq!(l4.cost(3, i).flops, 30.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = L4Model::new(5);
+        let b = L4Model::new(5);
+        for ph in 0..8 {
+            for i in 0..a.phase_len(ph) {
+                assert_eq!(a.cost(ph, i), b.cost(ph, i));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = L4Model::new(1);
+        let b = L4Model::new(2);
+        let diff = (0..1000).filter(|&i| a.cost(0, i) != b.cost(0, i)).count();
+        assert!(diff > 100);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # afs-kernels — the paper's application suite
+//!
+//! Five kernels chosen by the paper (§4.2, Table 1) to span the space of
+//! load imbalance × affinity:
+//!
+//! | Kernel | Load imbalance | Affinity | Module |
+//! |---|---|---|---|
+//! | Successive over-relaxation | none | yes | [`sor`] |
+//! | Gaussian elimination | little | yes | [`gauss`] |
+//! | Transitive closure | input dependent | yes | [`transitive`] |
+//! | Adjoint convolution | large | no | [`adjoint`] |
+//! | L4 (hybrid nested loops) | little | no | [`l4`] |
+//!
+//! Each kernel ships in two forms:
+//!
+//! 1. a **real computation** — plain-Rust data structures, a sequential
+//!    reference implementation, and per-iteration body functions that any
+//!    executor (notably `afs-runtime::parallel_for`) can drive; and
+//! 2. a **workload model** implementing [`afs_sim::Workload`] — the exact
+//!    per-iteration compute cost and block footprint, used by the simulator
+//!    to reproduce the paper's figures.
+//!
+//! The models are derived from the kernels' actual structure (for
+//! transitive closure, by running the real algorithm once and recording the
+//! per-phase activity), so the two forms stay in lock-step.
+
+pub mod adjoint;
+pub mod bitmat;
+pub mod gauss;
+pub mod l4;
+pub mod sor;
+pub mod transitive;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::adjoint::{AdjointConvolution, AdjointModel};
+    pub use crate::bitmat::BitMatrix;
+    pub use crate::gauss::{GaussModel, GaussSystem};
+    pub use crate::l4::L4Model;
+    pub use crate::sor::{SorGrid, SorModel};
+    pub use crate::transitive::{clique_graph, random_graph, TcModel, TransitiveClosure};
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # afs-runtime — real-thread parallel loop execution
+//!
+//! A worker-pool executor that runs parallel loops under any of the paper's
+//! scheduling policies with real threads, real locks, and real atomics:
+//!
+//! * [`pool::Pool`] — `P` persistent worker threads with a broadcast/barrier
+//!   protocol (one pool per "application", reused across loops and phases);
+//! * [`source::WorkSource`] — the concurrent counterpart of
+//!   `afs_core::LoopState`: central-queue policies run the exact core state
+//!   machine under its queue lock, AFS runs a true distributed
+//!   implementation with per-worker queues and lock-free load checks;
+//! * [`parallel::parallel_for`] / [`parallel::parallel_phases`] — the
+//!   execution entry points, returning the same [`afs_core::LoopMetrics`]
+//!   the simulator produces;
+//! * [`shared::RowMatrix`] — a row-sharded shared array giving kernels
+//!   race-free mutable access to disjoint rows from multiple workers.
+//!
+//! ```
+//! use afs_runtime::prelude::*;
+//! use afs_core::prelude::*;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = Pool::new(4);
+//! let sum = AtomicU64::new(0);
+//! let metrics = parallel_for(&pool, 1000, &RuntimeScheduler::afs_k_equals_p(), |i| {
+//!     sum.fetch_add(i, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+//! assert_eq!(metrics.total_iters(), 1000);
+//! ```
+
+pub mod parallel;
+pub mod pool;
+pub mod shared;
+pub mod source;
+pub mod source_le;
+
+pub use parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
+pub use pool::Pool;
+pub use shared::RowMatrix;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
+    pub use crate::pool::Pool;
+    pub use crate::shared::RowMatrix;
+}

@@ -1,0 +1,391 @@
+//! Parallel loop execution: `parallel_for` and multi-phase regions.
+
+use crate::pool::Pool;
+use crate::source::{AfsSource, LockedSource, StaticSource, WorkSource};
+use crate::source_le::{AfsLeSource, LeHistory};
+use afs_core::metrics::LoopMetrics;
+use afs_core::policy::{QueueTopology, Scheduler};
+use afs_core::schedulers::affinity::KParam;
+use parking_lot::Mutex;
+
+/// A scheduling policy usable by the runtime.
+///
+/// Most policies wrap the corresponding `afs-core` scheduler; AFS and STATIC
+/// get dedicated concurrent implementations (per-worker queues and a
+/// lock-free partition respectively) because avoiding a shared lock is their
+/// defining property.
+pub struct RuntimeScheduler {
+    kind: Kind,
+}
+
+enum Kind {
+    /// Drive any core scheduler under its (single) queue lock.
+    Locked(Box<dyn Scheduler>),
+    /// Distributed AFS.
+    Afs { k: KParam },
+    /// Distributed AFS, "last executed" assignment (§4.3).
+    AfsLe {
+        k: KParam,
+        history: std::sync::Arc<LeHistory>,
+    },
+    /// Lock-free static partition.
+    Static,
+}
+
+impl RuntimeScheduler {
+    /// AFS with `k = P` (the paper's default configuration).
+    pub fn afs_k_equals_p() -> Self {
+        Self {
+            kind: Kind::Afs { k: KParam::EqualsP },
+        }
+    }
+
+    /// AFS with a fixed local-grab divisor `k`.
+    pub fn afs_with_k(k: u64) -> Self {
+        assert!(k >= 1);
+        Self {
+            kind: Kind::Afs {
+                k: KParam::Fixed(k),
+            },
+        }
+    }
+
+    /// Distributed AFS with "last executed" assignment across loop
+    /// executions (the paper's §4.3 extension): migrations performed in one
+    /// phase carry over to the next, so persistent imbalance stops causing
+    /// repeated work movement. The policy value owns the cross-phase
+    /// history; reuse the same value across the phases of one region.
+    pub fn afs_last_exec() -> Self {
+        Self {
+            kind: Kind::AfsLe {
+                k: KParam::EqualsP,
+                history: std::sync::Arc::new(LeHistory::new()),
+            },
+        }
+    }
+
+    /// Lock-free static partitioning.
+    pub fn static_partition() -> Self {
+        Self { kind: Kind::Static }
+    }
+
+    /// Self-scheduling (one iteration per central-queue grab).
+    pub fn self_sched() -> Self {
+        Self::from_core(afs_core::schedulers::SelfSched::new())
+    }
+
+    /// Guided self-scheduling.
+    pub fn gss() -> Self {
+        Self::from_core(afs_core::schedulers::Gss::new())
+    }
+
+    /// Factoring.
+    pub fn factoring() -> Self {
+        Self::from_core(afs_core::schedulers::Factoring::new())
+    }
+
+    /// Trapezoid self-scheduling.
+    pub fn trapezoid() -> Self {
+        Self::from_core(afs_core::schedulers::Trapezoid::new())
+    }
+
+    /// Modified factoring (affinity-aware chunk preference).
+    pub fn mod_factoring() -> Self {
+        Self::from_core(afs_core::schedulers::ModFactoring::new())
+    }
+
+    /// Any `afs-core` scheduler, driven under a single queue lock.
+    pub fn from_core(sched: impl Scheduler + 'static) -> Self {
+        Self {
+            kind: Kind::Locked(Box::new(sched)),
+        }
+    }
+
+    /// An OpenMP-style clause: `"static"`, `"static,c"`, `"dynamic"`,
+    /// `"dynamic,c"`, `"guided"`, `"guided,c"`, or `"auto"` (→ AFS).
+    /// Returns `None` for unrecognized clauses.
+    pub fn omp(clause: &str) -> Option<Self> {
+        let parsed = afs_core::omp::OmpSchedule::parse(clause)?;
+        Some(match parsed {
+            afs_core::omp::OmpSchedule::Static => Self::static_partition(),
+            afs_core::omp::OmpSchedule::Auto => Self::afs_k_equals_p(),
+            other => Self::from_core(other.scheduler()),
+        })
+    }
+
+    /// Policy name for reports.
+    pub fn name(&self) -> String {
+        match &self.kind {
+            Kind::Locked(s) => s.name(),
+            Kind::Afs { k: KParam::EqualsP } => "AFS".into(),
+            Kind::Afs {
+                k: KParam::Fixed(k),
+            } => format!("AFS(k={k})"),
+            Kind::AfsLe { .. } => "AFS-LE".into(),
+            Kind::Static => "STATIC".into(),
+        }
+    }
+
+    fn make_source(&self, n: u64, p: usize) -> Box<dyn WorkSource + '_> {
+        match &self.kind {
+            Kind::Locked(s) => Box::new(LockedSource::new(s.begin_loop(n, p))),
+            Kind::Afs { k } => Box::new(AfsSource::new(n, p, k.resolve(p))),
+            Kind::AfsLe { k, history } => Box::new(AfsLeSource::new(
+                n,
+                p,
+                k.resolve(p),
+                std::sync::Arc::clone(history),
+            )),
+            Kind::Static => Box::new(StaticSource::new(n, p)),
+        }
+    }
+
+    fn queues(&self, p: usize) -> usize {
+        match &self.kind {
+            Kind::Locked(s) => match s.topology() {
+                QueueTopology::Central => 1,
+                QueueTopology::PerProcessor => p,
+            },
+            Kind::Afs { .. } | Kind::AfsLe { .. } | Kind::Static => p,
+        }
+    }
+}
+
+/// Executes `body(i)` for every `i` in `0..n` on the pool's workers,
+/// scheduled by `policy`. Blocks until the loop completes; returns the
+/// scheduling metrics.
+///
+/// `body` must tolerate concurrent invocation for *distinct* iteration
+/// indices (each index is passed to exactly one invocation).
+pub fn parallel_for<F>(pool: &Pool, n: u64, policy: &RuntimeScheduler, body: F) -> LoopMetrics
+where
+    F: Fn(u64) + Sync,
+{
+    parallel_phases(pool, 1, |_| n, policy, |_, i| body(i))
+}
+
+/// Executes a sequence of parallel-loop phases with a barrier between
+/// phases (the paper's parallel-loop-inside-sequential-loop structure).
+///
+/// Phase `ph` has `len_of(ph)` iterations; `body(ph, i)` is invoked exactly
+/// once per (phase, iteration). A fresh scheduler loop-state is created per
+/// phase, so deterministic policies re-create the same assignment each
+/// phase — which is what preserves affinity.
+pub fn parallel_phases<F, L>(
+    pool: &Pool,
+    phases: usize,
+    len_of: L,
+    policy: &RuntimeScheduler,
+    body: F,
+) -> LoopMetrics
+where
+    F: Fn(usize, u64) + Sync,
+    L: Fn(usize) -> u64,
+{
+    let p = pool.workers();
+    let mut total = LoopMetrics::new(p, policy.queues(p));
+    for phase in 0..phases {
+        let n = len_of(phase);
+        let source = policy.make_source(n, p);
+        let phase_metrics = Mutex::new(LoopMetrics::new(p, policy.queues(p)));
+        pool.run(|worker| {
+            let mut local = LoopMetrics::new(p, policy.queues(p));
+            while let Some(grab) = source.next(worker) {
+                local.record(worker, &grab);
+                for i in grab.range.iter() {
+                    body(phase, i);
+                }
+            }
+            phase_metrics.lock().merge(&local);
+        });
+        total.merge(&phase_metrics.into_inner());
+    }
+    total
+}
+
+/// Executes a coalesced loop nest: `body` receives the multi-index of each
+/// cell of `nest`, scheduled as one flat loop (the paper's footnote-1
+/// transformation, mechanized by [`afs_core::nest::LoopNest`]).
+///
+/// The index buffer passed to `body` is per-call scratch; copy out what you
+/// need.
+pub fn parallel_nest<F>(
+    pool: &Pool,
+    nest: &afs_core::nest::LoopNest,
+    policy: &RuntimeScheduler,
+    body: F,
+) -> LoopMetrics
+where
+    F: Fn(&[u64]) + Sync,
+{
+    let dims = nest.dims();
+    parallel_for(pool, nest.len(), policy, |flat| {
+        let mut idx = [0u64; 8];
+        if dims <= 8 {
+            nest.unflatten_into(flat, &mut idx[..dims]);
+            body(&idx[..dims]);
+        } else {
+            let mut big = vec![0u64; dims];
+            nest.unflatten_into(flat, &mut big);
+            body(&big);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+    fn all_policies() -> Vec<RuntimeScheduler> {
+        vec![
+            RuntimeScheduler::static_partition(),
+            RuntimeScheduler::self_sched(),
+            RuntimeScheduler::gss(),
+            RuntimeScheduler::factoring(),
+            RuntimeScheduler::trapezoid(),
+            RuntimeScheduler::mod_factoring(),
+            RuntimeScheduler::afs_k_equals_p(),
+            RuntimeScheduler::afs_with_k(2),
+            RuntimeScheduler::afs_last_exec(),
+            RuntimeScheduler::from_core(afs_core::schedulers::ChunkSelf::new(8)),
+            RuntimeScheduler::from_core(afs_core::schedulers::AdaptiveGss::new()),
+        ]
+    }
+
+    #[test]
+    fn every_policy_executes_each_iteration_once() {
+        let pool = Pool::new(4);
+        for policy in all_policies() {
+            let n = 2000u64;
+            let counts: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+            let m = parallel_for(&pool, n, &policy, |i| {
+                counts[i as usize].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+                "{}: some iteration not executed exactly once",
+                policy.name()
+            );
+            assert_eq!(m.total_iters(), n, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn metrics_match_algorithm_shape() {
+        let pool = Pool::new(4);
+        // SS does exactly n central grabs.
+        let m = parallel_for(&pool, 500, &RuntimeScheduler::self_sched(), |_| {});
+        assert_eq!(m.sync.central, 500);
+        // STATIC does no synchronized grabs.
+        let m = parallel_for(&pool, 500, &RuntimeScheduler::static_partition(), |_| {});
+        assert_eq!(m.sync.synchronized(), 0);
+        // AFS: local grabs dominate.
+        let m = parallel_for(&pool, 5000, &RuntimeScheduler::afs_k_equals_p(), |_| {});
+        assert!(m.sync.local > 0);
+        assert!(m.sync.central == 0);
+    }
+
+    #[test]
+    fn phases_run_in_order_with_barriers() {
+        let pool = Pool::new(4);
+        let log = Mutex::new(Vec::new());
+        parallel_phases(
+            &pool,
+            5,
+            |_| 16,
+            &RuntimeScheduler::gss(),
+            |ph, _i| {
+                log.lock().push(ph);
+            },
+        );
+        let log = log.into_inner();
+        assert_eq!(log.len(), 80);
+        // Phases never interleave: the sequence is non-decreasing.
+        assert!(log.windows(2).all(|w| w[0] <= w[1]), "phases interleaved");
+    }
+
+    #[test]
+    fn varying_phase_lengths() {
+        let pool = Pool::new(3);
+        let total = AtomicU64::new(0);
+        let m = parallel_phases(
+            &pool,
+            4,
+            |ph| [10u64, 0, 7, 100][ph],
+            &RuntimeScheduler::factoring(),
+            |_, _| {
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 117);
+        assert_eq!(m.total_iters(), 117);
+    }
+
+    #[test]
+    fn afs_imbalanced_body_triggers_steals() {
+        let pool = Pool::new(4);
+        // Iterations 0..250 are slow (worker 0's queue): others must steal.
+        let m = parallel_for(&pool, 1000, &RuntimeScheduler::afs_k_equals_p(), |i| {
+            if i < 250 {
+                std::hint::black_box((0..30_000u64).sum::<u64>());
+            }
+        });
+        assert!(
+            m.sync.remote > 0,
+            "imbalance should force remote grabs: {:?}",
+            m.sync
+        );
+    }
+
+    #[test]
+    fn omp_clauses_map_to_policies() {
+        let pool = Pool::new(4);
+        for clause in [
+            "static",
+            "static,16",
+            "dynamic",
+            "dynamic,8",
+            "guided",
+            "guided,4",
+            "auto",
+        ] {
+            let policy = RuntimeScheduler::omp(clause)
+                .unwrap_or_else(|| panic!("clause {clause} should parse"));
+            let counts = AtomicU64::new(0);
+            parallel_for(&pool, 777, &policy, |_| {
+                counts.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counts.load(Ordering::Relaxed), 777, "{clause}");
+        }
+        assert!(RuntimeScheduler::omp("runtime").is_none());
+        assert_eq!(RuntimeScheduler::omp("auto").unwrap().name(), "AFS");
+    }
+
+    #[test]
+    fn nest_covers_every_cell_once() {
+        let pool = Pool::new(4);
+        let nest = afs_core::nest::LoopNest::new(&[9, 7, 5]);
+        let counts: Vec<AtomicU8> = (0..nest.len()).map(|_| AtomicU8::new(0)).collect();
+        let m = parallel_nest(&pool, &nest, &RuntimeScheduler::afs_k_equals_p(), |idx| {
+            assert_eq!(idx.len(), 3);
+            let flat = idx[0] * 35 + idx[1] * 5 + idx[2];
+            counts[flat as usize].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert_eq!(m.total_iters(), 9 * 7 * 5);
+    }
+
+    #[test]
+    fn single_worker_runs_everything() {
+        let pool = Pool::new(1);
+        let total = AtomicU64::new(0);
+        for policy in all_policies() {
+            total.store(0, Ordering::SeqCst);
+            parallel_for(&pool, 100, &policy, |_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 100, "{}", policy.name());
+        }
+    }
+}

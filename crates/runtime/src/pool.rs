@@ -1,0 +1,220 @@
+//! A persistent worker pool with broadcast jobs and a completion barrier.
+//!
+//! The paper's execution model dedicates `P` processors to the application
+//! (space sharing, §2.1); the pool mirrors that: `P` threads are spawned
+//! once and reused for every parallel loop and phase, so per-loop overhead
+//! is a broadcast + barrier, not thread creation.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Slot {
+    /// Monotonic job generation; workers run each generation exactly once.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers still running the current generation.
+    running: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A fixed-size pool of worker threads, indexed `0..p`.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    p: usize,
+}
+
+impl Pool {
+    /// Spawns `p` workers. Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "need at least one worker");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                generation: 0,
+                job: None,
+                running: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..p)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("afs-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, &shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Self { shared, handles, p }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.p
+    }
+
+    /// Runs `job(worker_index)` on every worker and waits for all to finish.
+    ///
+    /// Panics in a worker abort the process (a panicking parallel body has
+    /// broken the loop's invariants; there is nothing sound to resume).
+    pub fn run(&self, job: impl Fn(usize) + Send + Sync) {
+        // SAFETY-free trick avoided: we genuinely require 'static here via
+        // Arc; short-lived closures are wrapped through a scoped shim below.
+        self.run_arc(make_scoped_job(job));
+    }
+
+    fn run_arc(&self, job: Job) {
+        let mut slot = self.shared.slot.lock();
+        // Serialize concurrent callers: a second `run` posted while a job is
+        // in flight would overwrite the generation and corrupt the barrier
+        // count, so wait for the previous job to drain first.
+        while slot.running > 0 {
+            self.shared.done.wait(&mut slot);
+        }
+        slot.job = Some(job);
+        slot.generation += 1;
+        slot.running = self.p;
+        self.shared.start.notify_all();
+        while slot.running > 0 {
+            self.shared.done.wait(&mut slot);
+        }
+        slot.job = None;
+    }
+}
+
+/// Wraps a short-lived `Fn(usize)` into a `'static` job.
+///
+/// SAFETY: `Pool::run` does not return until every worker has finished the
+/// job, so the borrowed environment outlives all uses. The transmute only
+/// erases the lifetime; `Send + Sync` are enforced on the original closure.
+fn make_scoped_job<F: Fn(usize) + Send + Sync>(job: F) -> Job {
+    let boxed: Box<dyn Fn(usize) + Send + Sync> = Box::new(job);
+    // Erase the lifetime: the job is joined before `run` returns.
+    let boxed: Box<dyn Fn(usize) + Send + Sync + 'static> = unsafe { std::mem::transmute(boxed) };
+    Arc::from(boxed)
+}
+
+fn worker_loop(idx: usize, shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != seen_generation {
+                    if let Some(job) = slot.job.as_ref() {
+                        seen_generation = slot.generation;
+                        break Arc::clone(job);
+                    }
+                }
+                shared.start.wait(&mut slot);
+            }
+        };
+        // Abort on panic: unwinding past the barrier would deadlock `run`.
+        let guard = AbortOnPanic;
+        job(idx);
+        std::mem::forget(guard);
+
+        let mut slot = shared.slot.lock();
+        slot.running -= 1;
+        if slot.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+struct AbortOnPanic;
+impl Drop for AbortOnPanic {
+    fn drop(&mut self) {
+        eprintln!("afs-runtime: worker panicked inside a parallel loop; aborting");
+        std::process::abort();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_once() {
+        let pool = Pool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        pool.run(|w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn jobs_are_sequential_barriers() {
+        let pool = Pool::new(3);
+        let counter = AtomicU64::new(0);
+        for round in 0..10u64 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn borrows_local_state() {
+        let pool = Pool::new(2);
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        pool.run(|w| {
+            // Borrow both `data` and `sum` from the enclosing stack frame.
+            sum.fetch_add(data[w], Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = Pool::new(1);
+        let mut ran = false;
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        pool.run(|w| {
+            assert_eq!(w, 0);
+            flag.store(true, Ordering::SeqCst);
+        });
+        ran |= flag.load(Ordering::SeqCst);
+        assert!(ran);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = Pool::new(4);
+        pool.run(|_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,186 @@
+//! Stress and failure-injection tests for the real-thread runtime.
+
+use afs_runtime::prelude::*;
+use afs_runtime::source::{AfsSource, WorkSource};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A slow worker (simulating a transient external load, the paper's
+/// processor-arrival scenario) must not lose or duplicate iterations.
+#[test]
+fn slow_worker_is_rescued_by_steals() {
+    let pool = Pool::new(4);
+    let n = 4000u64;
+    let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let m = parallel_for(&pool, n, &RuntimeScheduler::afs_k_equals_p(), |i| {
+        // Iterations in worker 1's initial partition are 100x slower.
+        if (1000..2000).contains(&i) {
+            std::hint::black_box((0..5_000u64).sum::<u64>());
+        }
+        counts[i as usize].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    assert_eq!(m.total_iters(), n);
+}
+
+/// Repeated loops on one pool: no state leaks between loops.
+#[test]
+fn thousand_small_loops() {
+    let pool = Pool::new(4);
+    let total = AtomicU64::new(0);
+    for round in 0..1000u64 {
+        let n = 1 + (round % 17);
+        let m = parallel_for(&pool, n, &RuntimeScheduler::afs_k_equals_p(), |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(m.total_iters(), n);
+    }
+    let expect: u64 = (0..1000u64).map(|r| 1 + (r % 17)).sum();
+    assert_eq!(total.load(Ordering::Relaxed), expect);
+}
+
+/// Zero-length loops and phases are no-ops for every policy.
+#[test]
+fn zero_length_loops() {
+    let pool = Pool::new(3);
+    for policy in [
+        RuntimeScheduler::static_partition(),
+        RuntimeScheduler::self_sched(),
+        RuntimeScheduler::gss(),
+        RuntimeScheduler::afs_k_equals_p(),
+        RuntimeScheduler::mod_factoring(),
+    ] {
+        let hits = AtomicU64::new(0);
+        let m = parallel_for(&pool, 0, &policy, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0, "{}", policy.name());
+        assert_eq!(m.total_iters(), 0);
+    }
+}
+
+/// More workers than iterations: everyone terminates, nothing double-runs.
+#[test]
+fn more_workers_than_iterations() {
+    let pool = Pool::new(8);
+    for n in [1u64, 2, 5, 7] {
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        parallel_for(&pool, n, &RuntimeScheduler::afs_k_equals_p(), |i| {
+            counts[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+            "n = {n}"
+        );
+    }
+}
+
+/// Hammer the AFS source from threads that *only* steal (their own queues
+/// are empty because p_workers > p_queues regions never happen — instead we
+/// spawn extra thieves beyond the queue owners).
+#[test]
+fn thieves_beyond_queue_owners() {
+    // 4-queue source driven by 8 threads: workers 4..8 have no local queue
+    // work mapped to them (their index is out of the queue range), so they
+    // must never be handed out-of-range queues.
+    let n = 10_000u64;
+    let src = AfsSource::new(n, 4, 4);
+    let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    std::thread::scope(|s| {
+        for w in 0..4 {
+            let src = &src;
+            let seen = &seen;
+            s.spawn(move || {
+                while let Some(g) = src.next(w) {
+                    for i in g.range.iter() {
+                        assert_eq!(seen[i as usize].fetch_add(1, Ordering::SeqCst), 0);
+                    }
+                }
+            });
+        }
+    });
+    assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+}
+
+/// Metrics from concurrent execution are internally consistent.
+#[test]
+fn concurrent_metrics_consistency() {
+    let pool = Pool::new(4);
+    let n = 50_000u64;
+    for policy in [
+        RuntimeScheduler::gss(),
+        RuntimeScheduler::afs_k_equals_p(),
+        RuntimeScheduler::trapezoid(),
+    ] {
+        let m = parallel_for(&pool, n, &policy, |_| {});
+        assert_eq!(m.total_iters(), n, "{}", policy.name());
+        // Per-worker iteration counts sum to the total.
+        let worker_sum: u64 = m.iters_per_worker.iter().sum();
+        assert_eq!(worker_sum, n);
+        // Every synchronized grab is attributed to some queue.
+        let queue_sum: u64 = m.per_queue.iter().map(|q| q.synchronized()).sum();
+        assert_eq!(queue_sum, m.sync.synchronized(), "{}", policy.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent AFS coverage under arbitrary (n, p, k).
+    #[test]
+    fn afs_source_concurrent_coverage_any_shape(
+        n in 0u64..20_000,
+        p in 1usize..8,
+        k in 1u64..12,
+    ) {
+        let src = AfsSource::new(n, p, k);
+        let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..p {
+                let src = &src;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(g) = src.next(w) {
+                        for i in g.range.iter() {
+                            let prev = seen[i as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "iteration {i} duplicated");
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    /// `parallel_phases` covers every (phase, iteration) exactly once for
+    /// arbitrary phase-length vectors.
+    #[test]
+    fn phases_cover_exactly_once(
+        lens in prop::collection::vec(0u64..200, 1..8),
+        workers in 1usize..6,
+    ) {
+        let pool = Pool::new(workers);
+        let total: u64 = lens.iter().sum();
+        let offsets: Vec<u64> = lens
+            .iter()
+            .scan(0, |acc, &l| {
+                let o = *acc;
+                *acc += l;
+                Some(o)
+            })
+            .collect();
+        let counts: Vec<AtomicU32> = (0..total.max(1)).map(|_| AtomicU32::new(0)).collect();
+        parallel_phases(
+            &pool,
+            lens.len(),
+            |ph| lens[ph],
+            &RuntimeScheduler::afs_k_equals_p(),
+            |ph, i| {
+                counts[(offsets[ph] + i) as usize].fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        for (idx, c) in counts.iter().enumerate().take(total as usize) {
+            prop_assert_eq!(c.load(Ordering::SeqCst), 1, "slot {} miscounted", idx);
+        }
+    }
+}

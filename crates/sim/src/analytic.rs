@@ -1,0 +1,169 @@
+//! Analytic lower bounds on completion time.
+//!
+//! Independent of any scheduler, a simulated execution can never beat:
+//!
+//! * the **work bound** — total compute time divided by `P`, summed with
+//!   per-phase barriers;
+//! * the **critical path** — each phase takes at least its longest single
+//!   iteration;
+//! * the **cold-traffic bound** (bus machines) — every distinct block must
+//!   cross the bus at least once, and the bus is serial.
+//!
+//! The test suite checks every simulation result against these bounds
+//! (`completion ≥ max(bounds)`), which guards the event engine against
+//! accounting bugs; the benchmark harness can report how close a scheduler
+//! gets to them.
+
+use crate::machine::{Interconnect, MachineSpec};
+use crate::workload::Workload;
+use std::collections::HashMap;
+
+/// Scheduler-independent lower bounds for a (workload, machine, P) triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bounds {
+    /// Σ_phases max(phase_work / P, longest iteration of the phase).
+    pub barrier_bound: f64,
+    /// Total compute work / P (ignores barriers; ≤ `barrier_bound`).
+    pub work_bound: f64,
+    /// Serial bus time to fetch every distinct block once (0 on switches).
+    pub cold_traffic_bound: f64,
+}
+
+impl Bounds {
+    /// The strongest single lower bound.
+    pub fn best(&self) -> f64 {
+        self.barrier_bound
+            .max(self.work_bound)
+            .max(self.cold_traffic_bound)
+    }
+}
+
+/// Computes the bounds for `workload` on `machine` with `p` processors.
+pub fn lower_bounds(workload: &dyn Workload, machine: &MachineSpec, p: usize) -> Bounds {
+    assert!(p >= 1);
+    let mut total_work = 0.0f64;
+    let mut barrier_bound = 0.0f64;
+    let mut blocks: HashMap<u64, u32> = HashMap::new();
+    let mut accesses = Vec::new();
+    for phase in 0..workload.phases() {
+        let mut phase_work = 0.0f64;
+        let mut longest = 0.0f64;
+        for i in 0..workload.phase_len(phase) {
+            let w = workload.cost(phase, i);
+            let t = machine.compute_time(w.flops, w.divs);
+            phase_work += t;
+            longest = longest.max(t);
+            if workload.has_memory(phase) {
+                accesses.clear();
+                workload.reads(phase, i, &mut accesses);
+                workload.writes(phase, i, &mut accesses);
+                for a in &accesses {
+                    let e = blocks.entry(a.block).or_insert(0);
+                    *e = (*e).max(a.bytes);
+                }
+            }
+        }
+        total_work += phase_work;
+        barrier_bound += (phase_work / p as f64).max(longest);
+    }
+    let cold_traffic_bound = match machine.interconnect {
+        Interconnect::Bus => blocks.values().map(|&bytes| machine.miss_time(bytes)).sum(),
+        Interconnect::Switch => 0.0,
+    };
+    Bounds {
+        barrier_bound,
+        work_bound: total_work / p as f64,
+        cold_traffic_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{simulate, SimConfig};
+    use crate::workload::SyntheticLoop;
+    use afs_core::prelude::*;
+
+    #[test]
+    fn bounds_ordering() {
+        let wl = SyntheticLoop::triangular(1000, 1.0);
+        let b = lower_bounds(&wl, &MachineSpec::ideal(8), 8);
+        assert!(b.barrier_bound >= b.work_bound);
+        assert_eq!(b.cold_traffic_bound, 0.0); // switch: no bus bound
+                                               // Triangular: longest iteration = n; work/p = n(n+1)/2/p.
+        assert!((b.work_bound - 1000.0 * 1001.0 / 2.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_scheduler_respects_bounds() {
+        let wl = SyntheticLoop::step_front(2000, 80.0, 1.0);
+        for p in [1usize, 4, 8] {
+            let machine = MachineSpec::ideal(8);
+            let bounds = lower_bounds(&wl, &machine, p);
+            for sched in afs_core::schedulers::paper_suite() {
+                let res = simulate(&wl, &sched, &SimConfig::new(machine.clone(), p));
+                assert!(
+                    res.completion_time >= bounds.best() - 1e-9,
+                    "{} at P={p}: {} < bound {}",
+                    sched.name(),
+                    res.completion_time,
+                    bounds.best()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cold_traffic_bound_on_bus_machines() {
+        // A workload touching 64 distinct 1 KiB blocks on the Iris bus.
+        use crate::workload::{BlockAccess, Work, Workload};
+        struct RowTouch;
+        impl Workload for RowTouch {
+            fn name(&self) -> String {
+                "rows".into()
+            }
+            fn phases(&self) -> usize {
+                1
+            }
+            fn phase_len(&self, _p: usize) -> u64 {
+                64
+            }
+            fn cost(&self, _p: usize, _i: u64) -> Work {
+                Work::flops(1.0)
+            }
+            fn reads(&self, _p: usize, i: u64, out: &mut Vec<BlockAccess>) {
+                out.push(BlockAccess {
+                    block: i,
+                    bytes: 1024,
+                });
+            }
+        }
+        let machine = MachineSpec::iris();
+        let b = lower_bounds(&RowTouch, &machine, 8);
+        let per_block = machine.miss_time(1024);
+        assert!((b.cold_traffic_bound - 64.0 * per_block).abs() < 1e-9);
+        // And the simulation can't beat it.
+        let res = simulate(
+            &RowTouch,
+            &Affinity::with_k_equals_p(),
+            &SimConfig::new(machine, 8),
+        );
+        assert!(res.completion_time >= b.cold_traffic_bound - 1e-9);
+    }
+
+    #[test]
+    fn afs_approaches_bound_on_balanced_loop() {
+        let wl = SyntheticLoop::balanced(10_000, 10.0);
+        let machine = MachineSpec::ideal(8);
+        let b = lower_bounds(&wl, &machine, 8);
+        let res = simulate(
+            &wl,
+            &Affinity::with_k_equals_p(),
+            &SimConfig::new(machine, 8),
+        );
+        assert!(
+            res.completion_time <= b.best() * 1.01,
+            "AFS should be near-optimal here"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the simulator substrate.
+
+use afs_core::prelude::*;
+use afs_sim::cache::BlockCache;
+use afs_sim::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A trivially correct reference LRU cache to check `BlockCache` against.
+struct RefCache {
+    capacity: u64,
+    /// (block, version, bytes) in recency order, most recent last.
+    entries: Vec<(u64, u32, u32)>,
+}
+
+impl RefCache {
+    fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn used(&self) -> u64 {
+        self.entries.iter().map(|e| e.2 as u64).sum()
+    }
+
+    fn access(&mut self, block: u64, bytes: u32, version: u32) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let hit = if let Some(pos) = self.entries.iter().position(|e| e.0 == block) {
+            let e = self.entries.remove(pos);
+            let fresh = e.1 == version;
+            // A fresh hit re-fetches nothing, so the cached extent is
+            // unchanged; a stale copy is refreshed at the new size.
+            let kept_bytes = if fresh { e.2 } else { bytes };
+            self.entries.push((block, version, kept_bytes));
+            fresh
+        } else {
+            self.entries.push((block, version, bytes));
+            false
+        };
+        while self.used() > self.capacity && !self.entries.is_empty() {
+            self.entries.remove(0);
+        }
+        hit
+    }
+
+    fn set_version(&mut self, block: u64, version: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == block) {
+            e.1 = version;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `BlockCache` behaves exactly like the reference LRU under arbitrary
+    /// access/write traces.
+    #[test]
+    fn cache_matches_reference_model(
+        capacity in prop::sample::select(vec![0u64, 100, 256, 1000, 4096]),
+        ops in prop::collection::vec((0u64..24, 1u32..300, prop::bool::ANY), 1..300),
+    ) {
+        let mut real = BlockCache::new(capacity);
+        let mut reference = RefCache::new(capacity);
+        let mut versions: HashMap<u64, u32> = HashMap::new();
+        for (block, bytes, is_write) in ops {
+            let v = *versions.entry(block).or_insert(0);
+            let got = real.access(block, bytes, v);
+            let want = reference.access(block, bytes, v);
+            prop_assert_eq!(got, want, "access(block={}, bytes={}, v={})", block, bytes, v);
+            prop_assert_eq!(real.used_bytes(), reference.used());
+            if is_write {
+                let nv = v + 1;
+                versions.insert(block, nv);
+                real.set_version(block, nv);
+                reference.set_version(block, nv);
+            }
+        }
+    }
+
+    /// Simulation is a pure function of (workload, scheduler, config).
+    #[test]
+    fn simulation_is_deterministic(
+        n in 1u64..3000,
+        p in 1usize..16,
+        seed in any::<u64>(),
+        heavy in 1.0f64..200.0,
+    ) {
+        let wl = SyntheticLoop::step_front(n, heavy, 1.0);
+        let cfg = SimConfig::new(MachineSpec::iris(), p.min(8))
+            .with_jitter(0.05)
+            .with_seed(seed);
+        let a = simulate(&wl, &Factoring::new(), &cfg);
+        let b = simulate(&wl, &Factoring::new(), &cfg);
+        prop_assert_eq!(a.completion_time.to_bits(), b.completion_time.to_bits());
+        prop_assert_eq!(a.metrics.sync, b.metrics.sync);
+        prop_assert_eq!(a.cache_misses, b.cache_misses);
+    }
+
+    /// Every scheduler executes exactly n iterations, and completion is at
+    /// least the critical path (max single iteration) and at least work/P.
+    #[test]
+    fn completion_bounds(
+        n in 1u64..2000,
+        p in 1usize..16,
+    ) {
+        let wl = SyntheticLoop::triangular(n, 1.0);
+        let machine = MachineSpec::ideal(16);
+        for sched in afs_core::schedulers::paper_suite() {
+            let cfg = SimConfig::new(machine.clone(), p);
+            let res = simulate(&wl, &sched, &cfg);
+            prop_assert_eq!(res.metrics.total_iters(), n, "{}", sched.name());
+            let total: f64 = (0..n).map(|i| (n - i) as f64).sum();
+            let max_iter = n as f64;
+            let lower = (total / p as f64).max(max_iter);
+            prop_assert!(
+                res.completion_time >= lower - 1e-6,
+                "{}: completion {} below lower bound {}",
+                sched.name(), res.completion_time, lower
+            );
+            // And an upper bound: no scheduler is worse than serializing
+            // everything plus per-grab sync (zero on the ideal machine).
+            prop_assert!(res.completion_time <= total + 1e-6);
+        }
+    }
+
+    /// Adding processors never hurts on a contention-free machine under
+    /// dynamic schedulers with single-iteration tails.
+    #[test]
+    fn more_processors_never_hurt_on_ideal(
+        n in 8u64..2000,
+        p in 1usize..15,
+    ) {
+        let wl = SyntheticLoop::balanced(n, 7.0);
+        let t_p = simulate(
+            &wl,
+            &Gss::new(),
+            &SimConfig::new(MachineSpec::ideal(16), p),
+        )
+        .completion_time;
+        let t_p1 = simulate(
+            &wl,
+            &Gss::new(),
+            &SimConfig::new(MachineSpec::ideal(16), p + 1),
+        )
+        .completion_time;
+        prop_assert!(t_p1 <= t_p * (1.0 + 1e-9), "P={}: {} -> {}", p, t_p, t_p1);
+    }
+
+    /// Per-phase times sum to the total; phase count matches the workload.
+    #[test]
+    fn phase_time_conservation(
+        n in 1u64..300,
+        phases in 1usize..12,
+        p in 1usize..8,
+    ) {
+        struct Multi(u64, usize);
+        impl Workload for Multi {
+            fn name(&self) -> String { "multi".into() }
+            fn phases(&self) -> usize { self.1 }
+            fn phase_len(&self, _p: usize) -> u64 { self.0 }
+            fn cost(&self, ph: usize, i: u64) -> Work {
+                Work::flops(1.0 + ((ph as u64 + i) % 5) as f64)
+            }
+            fn has_memory(&self, _p: usize) -> bool { false }
+        }
+        let wl = Multi(n, phases);
+        let res = simulate(
+            &wl,
+            &Affinity::with_k_equals_p(),
+            &SimConfig::new(MachineSpec::ideal(8), p),
+        );
+        prop_assert_eq!(res.phase_times.len(), phases);
+        let sum: f64 = res.phase_times.iter().sum();
+        prop_assert!((sum - res.completion_time).abs() < 1e-9 * sum.max(1.0));
+        prop_assert_eq!(res.metrics.total_iters(), n * phases as u64);
+    }
+
+    /// Start delays only ever increase completion time, by at most the delay.
+    #[test]
+    fn delays_are_bounded_perturbations(
+        n in 64u64..5000,
+        delay in 0.0f64..10_000.0,
+        proc in 0usize..4,
+    ) {
+        let wl = SyntheticLoop::balanced(n, 3.0);
+        let base_cfg = SimConfig::new(MachineSpec::ideal(4), 4);
+        let base = simulate(&wl, &Gss::new(), &base_cfg).completion_time;
+        let cfg = SimConfig::new(MachineSpec::ideal(4), 4).with_delay(proc, delay);
+        let delayed = simulate(&wl, &Gss::new(), &cfg).completion_time;
+        prop_assert!(delayed + 1e-9 >= base);
+        prop_assert!(delayed <= base + delay + 1e-9);
+    }
+}
+
+/// Jitter perturbs times but preserves total work within the jitter band.
+#[test]
+fn jitter_preserves_work_envelope() {
+    let n = 10_000u64;
+    let wl = SyntheticLoop::balanced(n, 10.0);
+    let clean = simulate(
+        &wl,
+        &StaticSched::new(),
+        &SimConfig::new(MachineSpec::ideal(4), 4),
+    );
+    let jittered = simulate(
+        &wl,
+        &StaticSched::new(),
+        &SimConfig::new(MachineSpec::ideal(4), 4).with_jitter(0.1),
+    );
+    let busy_clean: f64 = clean.busy_time.iter().sum();
+    let busy_jit: f64 = jittered.busy_time.iter().sum();
+    assert!(
+        (busy_jit - busy_clean).abs() / busy_clean < 0.01,
+        "jitter is zero-mean"
+    );
+    assert_ne!(
+        clean.completion_time.to_bits(),
+        jittered.completion_time.to_bits(),
+        "jitter must actually perturb"
+    );
+}

@@ -1,0 +1,46 @@
+//! Machine comparison: how the *same* workload and schedulers behave on
+//! four machines with different compute/communication/synchronization cost
+//! ratios — the paper's central argument (§5) in one table.
+//!
+//! ```text
+//! cargo run --release --example machine_comparison
+//! ```
+
+use affinity_sched::prelude::*;
+
+fn main() {
+    let n = 256;
+    let wl = GaussModel::new(n);
+    let machines = [
+        MachineSpec::iris(),
+        MachineSpec::symmetry(),
+        MachineSpec::ksr1(),
+        MachineSpec::ideal(16),
+    ];
+    let p = 8;
+
+    println!("Gaussian elimination (N={n}) on {p} processors — completion time (Mtu)\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>12}",
+        "machine", "GSS", "AFS", "GSS/AFS", "miss ratio GSS"
+    );
+    for machine in machines {
+        let cfg = SimConfig::new(machine.clone(), p).with_jitter(0.05);
+        let gss = simulate(&wl, &Gss::new(), &cfg);
+        let afs = simulate(&wl, &Affinity::with_k_equals_p(), &cfg);
+        println!(
+            "{:<18} {:>10.2} {:>10.2} {:>9.2}x {:>13.1}%",
+            machine.name,
+            gss.completion_time / 1e6,
+            afs.completion_time / 1e6,
+            gss.completion_time / afs.completion_time,
+            gss.miss_ratio() * 100.0,
+        );
+    }
+    println!();
+    println!("Reading the table the way §5 does:");
+    println!(" - Iris: fast CPUs + slow bus → affinity is worth ~3x;");
+    println!(" - Symmetry: CPUs 30x slower → communication is cheap → AFS ≈ GSS;");
+    println!(" - KSR-1: expensive remote access and locks → affinity dominates;");
+    println!(" - Ideal: free communication → scheduling differences vanish.");
+}

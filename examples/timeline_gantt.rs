@@ -1,0 +1,47 @@
+//! Timeline visualization: *see* why a schedule is slow.
+//!
+//! Simulates the skewed transitive-closure workload on a small Iris under
+//! three schedulers and renders each execution as an ASCII Gantt chart —
+//! serialized central-queue bars, post-barrier stragglers, and AFS's
+//! steal-and-go pattern are all visible.
+//!
+//! ```text
+//! cargo run --release --example timeline_gantt
+//! ```
+
+use affinity_sched::prelude::*;
+
+fn main() {
+    let graph = clique_graph(96, 48);
+    let wl = TcModel::from_graph(&graph, "clique");
+    let p = 4;
+
+    for (name, sched) in [
+        ("STATIC", Box::new(StaticSched::new()) as Box<dyn Scheduler>),
+        ("SS", Box::new(SelfSched::new())),
+        ("AFS", Box::new(Affinity::with_k_equals_p())),
+    ] {
+        let cfg = SimConfig::new(MachineSpec::iris(), p)
+            .with_jitter(0.05)
+            .with_timeline();
+        let res = simulate(&wl, &sched, &cfg);
+        let tl = res.timeline.as_ref().expect("timeline enabled");
+        println!(
+            "── {name}: completion {:.2} Mtu, {} steals, {} misses",
+            res.completion_time / 1e6,
+            res.metrics.sync.remote,
+            res.cache_misses
+        );
+        print!("{}", tl.render_gantt(72));
+        for proc in 0..p {
+            println!(
+                "   P{proc}: busy {:>5.1}%  lock-wait {:>5.1}%",
+                (100.0 * tl.lane_total(proc, SegmentKind::Busy) / res.completion_time).max(0.0),
+                (100.0 * tl.lane_total(proc, SegmentKind::Wait) / res.completion_time).max(0.0),
+            );
+        }
+        println!();
+    }
+    println!("STATIC shows idle tails (clique rows all live on low processors);");
+    println!("SS shows lock churn; AFS shows steals filling the idle tails.");
+}

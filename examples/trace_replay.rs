@@ -1,0 +1,52 @@
+//! Workload capture and replay: record an expensive-to-derive workload
+//! model once, serialize it, and replay it from bytes — bit-identical
+//! simulation results.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use affinity_sched::prelude::*;
+
+fn main() {
+    // The transitive-closure model costs a full Warshall run to derive:
+    // worth capturing.
+    let graph = clique_graph(256, 100);
+    let original = TcModel::from_graph(&graph, "clique");
+
+    let trace = TraceWorkload::record(&original);
+    let bytes = trace.to_bytes();
+    println!(
+        "captured {} phases / {} iterations into {} bytes",
+        afs_sim::Workload::phases(&original),
+        (0..afs_sim::Workload::phases(&original))
+            .map(|p| afs_sim::Workload::phase_len(&original, p))
+            .sum::<u64>(),
+        bytes.len()
+    );
+
+    // ... ship the bytes anywhere (file, network, test fixture) ...
+    let replayed = TraceWorkload::from_bytes(&bytes).expect("valid trace");
+
+    // Simulating the replayed trace gives bit-identical results.
+    let cfg = SimConfig::new(MachineSpec::ksr1(), 16).with_jitter(0.05);
+    let sched = Affinity::with_k_equals_p();
+    let a = simulate(&original, &sched, &cfg);
+    let b = simulate(&replayed, &sched, &cfg);
+    println!(
+        "original: {:.3} Mtu, {} misses | replay: {:.3} Mtu, {} misses",
+        a.completion_time / 1e6,
+        a.cache_misses,
+        b.completion_time / 1e6,
+        b.cache_misses
+    );
+    assert_eq!(a.completion_time.to_bits(), b.completion_time.to_bits());
+    assert_eq!(a.cache_misses, b.cache_misses);
+    println!("replay is bit-identical to the original model");
+
+    // Corrupt data is rejected, not misinterpreted.
+    let mut broken = bytes.clone();
+    broken[0] ^= 0xFF;
+    assert!(TraceWorkload::from_bytes(&broken).is_err());
+    println!("corrupted stream correctly rejected");
+}

@@ -1,0 +1,208 @@
+//! Integration: the paper's analytic results (Section 3) hold for the
+//! simulated executions.
+
+use affinity_sched::prelude::*;
+use afs_core::chunking::drain_count;
+use afs_core::theory;
+
+/// Theorem 3.2: under AFS with divisor `k`, a delayed processor causes at
+/// most `N(P−k)/(P(P−1)k) + 1` iterations of finish-time spread (unit-cost
+/// iterations).
+#[test]
+fn thm32_imbalance_bound_holds_in_simulation() {
+    let n: u64 = 10_000;
+    let p = 8;
+    let machine = MachineSpec::ideal(p);
+    let iter_time = machine.compute_time(1.0, 0.0);
+    let wl = SyntheticLoop::balanced(n, 1.0);
+    for k in [2u64, 4, 8] {
+        let bound_iters = theory::thm32_imbalance_bound(n, p, k);
+        // Delay one processor by a quarter of the sequential time — the
+        // adversarial scenario of the theorem.
+        let delay = 0.25 * n as f64 * iter_time;
+        let sched = Affinity::with_k(k);
+        let cfg = SimConfig::new(machine.clone(), p).with_delay(3, delay);
+        let res = simulate(&wl, &sched, &cfg);
+        let spread_iters = res.imbalance_time / iter_time;
+        // `imbalance_time` includes the delayed processor's idle head start,
+        // so compare the *completion* against the ideal instead: completion
+        // ≤ ideal + bound (in iterations) + chunking slack.
+        let ideal = (n as f64 * iter_time + delay) / p as f64;
+        let max_allowed = ideal.max(delay) + (bound_iters + p as f64) * iter_time;
+        assert!(
+            res.completion_time <= max_allowed + 1e-6,
+            "k={k}: completion {} exceeds bound-derived limit {max_allowed} \
+             (spread {spread_iters} iters, bound {bound_iters})",
+            res.completion_time
+        );
+    }
+}
+
+/// With `k = P`, AFS finishes within ~one chunk of the other schedulers that
+/// guarantee one-iteration spread (GSS, factoring) — Table 2's conclusion.
+#[test]
+fn delayed_start_does_not_distinguish_good_schedulers() {
+    let n: u64 = 1 << 18;
+    let p = 8;
+    let machine = MachineSpec::ideal(p);
+    let iter_time = machine.compute_time(1.0, 0.0);
+    let wl = SyntheticLoop::balanced(n, 1.0);
+    let delay = 0.125 * n as f64 * iter_time;
+    let mut times = Vec::new();
+    for sched in [
+        Box::new(Gss::new()) as Box<dyn Scheduler>,
+        Box::new(Factoring::new()),
+        Box::new(Affinity::with_k_equals_p()),
+    ] {
+        let cfg = SimConfig::new(machine.clone(), p).with_delay(0, delay);
+        times.push(simulate(&wl, &sched, &cfg).completion_time);
+    }
+    let max = times.iter().cloned().fold(f64::MIN, f64::max);
+    let min = times.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        (max - min) / min < 0.02,
+        "good schedulers should agree within 2%: {times:?}"
+    );
+}
+
+/// GSS performs exactly `drain_count(n, p)` central-queue operations in a
+/// simulated run (§3's O(P log(N/P)) bound, exactly).
+#[test]
+fn gss_sync_ops_match_drain_count_exactly() {
+    for (n, p) in [(512u64, 4usize), (10_000, 8), (777, 3)] {
+        let wl = SyntheticLoop::balanced(n, 5.0);
+        let cfg = SimConfig::new(MachineSpec::ideal(p), p);
+        let res = simulate(&wl, &Gss::new(), &cfg);
+        assert_eq!(
+            res.metrics.sync.central,
+            drain_count(n, p as u64),
+            "n={n} p={p}"
+        );
+    }
+}
+
+/// Theorem 3.1: per-queue AFS synchronization operations stay within the
+/// bound `O(k log(N/Pk) + P log(N/P²))` in simulated runs with imbalance.
+#[test]
+fn thm31_per_queue_ops_within_bound() {
+    let n: u64 = 1 << 14;
+    let p = 8;
+    let wl = SyntheticLoop::step_front(n, 50.0, 1.0); // heavy imbalance
+    let cfg = SimConfig::new(MachineSpec::ideal(p), p);
+    let res = simulate(&wl, &Affinity::with_k_equals_p(), &cfg);
+    let bound = theory::thm31_afs_queue_bound(n, p, p as u64);
+    for (q, ops) in res.metrics.per_queue.iter().enumerate() {
+        let total = (ops.local + ops.remote) as f64;
+        assert!(
+            total <= 3.0 * bound + 3.0 * p as f64,
+            "queue {q}: {total} ops vs bound {bound}"
+        );
+    }
+}
+
+/// The simulator and the real runtime agree on scheduler-level metrics for
+/// deterministic-count policies.
+#[test]
+fn sim_and_runtime_agree_on_grab_counts() {
+    let n = 2000u64;
+    let p = 4;
+    // Simulated SS and GSS counts.
+    let wl = SyntheticLoop::balanced(n, 3.0);
+    let cfg = SimConfig::new(MachineSpec::ideal(p), p);
+    let sim_ss = simulate(&wl, &SelfSched::new(), &cfg).metrics.sync.central;
+    let sim_gss = simulate(&wl, &Gss::new(), &cfg).metrics.sync.central;
+
+    // Real-thread counts.
+    let pool = Pool::new(p);
+    let rt_ss = parallel_for(&pool, n, &RuntimeScheduler::self_sched(), |_| {})
+        .sync
+        .central;
+    let rt_gss = parallel_for(&pool, n, &RuntimeScheduler::gss(), |_| {})
+        .sync
+        .central;
+
+    assert_eq!(sim_ss, rt_ss);
+    assert_eq!(sim_gss, rt_gss);
+    assert_eq!(sim_ss, n);
+    assert_eq!(sim_gss, drain_count(n, p as u64));
+}
+
+/// Every deterministic-count central scheduler produces identical grab
+/// counts in the simulator and on the real runtime (counts depend only on
+/// chunk mathematics, not arrival order).
+#[test]
+fn central_grab_counts_agree_everywhere() {
+    let n = 3000u64;
+    let p = 4;
+    let wl = SyntheticLoop::balanced(n, 2.0);
+    let pool = Pool::new(p);
+    let cases: Vec<(RuntimeScheduler, Box<dyn Scheduler>)> = vec![
+        (RuntimeScheduler::self_sched(), Box::new(SelfSched::new())),
+        (RuntimeScheduler::gss(), Box::new(Gss::new())),
+        (RuntimeScheduler::factoring(), Box::new(Factoring::new())),
+        (RuntimeScheduler::trapezoid(), Box::new(Trapezoid::new())),
+        (RuntimeScheduler::mod_factoring(), Box::new(ModFactoring::new())),
+        (
+            RuntimeScheduler::from_core(ChunkSelf::new(17)),
+            Box::new(ChunkSelf::new(17)),
+        ),
+    ];
+    for (rt, core) in cases {
+        let sim_count = simulate(&wl, &core, &SimConfig::new(MachineSpec::ideal(p), p))
+            .metrics
+            .sync
+            .central;
+        let rt_count = parallel_for(&pool, n, &rt, |_| {}).sync.central;
+        assert_eq!(sim_count, rt_count, "{}", rt.name());
+    }
+}
+
+/// Speedup sanity: on the ideal machine, AFS achieves near-perfect speedup
+/// for a balanced loop at every processor count.
+#[test]
+fn ideal_machine_speedup_is_linear_for_afs() {
+    let n: u64 = 1 << 14;
+    let wl = SyntheticLoop::balanced(n, 10.0);
+    let t1 = simulate(
+        &wl,
+        &Affinity::with_k_equals_p(),
+        &SimConfig::new(MachineSpec::ideal(1), 1),
+    )
+    .completion_time;
+    for p in [2usize, 4, 8, 16] {
+        let tp = simulate(
+            &wl,
+            &Affinity::with_k_equals_p(),
+            &SimConfig::new(MachineSpec::ideal(p), p),
+        )
+        .completion_time;
+        let speedup = t1 / tp;
+        assert!(
+            speedup > 0.98 * p as f64,
+            "p={p}: speedup {speedup} below 98% of linear"
+        );
+    }
+}
+
+/// Busy-time conservation: total busy time equals the single-processor
+/// completion time on a contention-free machine (work is neither created
+/// nor destroyed by scheduling).
+#[test]
+fn work_conservation_across_schedulers() {
+    let wl = SyntheticLoop::triangular(4000, 1.0);
+    let t1 = simulate(
+        &wl,
+        &StaticSched::new(),
+        &SimConfig::new(MachineSpec::ideal(1), 1),
+    )
+    .completion_time;
+    for sched in afs_core::schedulers::paper_suite() {
+        let res = simulate(&wl, &sched, &SimConfig::new(MachineSpec::ideal(8), 8));
+        let busy: f64 = res.busy_time.iter().sum();
+        assert!(
+            (busy - t1).abs() < 1e-6 * t1,
+            "{}: busy {busy} vs total work {t1}",
+            sched.name()
+        );
+    }
+}
