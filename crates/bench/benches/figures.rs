@@ -4,7 +4,7 @@
 //! --bin repro`); EXPERIMENTS.md records its output against the paper.
 
 use afs_bench::experiments::Experiment;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use afs_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_every_experiment(c: &mut Criterion) {

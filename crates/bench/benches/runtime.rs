@@ -2,8 +2,8 @@
 //! under each scheduling policy, and the AFS source's grab path under
 //! contention.
 
+use afs_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use afs_runtime::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 

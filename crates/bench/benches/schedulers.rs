@@ -2,8 +2,8 @@
 //! state machine hands out a whole loop (the per-grab cost a runtime pays
 //! under its queue lock).
 
+use afs_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use afs_core::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn drain(sched: &dyn Scheduler, n: u64, p: usize) -> u64 {

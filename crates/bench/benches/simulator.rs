@@ -2,11 +2,11 @@
 //! core on representative workloads (memory-heavy, compute-only, steal-
 //! heavy), plus the cache substrate in isolation.
 
+use afs_bench::microbench::{criterion_group, criterion_main, Criterion, Throughput};
 use afs_core::prelude::*;
 use afs_kernels::prelude::*;
 use afs_sim::cache::BlockCache;
 use afs_sim::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_sim_engine(c: &mut Criterion) {

@@ -5,6 +5,8 @@
 //! repro fig4 fig15     # run specific experiments
 //! repro --quick all    # shrunken smoke-test sizes
 //! repro --list         # list experiment ids
+//! repro --trace DIR    # also record a real traced run per experiment,
+//!                      # writing DIR/<id>.json (Chrome trace-event format)
 //! ```
 
 use std::io::Write;
@@ -17,30 +19,54 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut format = "table";
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut want_trace_dir = false;
     let mut ids: Vec<String> = Vec::new();
     for a in &args {
+        if want_trace_dir {
+            trace_dir = Some(std::path::PathBuf::from(a));
+            want_trace_dir = false;
+            continue;
+        }
         match a.as_str() {
             "--quick" | "-q" => quick = true,
+            "--trace" => want_trace_dir = true,
             "--plot" => format = "plot",
             "--json" => format = "json",
             "--csv" => format = "csv",
             "--list" | "-l" => {
-                for e in Experiment::all() {
-                    println!("{}", e.id());
-                }
-                for id in ablations::all_ids() {
-                    println!("{id}");
+                // Exit quietly when the reader closed the pipe
+                // (e.g. `repro --list | head`).
+                let mut stdout = std::io::stdout();
+                for id in Experiment::all()
+                    .iter()
+                    .map(|e| e.id())
+                    .chain(ablations::all_ids())
+                {
+                    if writeln!(stdout, "{id}").is_err() {
+                        break;
+                    }
                 }
                 return;
             }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
-                     [ids... | all | ablations]"
+                     [--trace DIR] [ids... | all | ablations]"
                 );
                 return;
             }
             other => ids.push(other.to_string()),
+        }
+    }
+    if want_trace_dir {
+        eprintln!("--trace needs a directory argument");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create trace dir {}: {err}", dir.display());
+            std::process::exit(2);
         }
     }
     enum Job {
@@ -71,10 +97,19 @@ fn main() {
 
     for job in selected {
         let start = std::time::Instant::now();
-        let result = match job {
+        let result = match &job {
             Job::Paper(e) => e.run(quick),
             Job::Ablation(id) => ablations::run(id, quick).expect("known ablation id"),
         };
+        if let (Some(dir), Job::Paper(e)) = (&trace_dir, &job) {
+            if let Some(capture) = afs_bench::tracing::capture(e) {
+                let path = dir.join(format!("{}.json", e.id()));
+                match std::fs::write(&path, &capture.json) {
+                    Ok(()) => eprintln!("trace: wrote {}", path.display()),
+                    Err(err) => eprintln!("trace: cannot write {}: {err}", path.display()),
+                }
+            }
+        }
         let mut out = match format {
             "plot" => render_plot(&result),
             "json" => render_json(&result) + "\n",

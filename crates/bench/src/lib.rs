@@ -8,7 +8,9 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod microbench;
 pub mod report;
+pub mod tracing;
 
 pub use experiments::{Experiment, ExperimentResult};
 pub use report::render;

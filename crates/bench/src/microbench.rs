@@ -1,0 +1,264 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Implements the subset of the `criterion` API the bench targets use
+//! (groups, `bench_function` / `bench_with_input`, throughput annotation,
+//! the `criterion_group!` / `criterion_main!` macros), so the benches run
+//! in a fully offline build with no external dependencies. Methodology is
+//! deliberately simple: one warm-up call sizes a batch that runs for at
+//! least ~1 ms, then `sample_size` timed samples report mean, min and
+//! throughput. For A/B comparisons at paper scale that is plenty; it makes
+//! no claim to criterion's statistical rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (criterion-compatible constructor surface).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives timed iterations of one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by [`Bencher::iter`]: (total duration, total routine calls).
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call sizes a batch of at least ~1 ms,
+    /// then `sample_size` samples of that batch are accumulated.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup_start.elapsed();
+        let batch = if once >= Duration::from_millis(1) {
+            1u64
+        } else {
+            // Target ≥1 ms per sample; cap the batch to keep fast routines
+            // from ballooning total time.
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        let mut total = Duration::ZERO;
+        let mut calls = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            calls += batch;
+        }
+        self.measured = Some((total, calls));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, measured: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((total, calls)) = measured else {
+        println!("{id:<40} (no measurement: Bencher::iter never called)");
+        return;
+    };
+    let per_call = total.div_f64(calls.max(1) as f64);
+    let mut line = format!("{id:<40} {:>12}/iter", format_duration(per_call));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / per_call.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.3} Melem/s", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for the following benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(&BenchmarkId::from_parameter(id), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        report(&full, bencher.measured, self.throughput);
+    }
+
+    /// Ends the group (accepted for criterion compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: 10,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(id, bencher.measured, None);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order
+/// (criterion-compatible form: `criterion_group!(name, bench_a, bench_b)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            sample_size: 3,
+            measured: None,
+        };
+        b.iter(|| std::hint::black_box(42u64.wrapping_mul(7)));
+        let (total, calls) = b.measured.expect("measured");
+        assert!(calls >= 3);
+        assert!(total > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("test");
+            g.sample_size(2).throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| {
+                b.iter(|| std::hint::black_box(1 + 1));
+            });
+            g.bench_with_input(BenchmarkId::from_parameter("b"), &5u64, |b, &x| {
+                ran += 1;
+                b.iter(move || std::hint::black_box(x * 2));
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("afs").to_string(), "afs");
+    }
+}

@@ -9,7 +9,6 @@ use crate::range::IterRange;
 
 /// Counts of successful queue removals, by synchronization class.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SyncOps {
     /// Removals from a central shared queue.
     pub central: u64,

@@ -9,7 +9,6 @@ use core::fmt;
 
 /// A half-open range `[start, end)` of loop iteration indices.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IterRange {
     /// First iteration index in the range.
     pub start: u64,

@@ -1,14 +1,17 @@
-//! Property-based tests for the scheduler state machines.
+//! Property-style tests for the scheduler state machines.
 //!
 //! The central invariant for every scheduler: driven by *any* interleaving of
 //! worker requests, it hands out every iteration of `[0, n)` exactly once and
 //! then reports exhaustion to every worker.
+//!
+//! Inputs are sampled from a seeded [`Xoshiro256`], so every run exercises
+//! the same deterministic case set — no external property-test framework.
 
 use afs_core::chunking::{self, TrapezoidParams};
 use afs_core::policy::{AccessKind, LoopState, Scheduler};
 use afs_core::prelude::*;
+use afs_core::rng::Xoshiro256;
 use afs_core::theory;
-use proptest::prelude::*;
 
 /// All schedulers that need no per-input configuration.
 fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
@@ -35,7 +38,7 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
 /// and returns per-iteration execution counts.
 fn drive(state: &mut dyn LoopState, n: u64, p: usize, order_seed: u64) -> Vec<u32> {
     let mut counts = vec![0u32; n as usize];
-    let mut rng = afs_core::rng::Xoshiro256::seed_from_u64(order_seed);
+    let mut rng = Xoshiro256::seed_from_u64(order_seed);
     let mut live: Vec<usize> = (0..p).collect();
     let mut fuel = 20 * n + 1000;
     while !live.is_empty() {
@@ -57,71 +60,86 @@ fn drive(state: &mut dyn LoopState, n: u64, p: usize, order_seed: u64) -> Vec<u3
     counts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_scheduler_covers_exactly_once(
-        n in 0u64..2000,
-        p in 1usize..17,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn every_scheduler_covers_exactly_once() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0001);
+    for _ in 0..64 {
+        let n = rng.next_below(2000);
+        let p = 1 + rng.next_below(16) as usize;
+        let seed = rng.next_u64();
         for sched in all_schedulers() {
             let mut state = sched.begin_loop(n, p);
             let counts = drive(&mut *state, n, p, seed);
-            prop_assert!(
+            assert!(
                 counts.iter().all(|&c| c == 1),
                 "{}: n={n} p={p}: some iteration not executed exactly once",
                 sched.name()
             );
         }
     }
+}
 
-    #[test]
-    fn static_partition_tiles_any_n_p(n in 0u64..100_000, p in 1usize..64) {
+#[test]
+fn static_partition_tiles_any_n_p() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0002);
+    for _ in 0..64 {
+        let n = rng.next_below(100_000);
+        let p = 1 + rng.next_below(63) as usize;
         let mut covered = 0u64;
         for i in 0..p {
             let r = chunking::static_partition(n, p, i);
-            prop_assert_eq!(r.start, covered);
+            assert_eq!(r.start, covered);
             covered = r.end;
             // Balanced to within one iteration.
-            prop_assert!(r.len() <= n / p as u64 + 1);
+            assert!(r.len() <= n / p as u64 + 1);
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n);
     }
+}
 
-    #[test]
-    fn gss_chunks_never_increase(n in 1u64..100_000, p in 1usize..64) {
+#[test]
+fn gss_chunks_never_increase() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0003);
+    for _ in 0..64 {
+        let n = 1 + rng.next_below(99_999);
+        let p = 1 + rng.next_below(63) as usize;
         let mut remaining = n;
         let mut prev = u64::MAX;
         while remaining > 0 {
             let c = chunking::gss_chunk(remaining, p, 1);
-            prop_assert!(c >= 1 && c <= remaining);
-            prop_assert!(c <= prev);
+            assert!(c >= 1 && c <= remaining);
+            assert!(c <= prev);
             prev = c;
             remaining -= c;
         }
     }
+}
 
-    #[test]
-    fn trapezoid_always_covers(n in 1u64..100_000, p in 1usize..64) {
+#[test]
+fn trapezoid_always_covers() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0004);
+    for _ in 0..64 {
+        let n = 1 + rng.next_below(99_999);
+        let p = 1 + rng.next_below(63) as usize;
         let t = TrapezoidParams::conservative(n, p);
         let mut total = 0u64;
         let mut i = 0u64;
         while total < n {
             let c = t.chunk(i).min(n - total);
-            prop_assert!(c >= 1, "stalled at chunk {} (n={}, p={})", i, n, p);
+            assert!(c >= 1, "stalled at chunk {i} (n={n}, p={p})");
             total += c;
             i += 1;
         }
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
     }
+}
 
-    #[test]
-    fn afs_steals_only_under_imbalance(
-        n in 1u64..2000,
-        p in 2usize..12,
-    ) {
+#[test]
+fn afs_steals_only_under_imbalance() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0005);
+    for _ in 0..64 {
+        let n = 1 + rng.next_below(1999);
+        let p = 2 + rng.next_below(10) as usize;
         // Lock-step round-robin draining is perfectly balanced (up to queue
         // size differences of 1): the number of remote grabs must be tiny
         // compared to the number of local grabs.
@@ -145,34 +163,38 @@ proptest! {
             live = next;
         }
         // Remote grabs only mop up the ±1 queue-length differences.
-        prop_assert!(
+        assert!(
             remote <= p as u64,
-            "n={} p={}: {} remote vs {} local grabs",
-            n, p, remote, local
+            "n={n} p={p}: {remote} remote vs {local} local grabs"
         );
     }
+}
 
-    #[test]
-    fn afs_local_access_count_within_lemma_bound(
-        n in 100u64..1_000_000,
-        p in 1usize..64,
-    ) {
+#[test]
+fn afs_local_access_count_within_lemma_bound() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0006);
+    for _ in 0..64 {
+        let n = 100 + rng.next_below(999_900);
+        let p = 1 + rng.next_below(63) as usize;
         let k = p as u64;
         let exact = theory::afs_local_accesses_exact(n, p, k) as f64;
         let bound = theory::lemma31_bound(n / p as u64, k);
         // Exact count is O(k log(N/(Pk))): allow constant factor 3 plus an
         // additive k (the bound's hidden constants).
-        prop_assert!(
+        assert!(
             exact <= 3.0 * bound + 3.0 * k as f64 + 3.0,
-            "n={} p={}: exact {} vs bound {}", n, p, exact, bound
+            "n={n} p={p}: exact {exact} vs bound {bound}"
         );
     }
+}
 
-    #[test]
-    fn balanced_partition_never_worse_than_static(
-        costs in prop::collection::vec(0.0f64..100.0, 1..200),
-        p in 1usize..9,
-    ) {
+#[test]
+fn balanced_partition_never_worse_than_static() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0007);
+    for _ in 0..64 {
+        let len = 1 + rng.next_below(199) as usize;
+        let costs: Vec<f64> = (0..len).map(|_| 100.0 * rng.next_f64()).collect();
+        let p = 1 + rng.next_below(8) as usize;
         let parts = afs_core::partition::balanced_contiguous(&costs, p);
         let opt = afs_core::partition::bottleneck(&costs, &parts);
         // Compare against the naive even split.
@@ -180,39 +202,49 @@ proptest! {
             .map(|i| chunking::static_partition(costs.len() as u64, p, i))
             .collect();
         let naive_b = afs_core::partition::bottleneck(&costs, &naive);
-        prop_assert!(opt <= naive_b * (1.0 + 1e-9) + 1e-9,
-            "optimal {} worse than naive {}", opt, naive_b);
+        assert!(
+            opt <= naive_b * (1.0 + 1e-9) + 1e-9,
+            "optimal {opt} worse than naive {naive_b}"
+        );
     }
+}
 
-    #[test]
-    fn tapering_chunk_bounds(
-        remaining in 1u64..100_000,
-        p in 1usize..64,
-        mu in 0.1f64..100.0,
-        sigma in 0.0f64..100.0,
-    ) {
+#[test]
+fn tapering_chunk_bounds() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0008);
+    for _ in 0..64 {
+        let remaining = 1 + rng.next_below(99_999);
+        let p = 1 + rng.next_below(63) as usize;
+        let mu = 0.1 + 99.9 * rng.next_f64();
+        let sigma = 100.0 * rng.next_f64();
         let c = chunking::tapering_chunk(remaining, p, mu, sigma, 1.3);
-        prop_assert!(c >= 1 && c <= remaining);
+        assert!(c >= 1 && c <= remaining);
         // Never larger than the GSS chunk.
-        prop_assert!(c <= chunking::gss_chunk(remaining, p, 1).max(1));
+        assert!(c <= chunking::gss_chunk(remaining, p, 1).max(1));
     }
+}
 
-    #[test]
-    fn thm33_chunk_holds_at_most_fair_work(
-        remaining in 10u64..5000,
-        p in 1usize..32,
-        k in 0u32..4,
-    ) {
+#[test]
+fn thm33_chunk_holds_at_most_fair_work() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FE_0009);
+    for _ in 0..64 {
+        let remaining = 10 + rng.next_below(4990);
+        let p = 1 + rng.next_below(31) as usize;
+        let k = rng.next_below(4) as u32;
         let chunk = theory::thm33_balanced_chunk(remaining, p, k);
         let work = theory::poly_prefix_work(remaining, chunk, k);
         let total = theory::poly_total_work(remaining, k);
         // The theorem guarantees ≤ 1/P of the remaining work, up to the ±1
         // iteration granularity of integer chunks.
         let slack = theory::decreasing_poly_cost(remaining, 0, k);
-        prop_assert!(
+        assert!(
             work <= total / p as f64 + slack,
             "remaining={} p={} k={}: work {} vs fair {}",
-            remaining, p, k, work, total / p as f64
+            remaining,
+            p,
+            k,
+            work,
+            total / p as f64
         );
     }
 }
@@ -225,7 +257,7 @@ fn afs_iteration_never_reassigned_twice() {
         let n = 512;
         let p = 8;
         let mut state = sched.begin_loop(n, p);
-        let mut rng = afs_core::rng::Xoshiro256::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut counts = vec![0u32; n as usize];
         // Worker 0 issues requests 4x as often as the rest.
         let mut live: Vec<usize> = (0..p).collect();

@@ -17,6 +17,12 @@
 //! * [`shared::RowMatrix`] — a row-sharded shared array giving kernels
 //!   race-free mutable access to disjoint rows from multiple workers.
 //!
+//! Execution can be traced: build the pool with [`pool::Pool::with_trace`]
+//! and every grab, chunk, contended lock acquisition and barrier entry is
+//! recorded into an `afs_trace::TraceSink` (per-worker ring buffers, no
+//! cross-thread synchronization on the hot path). Pools without a sink pay
+//! nothing — the drivers specialize on the sink's presence per loop.
+//!
 //! ```
 //! use afs_runtime::prelude::*;
 //! use afs_core::prelude::*;
@@ -36,6 +42,7 @@ pub mod pool;
 pub mod shared;
 pub mod source;
 pub mod source_le;
+pub mod sync;
 
 pub use parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
 pub use pool::Pool;

@@ -3,10 +3,12 @@
 use crate::pool::Pool;
 use crate::source::{AfsSource, LockedSource, StaticSource, WorkSource};
 use crate::source_le::{AfsLeSource, LeHistory};
+use crate::sync::Mutex;
 use afs_core::metrics::LoopMetrics;
 use afs_core::policy::{QueueTopology, Scheduler};
 use afs_core::schedulers::affinity::KParam;
-use parking_lot::Mutex;
+use afs_trace::{EventKind, TraceSink};
+use std::sync::Arc;
 
 /// A scheduling policy usable by the runtime.
 ///
@@ -126,16 +128,34 @@ impl RuntimeScheduler {
         }
     }
 
-    fn make_source(&self, n: u64, p: usize) -> Box<dyn WorkSource + '_> {
+    fn make_source(
+        &self,
+        n: u64,
+        p: usize,
+        trace: Option<&Arc<TraceSink>>,
+    ) -> Box<dyn WorkSource + '_> {
         match &self.kind {
-            Kind::Locked(s) => Box::new(LockedSource::new(s.begin_loop(n, p))),
-            Kind::Afs { k } => Box::new(AfsSource::new(n, p, k.resolve(p))),
-            Kind::AfsLe { k, history } => Box::new(AfsLeSource::new(
-                n,
-                p,
-                k.resolve(p),
-                std::sync::Arc::clone(history),
-            )),
+            Kind::Locked(s) => {
+                let src = LockedSource::new(s.begin_loop(n, p));
+                Box::new(match trace {
+                    Some(sink) => src.with_trace(Arc::clone(sink)),
+                    None => src,
+                })
+            }
+            Kind::Afs { k } => {
+                let src = AfsSource::new(n, p, k.resolve(p));
+                Box::new(match trace {
+                    Some(sink) => src.with_trace(Arc::clone(sink)),
+                    None => src,
+                })
+            }
+            Kind::AfsLe { k, history } => {
+                let src = AfsLeSource::new(n, p, k.resolve(p), Arc::clone(history));
+                Box::new(match trace {
+                    Some(sink) => src.with_trace(Arc::clone(sink)),
+                    None => src,
+                })
+            }
             Kind::Static => Box::new(StaticSource::new(n, p)),
         }
     }
@@ -183,17 +203,43 @@ where
     L: Fn(usize) -> u64,
 {
     let p = pool.workers();
+    let trace = pool.trace();
     let mut total = LoopMetrics::new(p, policy.queues(p));
     for phase in 0..phases {
         let n = len_of(phase);
-        let source = policy.make_source(n, p);
+        let source = policy.make_source(n, p, trace);
         let phase_metrics = Mutex::new(LoopMetrics::new(p, policy.queues(p)));
         pool.run(|worker| {
             let mut local = LoopMetrics::new(p, policy.queues(p));
-            while let Some(grab) = source.next(worker) {
-                local.record(worker, &grab);
-                for i in grab.range.iter() {
-                    body(phase, i);
+            match trace {
+                None => {
+                    // Untraced fast path: not even a per-grab branch.
+                    while let Some(grab) = source.next(worker) {
+                        local.record(worker, &grab);
+                        for i in grab.range.iter() {
+                            body(phase, i);
+                        }
+                    }
+                }
+                Some(sink) => {
+                    loop {
+                        sink.record(worker, EventKind::GrabBegin);
+                        let Some(grab) = source.next(worker) else {
+                            // The failed final grab is not a Grab* event, so
+                            // event counts stay 1:1 with LoopMetrics; mark
+                            // the transition into the end-of-loop barrier.
+                            sink.record(worker, EventKind::BarrierWait);
+                            break;
+                        };
+                        sink.record(worker, EventKind::of_grab(&grab));
+                        local.record(worker, &grab);
+                        let (q, lo, hi) = (grab.queue as u32, grab.range.start, grab.range.end);
+                        sink.record(worker, EventKind::ChunkStart { queue: q, lo, hi });
+                        for i in grab.range.iter() {
+                            body(phase, i);
+                        }
+                        sink.record(worker, EventKind::ChunkEnd);
+                    }
                 }
             }
             phase_metrics.lock().merge(&local);

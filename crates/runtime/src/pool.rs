@@ -4,9 +4,16 @@
 //! (space sharing, §2.1); the pool mirrors that: `P` threads are spawned
 //! once and reused for every parallel loop and phase, so per-loop overhead
 //! is a broadcast + barrier, not thread creation.
+//!
+//! A pool can carry an [`afs_trace::TraceSink`] ([`Pool::with_trace`]): the
+//! loop drivers in [`crate::parallel`] then record scheduling events into
+//! the sink's per-worker lanes, spanning every loop and phase run on the
+//! pool. Without a sink, tracing costs nothing — not even a branch per
+//! event, since the drivers specialize on `trace().is_some()` once per
+//! worker per loop.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use afs_trace::TraceSink;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
@@ -31,11 +38,30 @@ pub struct Pool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     p: usize,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl Pool {
     /// Spawns `p` workers. Panics if `p == 0`.
     pub fn new(p: usize) -> Self {
+        Self::build(p, None)
+    }
+
+    /// Spawns `p` workers that record scheduling events into `sink`.
+    ///
+    /// The sink must have at least `p` lanes (one per worker); the same
+    /// sink keeps accumulating across every loop and phase run on this
+    /// pool, so one trace can span a whole multi-loop application.
+    pub fn with_trace(p: usize, sink: Arc<TraceSink>) -> Self {
+        assert!(
+            sink.workers() >= p,
+            "trace sink has {} lanes but the pool needs {p}",
+            sink.workers()
+        );
+        Self::build(p, Some(sink))
+    }
+
+    fn build(p: usize, trace: Option<Arc<TraceSink>>) -> Self {
         assert!(p >= 1, "need at least one worker");
         let shared = Arc::new(Shared {
             slot: Mutex::new(Slot {
@@ -56,12 +82,22 @@ impl Pool {
                     .expect("failed to spawn worker")
             })
             .collect();
-        Self { shared, handles, p }
+        Self {
+            shared,
+            handles,
+            p,
+            trace,
+        }
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.p
+    }
+
+    /// The trace sink attached at construction, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// Runs `job(worker_index)` on every worker and waits for all to finish.
@@ -75,19 +111,19 @@ impl Pool {
     }
 
     fn run_arc(&self, job: Job) {
-        let mut slot = self.shared.slot.lock();
+        let mut slot = self.shared.slot.lock().unwrap();
         // Serialize concurrent callers: a second `run` posted while a job is
         // in flight would overwrite the generation and corrupt the barrier
         // count, so wait for the previous job to drain first.
         while slot.running > 0 {
-            self.shared.done.wait(&mut slot);
+            slot = self.shared.done.wait(slot).unwrap();
         }
         slot.job = Some(job);
         slot.generation += 1;
         slot.running = self.p;
         self.shared.start.notify_all();
         while slot.running > 0 {
-            self.shared.done.wait(&mut slot);
+            slot = self.shared.done.wait(slot).unwrap();
         }
         slot.job = None;
     }
@@ -109,7 +145,7 @@ fn worker_loop(idx: usize, shared: &Shared) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut slot = shared.slot.lock();
+            let mut slot = shared.slot.lock().unwrap();
             loop {
                 if slot.shutdown {
                     return;
@@ -120,7 +156,7 @@ fn worker_loop(idx: usize, shared: &Shared) {
                         break Arc::clone(job);
                     }
                 }
-                shared.start.wait(&mut slot);
+                slot = shared.start.wait(slot).unwrap();
             }
         };
         // Abort on panic: unwinding past the barrier would deadlock `run`.
@@ -128,7 +164,7 @@ fn worker_loop(idx: usize, shared: &Shared) {
         job(idx);
         std::mem::forget(guard);
 
-        let mut slot = shared.slot.lock();
+        let mut slot = shared.slot.lock().unwrap();
         slot.running -= 1;
         if slot.running == 0 {
             shared.done.notify_all();
@@ -147,7 +183,7 @@ impl Drop for AbortOnPanic {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut slot = self.shared.slot.lock();
+            let mut slot = self.shared.slot.lock().unwrap();
             slot.shutdown = true;
             self.shared.start.notify_all();
         }
@@ -216,5 +252,21 @@ mod tests {
         let pool = Pool::new(4);
         pool.run(|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn with_trace_exposes_sink() {
+        let sink = Arc::new(TraceSink::new(2));
+        let pool = Pool::with_trace(2, Arc::clone(&sink));
+        assert!(pool.trace().is_some());
+        assert_eq!(pool.trace().unwrap().workers(), 2);
+        assert!(Pool::new(2).trace().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes")]
+    fn with_trace_rejects_undersized_sink() {
+        let sink = Arc::new(TraceSink::new(1));
+        let _ = Pool::with_trace(4, sink);
     }
 }

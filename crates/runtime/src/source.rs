@@ -9,11 +9,13 @@
 //! per-queue locks plus lock-free load checks (the paper's footnote 4 —
 //! checking a queue's load requires no synchronization).
 
+use crate::sync::{lock_traced, Mutex};
 use afs_core::chunking::{afs_local_chunk, afs_steal_chunk, static_partition};
 use afs_core::policy::{AccessKind, Grab, LoopState};
 use afs_core::range::IterRange;
-use parking_lot::Mutex;
+use afs_trace::TraceSink;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A concurrent source of loop chunks.
 pub trait WorkSource: Sync {
@@ -25,6 +27,7 @@ pub trait WorkSource: Sync {
 /// Any core scheduler state machine driven under its queue lock.
 pub struct LockedSource {
     state: Mutex<Box<dyn LoopState>>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl LockedSource {
@@ -32,13 +35,21 @@ impl LockedSource {
     pub fn new(state: Box<dyn LoopState>) -> Self {
         Self {
             state: Mutex::new(state),
+            trace: None,
         }
+    }
+
+    /// Records contended acquisitions of the central queue lock into `sink`.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 }
 
 impl WorkSource for LockedSource {
     fn next(&self, worker: usize) -> Option<Grab> {
-        self.state.lock().next(worker)
+        // The single central queue is queue 0 in lock-wait events.
+        lock_traced(&self.state, self.trace.as_deref(), worker, 0).next(worker)
     }
 }
 
@@ -52,6 +63,7 @@ pub struct AfsSource {
     lens: Vec<AtomicU64>,
     k: u64,
     p: usize,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl AfsSource {
@@ -66,7 +78,14 @@ impl AfsSource {
             queues: parts.into_iter().map(Mutex::new).collect(),
             k,
             p,
+            trace: None,
         }
+    }
+
+    /// Records contended queue-lock acquisitions into `sink`.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Lock-free load check: index of the most loaded queue, or `None` if
@@ -91,7 +110,8 @@ impl WorkSource for AfsSource {
         loop {
             // Local queue first.
             if self.lens[worker].load(Ordering::Relaxed) > 0 {
-                let mut q = self.queues[worker].lock();
+                let mut q =
+                    lock_traced(&self.queues[worker], self.trace.as_deref(), worker, worker);
                 let len = q.len();
                 if len > 0 {
                     let take = afs_local_chunk(len, self.k);
@@ -106,7 +126,7 @@ impl WorkSource for AfsSource {
             }
             // Steal 1/P from the most loaded queue.
             let victim = self.most_loaded()?;
-            let mut q = self.queues[victim].lock();
+            let mut q = lock_traced(&self.queues[victim], self.trace.as_deref(), worker, victim);
             let len = q.len();
             if len == 0 {
                 // Raced with the owner or another thief; re-scan.

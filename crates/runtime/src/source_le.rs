@@ -7,11 +7,12 @@
 //! with an atomic length for lock-free load checks.
 
 use crate::source::WorkSource;
+use crate::sync::{lock_traced, Mutex};
 use afs_core::chunking::{afs_local_chunk, afs_steal_chunk, static_partition};
 use afs_core::policy::{AccessKind, Grab};
 use afs_core::range::IterRange;
 use afs_core::schedulers::affinity::RangeQueue;
-use parking_lot::Mutex;
+use afs_trace::TraceSink;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,6 +52,7 @@ pub struct AfsLeSource {
     k: u64,
     p: usize,
     history: Arc<LeHistory>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl AfsLeSource {
@@ -84,7 +86,14 @@ impl AfsLeSource {
             k,
             p,
             history,
+            trace: None,
         }
+    }
+
+    /// Records contended queue-lock acquisitions into `sink`.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     fn most_loaded(&self) -> Option<usize> {
@@ -106,7 +115,8 @@ impl WorkSource for AfsLeSource {
         debug_assert!(worker < self.p);
         loop {
             if self.lens[worker].load(Ordering::Relaxed) > 0 {
-                let mut q = self.queues[worker].lock();
+                let mut q =
+                    lock_traced(&self.queues[worker], self.trace.as_deref(), worker, worker);
                 let len = q.len();
                 if len > 0 {
                     let m = afs_local_chunk(len, self.k);
@@ -123,7 +133,7 @@ impl WorkSource for AfsLeSource {
                 }
             }
             let victim = self.most_loaded()?;
-            let mut q = self.queues[victim].lock();
+            let mut q = lock_traced(&self.queues[victim], self.trace.as_deref(), worker, victim);
             let len = q.len();
             if len == 0 {
                 continue;

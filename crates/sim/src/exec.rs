@@ -351,8 +351,7 @@ impl<'a> Engine<'a> {
         // long-idle processor does not spin per-quantum.
         if let Some((quantum, keep)) = self.cfg.disruption {
             if t >= self.next_disrupt[proc] {
-                let crossings =
-                    ((t - self.next_disrupt[proc]) / quantum).floor() as i32 + 1;
+                let crossings = ((t - self.next_disrupt[proc]) / quantum).floor() as i32 + 1;
                 self.caches[proc].evict_fraction(keep.powi(crossings));
                 self.next_disrupt[proc] += quantum * crossings as f64;
             }

@@ -11,7 +11,6 @@
 
 /// Interconnect topology between processors and memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Interconnect {
     /// A single shared bus: every block transfer occupies the bus for its
     /// full duration (FCFS). This is what saturates on the Iris/Symmetry.
@@ -23,7 +22,6 @@ pub enum Interconnect {
 
 /// Cost model of one shared-memory multiprocessor.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineSpec {
     /// Human-readable machine name.
     pub name: String,

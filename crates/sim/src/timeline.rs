@@ -62,11 +62,14 @@ impl Timeline {
 
     /// Total time of a given kind on one lane.
     pub fn lane_total(&self, proc: usize, kind: SegmentKind) -> f64 {
+        // `+ 0.0` normalizes the empty sum: float `sum()` uses -0.0 as its
+        // identity, which would otherwise print as "-0.0".
         self.lanes[proc]
             .iter()
             .filter(|s| s.kind == kind)
             .map(|s| s.end - s.start)
-            .sum()
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Latest segment end across all lanes.

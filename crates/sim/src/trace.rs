@@ -12,10 +12,72 @@
 //!   versioned and validated on load).
 
 use crate::workload::{BlockAccess, Work, Workload};
-use bytes::{Buf, BufMut};
 
 const MAGIC: &[u8; 8] = b"AFSTRACE";
 const VERSION: u32 = 1;
+
+/// Little-endian append helpers for the writer side.
+trait PutLe {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader for the parser side. Every getter
+/// fails with [`TraceError::Truncated`] instead of panicking.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.data.len() < n {
+            return Err(TraceError::Truncated);
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+    fn get_u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+    fn get_u16_le(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn get_u32_le(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn get_u64_le(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn get_f64_le(&mut self) -> Result<f64, TraceError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
 
 /// Errors from [`TraceWorkload::from_bytes`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,62 +184,47 @@ impl TraceWorkload {
     }
 
     /// Deserializes the binary format, validating structure.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, TraceError> {
-        fn need(data: &[u8], n: usize) -> Result<(), TraceError> {
-            if data.remaining() < n {
-                Err(TraceError::Truncated)
-            } else {
-                Ok(())
-            }
-        }
-        need(data, 8 + 4)?;
-        let mut magic = [0u8; 8];
-        data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, TraceError> {
+        let mut data = Reader { data };
+        let magic = data.take(8)?;
+        if magic != MAGIC {
             return Err(TraceError::BadMagic);
         }
-        let version = data.get_u32_le();
+        let version = data.get_u32_le()?;
         if version != VERSION {
             return Err(TraceError::BadVersion(version));
         }
-        need(data, 4)?;
-        let name_len = data.get_u32_le() as usize;
+        let name_len = data.get_u32_le()? as usize;
         if name_len > 1 << 20 {
             return Err(TraceError::Corrupt);
         }
-        need(data, name_len)?;
-        let mut name_bytes = vec![0u8; name_len];
-        data.copy_to_slice(&mut name_bytes);
+        let name_bytes = data.take(name_len)?.to_vec();
         let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Corrupt)?;
-        need(data, 4)?;
-        let num_phases = data.get_u32_le() as usize;
+        let num_phases = data.get_u32_le()? as usize;
         if num_phases > 1 << 24 {
             return Err(TraceError::Corrupt);
         }
         let mut phases = Vec::with_capacity(num_phases);
         for _ in 0..num_phases {
-            need(data, 1 + 8)?;
-            let has_memory = data.get_u8() != 0;
-            let len = data.get_u64_le();
+            let has_memory = data.get_u8()? != 0;
+            let len = data.get_u64_le()?;
             if len > 1 << 32 {
                 return Err(TraceError::Corrupt);
             }
             let mut iters = Vec::with_capacity(len as usize);
             for _ in 0..len {
-                need(data, 8 + 8 + 2 + 2)?;
-                let flops = data.get_f64_le();
-                let divs = data.get_f64_le();
+                let flops = data.get_f64_le()?;
+                let divs = data.get_f64_le()?;
                 if !flops.is_finite() || !divs.is_finite() {
                     return Err(TraceError::Corrupt);
                 }
-                let n_reads = data.get_u16_le() as usize;
-                let n_writes = data.get_u16_le() as usize;
-                need(data, (n_reads + n_writes) * 12)?;
+                let n_reads = data.get_u16_le()? as usize;
+                let n_writes = data.get_u16_le()? as usize;
                 let mut read_accesses = Vec::with_capacity(n_reads);
                 let mut write_accesses = Vec::with_capacity(n_writes);
                 for k in 0..n_reads + n_writes {
-                    let block = data.get_u64_le();
-                    let bytes = data.get_u32_le();
+                    let block = data.get_u64_le()?;
+                    let bytes = data.get_u32_le()?;
                     let acc = BlockAccess { block, bytes };
                     if k < n_reads {
                         read_accesses.push(acc);

@@ -1,9 +1,13 @@
-//! Property-based tests for the simulator substrate.
+//! Property-style tests for the simulator substrate.
+//!
+//! Inputs are sampled from a seeded [`Xoshiro256`] so every run checks the
+//! same (large) set of cases deterministically — no external property-test
+//! framework, same invariants.
 
 use afs_core::prelude::*;
+use afs_core::rng::Xoshiro256;
 use afs_sim::cache::BlockCache;
 use afs_sim::prelude::*;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// A trivially correct reference LRU cache to check `BlockCache` against.
@@ -54,25 +58,30 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `BlockCache` behaves exactly like the reference LRU under arbitrary
-    /// access/write traces.
-    #[test]
-    fn cache_matches_reference_model(
-        capacity in prop::sample::select(vec![0u64, 100, 256, 1000, 4096]),
-        ops in prop::collection::vec((0u64..24, 1u32..300, prop::bool::ANY), 1..300),
-    ) {
+/// `BlockCache` behaves exactly like the reference LRU under arbitrary
+/// access/write traces.
+#[test]
+fn cache_matches_reference_model() {
+    let capacities = [0u64, 100, 256, 1000, 4096];
+    let mut rng = Xoshiro256::seed_from_u64(0xCACE_0001);
+    for case in 0..128 {
+        let capacity = capacities[rng.next_below(capacities.len() as u64) as usize];
+        let n_ops = 1 + rng.next_below(299) as usize;
         let mut real = BlockCache::new(capacity);
         let mut reference = RefCache::new(capacity);
         let mut versions: HashMap<u64, u32> = HashMap::new();
-        for (block, bytes, is_write) in ops {
+        for _ in 0..n_ops {
+            let block = rng.next_below(24);
+            let bytes = 1 + rng.next_below(299) as u32;
+            let is_write = rng.chance(0.5);
             let v = *versions.entry(block).or_insert(0);
             let got = real.access(block, bytes, v);
             let want = reference.access(block, bytes, v);
-            prop_assert_eq!(got, want, "access(block={}, bytes={}, v={})", block, bytes, v);
-            prop_assert_eq!(real.used_bytes(), reference.used());
+            assert_eq!(
+                got, want,
+                "case {case}: access(block={block}, bytes={bytes}, v={v})"
+            );
+            assert_eq!(real.used_bytes(), reference.used(), "case {case}");
             if is_write {
                 let nv = v + 1;
                 versions.insert(block, nv);
@@ -81,119 +90,135 @@ proptest! {
             }
         }
     }
+}
 
-    /// Simulation is a pure function of (workload, scheduler, config).
-    #[test]
-    fn simulation_is_deterministic(
-        n in 1u64..3000,
-        p in 1usize..16,
-        seed in any::<u64>(),
-        heavy in 1.0f64..200.0,
-    ) {
+/// Simulation is a pure function of (workload, scheduler, config).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE7E_0002);
+    for _ in 0..32 {
+        let n = 1 + rng.next_below(2999);
+        let p = 1 + rng.next_below(15) as usize;
+        let seed = rng.next_u64();
+        let heavy = 1.0 + 199.0 * rng.next_f64();
         let wl = SyntheticLoop::step_front(n, heavy, 1.0);
         let cfg = SimConfig::new(MachineSpec::iris(), p.min(8))
             .with_jitter(0.05)
             .with_seed(seed);
         let a = simulate(&wl, &Factoring::new(), &cfg);
         let b = simulate(&wl, &Factoring::new(), &cfg);
-        prop_assert_eq!(a.completion_time.to_bits(), b.completion_time.to_bits());
-        prop_assert_eq!(a.metrics.sync, b.metrics.sync);
-        prop_assert_eq!(a.cache_misses, b.cache_misses);
+        assert_eq!(a.completion_time.to_bits(), b.completion_time.to_bits());
+        assert_eq!(a.metrics.sync, b.metrics.sync);
+        assert_eq!(a.cache_misses, b.cache_misses);
     }
+}
 
-    /// Every scheduler executes exactly n iterations, and completion is at
-    /// least the critical path (max single iteration) and at least work/P.
-    #[test]
-    fn completion_bounds(
-        n in 1u64..2000,
-        p in 1usize..16,
-    ) {
+/// Every scheduler executes exactly n iterations, and completion is at
+/// least the critical path (max single iteration) and at least work/P.
+#[test]
+fn completion_bounds() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB0DD_0003);
+    for _ in 0..24 {
+        let n = 1 + rng.next_below(1999);
+        let p = 1 + rng.next_below(15) as usize;
         let wl = SyntheticLoop::triangular(n, 1.0);
         let machine = MachineSpec::ideal(16);
         for sched in afs_core::schedulers::paper_suite() {
             let cfg = SimConfig::new(machine.clone(), p);
             let res = simulate(&wl, &sched, &cfg);
-            prop_assert_eq!(res.metrics.total_iters(), n, "{}", sched.name());
+            assert_eq!(res.metrics.total_iters(), n, "{}", sched.name());
             let total: f64 = (0..n).map(|i| (n - i) as f64).sum();
             let max_iter = n as f64;
             let lower = (total / p as f64).max(max_iter);
-            prop_assert!(
+            assert!(
                 res.completion_time >= lower - 1e-6,
                 "{}: completion {} below lower bound {}",
-                sched.name(), res.completion_time, lower
+                sched.name(),
+                res.completion_time,
+                lower
             );
             // And an upper bound: no scheduler is worse than serializing
             // everything plus per-grab sync (zero on the ideal machine).
-            prop_assert!(res.completion_time <= total + 1e-6);
+            assert!(res.completion_time <= total + 1e-6);
         }
     }
+}
 
-    /// Adding processors never hurts on a contention-free machine under
-    /// dynamic schedulers with single-iteration tails.
-    #[test]
-    fn more_processors_never_hurt_on_ideal(
-        n in 8u64..2000,
-        p in 1usize..15,
-    ) {
+/// Adding processors never hurts on a contention-free machine under
+/// dynamic schedulers with single-iteration tails.
+#[test]
+fn more_processors_never_hurt_on_ideal() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1DEA_0004);
+    for _ in 0..32 {
+        let n = 8 + rng.next_below(1992);
+        let p = 1 + rng.next_below(14) as usize;
         let wl = SyntheticLoop::balanced(n, 7.0);
-        let t_p = simulate(
-            &wl,
-            &Gss::new(),
-            &SimConfig::new(MachineSpec::ideal(16), p),
-        )
-        .completion_time;
+        let t_p =
+            simulate(&wl, &Gss::new(), &SimConfig::new(MachineSpec::ideal(16), p)).completion_time;
         let t_p1 = simulate(
             &wl,
             &Gss::new(),
             &SimConfig::new(MachineSpec::ideal(16), p + 1),
         )
         .completion_time;
-        prop_assert!(t_p1 <= t_p * (1.0 + 1e-9), "P={}: {} -> {}", p, t_p, t_p1);
+        assert!(t_p1 <= t_p * (1.0 + 1e-9), "P={p}: {t_p} -> {t_p1}");
     }
+}
 
-    /// Per-phase times sum to the total; phase count matches the workload.
-    #[test]
-    fn phase_time_conservation(
-        n in 1u64..300,
-        phases in 1usize..12,
-        p in 1usize..8,
-    ) {
-        struct Multi(u64, usize);
-        impl Workload for Multi {
-            fn name(&self) -> String { "multi".into() }
-            fn phases(&self) -> usize { self.1 }
-            fn phase_len(&self, _p: usize) -> u64 { self.0 }
-            fn cost(&self, ph: usize, i: u64) -> Work {
-                Work::flops(1.0 + ((ph as u64 + i) % 5) as f64)
-            }
-            fn has_memory(&self, _p: usize) -> bool { false }
+/// Per-phase times sum to the total; phase count matches the workload.
+#[test]
+fn phase_time_conservation() {
+    struct Multi(u64, usize);
+    impl Workload for Multi {
+        fn name(&self) -> String {
+            "multi".into()
         }
+        fn phases(&self) -> usize {
+            self.1
+        }
+        fn phase_len(&self, _p: usize) -> u64 {
+            self.0
+        }
+        fn cost(&self, ph: usize, i: u64) -> Work {
+            Work::flops(1.0 + ((ph as u64 + i) % 5) as f64)
+        }
+        fn has_memory(&self, _p: usize) -> bool {
+            false
+        }
+    }
+    let mut rng = Xoshiro256::seed_from_u64(0xFA5E_0005);
+    for _ in 0..32 {
+        let n = 1 + rng.next_below(299);
+        let phases = 1 + rng.next_below(11) as usize;
+        let p = 1 + rng.next_below(7) as usize;
         let wl = Multi(n, phases);
         let res = simulate(
             &wl,
             &Affinity::with_k_equals_p(),
             &SimConfig::new(MachineSpec::ideal(8), p),
         );
-        prop_assert_eq!(res.phase_times.len(), phases);
+        assert_eq!(res.phase_times.len(), phases);
         let sum: f64 = res.phase_times.iter().sum();
-        prop_assert!((sum - res.completion_time).abs() < 1e-9 * sum.max(1.0));
-        prop_assert_eq!(res.metrics.total_iters(), n * phases as u64);
+        assert!((sum - res.completion_time).abs() < 1e-9 * sum.max(1.0));
+        assert_eq!(res.metrics.total_iters(), n * phases as u64);
     }
+}
 
-    /// Start delays only ever increase completion time, by at most the delay.
-    #[test]
-    fn delays_are_bounded_perturbations(
-        n in 64u64..5000,
-        delay in 0.0f64..10_000.0,
-        proc in 0usize..4,
-    ) {
+/// Start delays only ever increase completion time, by at most the delay.
+#[test]
+fn delays_are_bounded_perturbations() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE1A_0006);
+    for _ in 0..32 {
+        let n = 64 + rng.next_below(4936);
+        let delay = 10_000.0 * rng.next_f64();
+        let proc = rng.next_below(4) as usize;
         let wl = SyntheticLoop::balanced(n, 3.0);
         let base_cfg = SimConfig::new(MachineSpec::ideal(4), 4);
         let base = simulate(&wl, &Gss::new(), &base_cfg).completion_time;
         let cfg = SimConfig::new(MachineSpec::ideal(4), 4).with_delay(proc, delay);
         let delayed = simulate(&wl, &Gss::new(), &cfg).completion_time;
-        prop_assert!(delayed + 1e-9 >= base);
-        prop_assert!(delayed <= base + delay + 1e-9);
+        assert!(delayed + 1e-9 >= base);
+        assert!(delayed <= base + delay + 1e-9);
     }
 }
 

@@ -1,0 +1,278 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the `{"traceEvents": [...]}` format understood by
+//! `chrome://tracing` and Perfetto: one lane ("thread") per worker,
+//! complete (`"X"`) events for chunks, grabs and lock waits, instants for
+//! barrier entry, and flow arrows (`"s"`/`"f"`) drawn from the victim lane
+//! to the thief for every remote steal. Timestamps are microseconds with
+//! nanosecond fractions.
+
+use crate::event::EventKind;
+use crate::sink::TraceSink;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds (with ns fraction) from a nanosecond timestamp.
+fn us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1_000.0
+}
+
+/// One emitted JSON object, paired with its sort keys so the final stream
+/// can be ordered by (lane, time) — viewers do not require global ordering,
+/// but tests (and humans reading the file) appreciate it.
+struct Emitted {
+    tid: usize,
+    ts_ns: u64,
+    /// Tie-break so begin-flows sort before their finish even at equal ts.
+    seq: usize,
+    json: String,
+}
+
+/// Serializes everything `sink` recorded as a Chrome trace-event JSON
+/// document. `process_name` labels the trace (e.g. the experiment id).
+///
+/// The output is a complete, self-contained JSON object; write it to a
+/// `.json` file and load it in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
+    let mut events: Vec<Emitted> = Vec::new();
+    let mut seq = 0usize;
+    let mut push = |tid: usize, ts_ns: u64, seq: &mut usize, json: String| {
+        events.push(Emitted {
+            tid,
+            ts_ns,
+            seq: *seq,
+            json,
+        });
+        *seq += 1;
+    };
+
+    let mut flow_id = 0u64;
+    for w in 0..sink.workers() {
+        let mut grab_start: Option<u64> = None;
+        let mut wait_start: Option<(u64, u32)> = None;
+        let mut busy_start: Option<(u64, u32, u64, u64)> = None;
+        for ev in sink.events(w) {
+            match ev.kind {
+                EventKind::GrabBegin => grab_start = Some(ev.t),
+                EventKind::LockWaitBegin { queue } => wait_start = Some((ev.t, queue)),
+                EventKind::LockWaitEnd { queue } => {
+                    if let Some((s, _)) = wait_start.take() {
+                        let q = queue;
+                        push(
+                            w,
+                            s,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"lock wait\",\"cat\":\"sync\",\"ph\":\"X\",\
+                                 \"pid\":0,\"tid\":{w},\"ts\":{:.3},\"dur\":{:.3},\
+                                 \"args\":{{\"queue\":{q}}}}}",
+                                us(s),
+                                us(ev.t - s),
+                            ),
+                        );
+                    }
+                }
+                EventKind::GrabLocal { queue, lo, hi }
+                | EventKind::GrabRemote { queue, lo, hi } => {
+                    let remote = matches!(ev.kind, EventKind::GrabRemote { .. });
+                    let name = if remote { "grab remote" } else { "grab local" };
+                    if let Some(s) = grab_start.take() {
+                        push(
+                            w,
+                            s,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"{name}\",\"cat\":\"grab\",\"ph\":\"X\",\
+                                 \"pid\":0,\"tid\":{w},\"ts\":{:.3},\"dur\":{:.3},\
+                                 \"args\":{{\"queue\":{queue},\"lo\":{lo},\"hi\":{hi}}}}}",
+                                us(s),
+                                us(ev.t - s),
+                            ),
+                        );
+                    }
+                    if remote && queue as usize != w {
+                        // Flow arrow: victim lane -> thief lane.
+                        push(
+                            queue as usize,
+                            ev.t,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"s\",\
+                                 \"id\":{flow_id},\"pid\":0,\"tid\":{queue},\"ts\":{:.3}}}",
+                                us(ev.t),
+                            ),
+                        );
+                        push(
+                            w,
+                            ev.t,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"f\",\
+                                 \"bp\":\"e\",\"id\":{flow_id},\"pid\":0,\"tid\":{w},\
+                                 \"ts\":{:.3}}}",
+                                us(ev.t),
+                            ),
+                        );
+                        flow_id += 1;
+                    }
+                }
+                EventKind::GrabCentral { lo, hi } | EventKind::GrabFree { lo, hi } => {
+                    let name = match ev.kind {
+                        EventKind::GrabCentral { .. } => "grab central",
+                        _ => "grab free",
+                    };
+                    if let Some(s) = grab_start.take() {
+                        push(
+                            w,
+                            s,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"{name}\",\"cat\":\"grab\",\"ph\":\"X\",\
+                                 \"pid\":0,\"tid\":{w},\"ts\":{:.3},\"dur\":{:.3},\
+                                 \"args\":{{\"lo\":{lo},\"hi\":{hi}}}}}",
+                                us(s),
+                                us(ev.t - s),
+                            ),
+                        );
+                    }
+                }
+                EventKind::ChunkStart { queue, lo, hi } => {
+                    busy_start = Some((ev.t, queue, lo, hi));
+                }
+                EventKind::ChunkEnd => {
+                    if let Some((s, q, lo, hi)) = busy_start.take() {
+                        push(
+                            w,
+                            s,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"chunk [{lo},{hi})\",\"cat\":\"chunk\",\
+                                 \"ph\":\"X\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                                 \"dur\":{:.3},\"args\":{{\"queue\":{q},\"lo\":{lo},\
+                                 \"hi\":{hi}}}}}",
+                                us(s),
+                                us(ev.t - s),
+                            ),
+                        );
+                    }
+                }
+                EventKind::BarrierWait => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"barrier\",\"cat\":\"barrier\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Per-lane time order (metadata first), stable across equal stamps.
+    events.sort_by_key(|a| (a.tid, a.ts_ns, a.seq));
+
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let emit = |json: &str, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(json);
+    };
+    emit(
+        &format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(process_name)
+        ),
+        &mut out,
+        &mut first,
+    );
+    for w in 0..sink.workers() {
+        emit(
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for ev in &events {
+        emit(&ev.json, &mut out, &mut first);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind as K;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn steal_emits_flow_pair() {
+        let sink = TraceSink::new(2);
+        sink.record(1, K::GrabBegin);
+        sink.record(
+            1,
+            K::GrabRemote {
+                queue: 0,
+                lo: 5,
+                hi: 9,
+            },
+        );
+        let json = chrome_trace(&sink, "t");
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("grab remote"));
+    }
+
+    #[test]
+    fn local_grab_emits_no_flow() {
+        let sink = TraceSink::new(2);
+        sink.record(0, K::GrabBegin);
+        sink.record(
+            0,
+            K::GrabLocal {
+                queue: 0,
+                lo: 0,
+                hi: 4,
+            },
+        );
+        let json = chrome_trace(&sink, "t");
+        assert!(!json.contains("\"ph\":\"s\""));
+        assert!(json.contains("grab local"));
+    }
+}

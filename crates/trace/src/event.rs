@@ -1,0 +1,154 @@
+//! Trace events: what a worker records, with nanosecond timestamps.
+
+use afs_core::policy::{AccessKind, Grab};
+
+/// What happened. Payloads are kept small and `Copy` so recording writes a
+/// single fixed-size slot — no allocation on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The worker entered the scheduler's grab path (`WorkSource::next`).
+    /// Paired with the `Grab*` event that follows on the same lane; the
+    /// distance between them is the grab latency.
+    GrabBegin,
+    /// Took iterations `[lo, hi)` from the worker's own queue.
+    GrabLocal {
+        /// Queue the chunk came from (the worker's own).
+        queue: u32,
+        /// First iteration of the chunk.
+        lo: u64,
+        /// One past the last iteration.
+        hi: u64,
+    },
+    /// Stole iterations `[lo, hi)` from another worker's queue.
+    GrabRemote {
+        /// Victim queue.
+        queue: u32,
+        /// First iteration of the chunk.
+        lo: u64,
+        /// One past the last iteration.
+        hi: u64,
+    },
+    /// Took iterations `[lo, hi)` from a central shared queue.
+    GrabCentral {
+        /// First iteration of the chunk.
+        lo: u64,
+        /// One past the last iteration.
+        hi: u64,
+    },
+    /// Claimed a static partition `[lo, hi)` — no run-time synchronization.
+    GrabFree {
+        /// First iteration of the chunk.
+        lo: u64,
+        /// One past the last iteration.
+        hi: u64,
+    },
+    /// Started executing the loop body for iterations `[lo, hi)`.
+    ChunkStart {
+        /// Queue the chunk was grabbed from.
+        queue: u32,
+        /// First iteration of the chunk.
+        lo: u64,
+        /// One past the last iteration.
+        hi: u64,
+    },
+    /// Finished the chunk opened by the preceding `ChunkStart` on this lane.
+    ChunkEnd,
+    /// Started waiting for queue `queue`'s lock (it was contended).
+    LockWaitBegin {
+        /// Queue whose lock is being waited on.
+        queue: u32,
+    },
+    /// Acquired queue `queue`'s lock after waiting.
+    LockWaitEnd {
+        /// Queue whose lock was acquired.
+        queue: u32,
+    },
+    /// The loop is exhausted from this worker's point of view; it is heading
+    /// into the end-of-loop barrier. Time after this event is the idle tail.
+    BarrierWait,
+}
+
+impl EventKind {
+    /// The `Grab*` event corresponding to a successful [`Grab`].
+    pub fn of_grab(grab: &Grab) -> EventKind {
+        let (lo, hi) = (grab.range.start, grab.range.end);
+        match grab.access {
+            AccessKind::Local => EventKind::GrabLocal {
+                queue: grab.queue as u32,
+                lo,
+                hi,
+            },
+            AccessKind::Remote => EventKind::GrabRemote {
+                queue: grab.queue as u32,
+                lo,
+                hi,
+            },
+            AccessKind::Central => EventKind::GrabCentral { lo, hi },
+            AccessKind::Free => EventKind::GrabFree { lo, hi },
+        }
+    }
+
+    /// The synchronization class of a `Grab*` event, if it is one.
+    pub fn grab_access(&self) -> Option<AccessKind> {
+        match self {
+            EventKind::GrabLocal { .. } => Some(AccessKind::Local),
+            EventKind::GrabRemote { .. } => Some(AccessKind::Remote),
+            EventKind::GrabCentral { .. } => Some(AccessKind::Central),
+            EventKind::GrabFree { .. } => Some(AccessKind::Free),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: a monotonic timestamp (nanoseconds since the sink's
+/// origin) and what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since [`crate::sink::TraceSink`] creation.
+    pub t: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::range::IterRange;
+
+    #[test]
+    fn grab_events_mirror_access_kinds() {
+        for (access, expect_queue) in [
+            (AccessKind::Local, true),
+            (AccessKind::Remote, true),
+            (AccessKind::Central, false),
+            (AccessKind::Free, false),
+        ] {
+            let g = Grab {
+                range: IterRange::new(3, 9),
+                queue: 5,
+                access,
+            };
+            let ev = EventKind::of_grab(&g);
+            assert_eq!(ev.grab_access(), Some(access));
+            match ev {
+                EventKind::GrabLocal { queue, lo, hi }
+                | EventKind::GrabRemote { queue, lo, hi } => {
+                    assert!(expect_queue);
+                    assert_eq!((queue, lo, hi), (5, 3, 9));
+                }
+                EventKind::GrabCentral { lo, hi } | EventKind::GrabFree { lo, hi } => {
+                    assert!(!expect_queue);
+                    assert_eq!((lo, hi), (3, 9));
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_grab_events_have_no_access() {
+        assert_eq!(EventKind::GrabBegin.grab_access(), None);
+        assert_eq!(EventKind::ChunkEnd.grab_access(), None);
+        assert_eq!(EventKind::BarrierWait.grab_access(), None);
+    }
+}

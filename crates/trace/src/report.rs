@@ -1,0 +1,354 @@
+//! Aggregate post-run analysis of a recorded trace.
+//!
+//! Answers the paper's questions about a *real* execution: where did each
+//! worker's time go (busy / scheduler sync / lock wait / idle), how long do
+//! chunks and grabs take (log₂-bucket histograms), and who stole from whom
+//! (the steal matrix — the runtime cost of losing affinity).
+
+use crate::event::EventKind;
+use crate::sink::TraceSink;
+use crate::timeline::to_timeline;
+use afs_core::policy::AccessKind;
+use afs_sim::timeline::SegmentKind;
+use std::fmt::Write as _;
+
+/// Number of log₂ latency buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` ns, with bucket 0 also catching sub-nanosecond readings
+/// and the last bucket catching everything ≥ 2^(BUCKETS-1) ns (~34 s).
+pub const BUCKETS: usize = 36;
+
+/// A log₂-bucket histogram of durations in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` = samples with duration in `[2^i, 2^(i+1))` ns.
+    pub counts: [u64; BUCKETS],
+    /// Total number of samples.
+    pub samples: u64,
+    /// Sum of all sample durations (ns).
+    pub total_ns: u64,
+    /// Largest sample (ns).
+    pub max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            samples: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Adds one duration sample.
+    pub fn add(&mut self, ns: u64) {
+        let bucket = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.counts[bucket] += 1;
+        self.samples += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean sample duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.samples as f64
+        }
+    }
+}
+
+/// One worker's wall-clock breakdown, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerBreakdown {
+    /// Executing loop bodies.
+    pub busy_ns: f64,
+    /// In the scheduler's grab path (excluding lock waits).
+    pub sync_ns: f64,
+    /// Blocked on a contended queue lock.
+    pub wait_ns: f64,
+    /// Everything else up to the last event anywhere (barrier tail etc.).
+    pub idle_ns: f64,
+}
+
+/// Aggregated view of everything a [`TraceSink`] recorded.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Per-worker time breakdown.
+    pub workers: Vec<WorkerBreakdown>,
+    /// Grab counts by synchronization class — comparable 1:1 with
+    /// `afs_core::metrics::SyncOps` for the same run.
+    pub grabs: GrabCounts,
+    /// Chunk execution latency histogram.
+    pub chunk_latency: Histogram,
+    /// Grab latency histogram (`GrabBegin` → `Grab*`).
+    pub grab_latency: Histogram,
+    /// `steals[thief][victim]` = chunks worker `thief` took from `victim`'s
+    /// queue.
+    pub steals: Vec<Vec<u64>>,
+    /// Events lost to ring overflow, per worker.
+    pub dropped: Vec<u64>,
+    /// Run span: latest event timestamp (ns since sink origin).
+    pub span_ns: u64,
+}
+
+/// Grab counts by access kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrabCounts {
+    /// Central-queue grabs.
+    pub central: u64,
+    /// Local (own-queue) grabs.
+    pub local: u64,
+    /// Remote grabs (steals).
+    pub remote: u64,
+    /// Synchronization-free claims (static partitions).
+    pub free: u64,
+}
+
+impl GrabCounts {
+    /// Total grabs of any kind.
+    pub fn total(&self) -> u64 {
+        self.central + self.local + self.remote + self.free
+    }
+}
+
+impl TraceReport {
+    /// Builds the report from a completed run's sink.
+    pub fn from_sink(sink: &TraceSink) -> Self {
+        let p = sink.workers();
+        let span_ns = sink.last_event_ns();
+        let tl = to_timeline(sink);
+        let mut report = TraceReport {
+            workers: Vec::with_capacity(p),
+            steals: vec![vec![0; p]; p],
+            dropped: (0..p).map(|w| sink.dropped(w)).collect(),
+            span_ns,
+            ..Default::default()
+        };
+
+        for w in 0..p {
+            let busy = tl.lane_total(w, SegmentKind::Busy) * 1_000.0;
+            let sync = tl.lane_total(w, SegmentKind::Sync) * 1_000.0;
+            let wait = tl.lane_total(w, SegmentKind::Wait) * 1_000.0;
+            let idle = (span_ns as f64 - busy - sync - wait).max(0.0);
+            report.workers.push(WorkerBreakdown {
+                busy_ns: busy,
+                sync_ns: sync,
+                wait_ns: wait,
+                idle_ns: idle,
+            });
+
+            let mut grab_start: Option<u64> = None;
+            let mut busy_from: Option<u64> = None;
+            for ev in sink.events(w) {
+                match ev.kind {
+                    EventKind::GrabBegin => grab_start = Some(ev.t),
+                    EventKind::ChunkStart { .. } => busy_from = Some(ev.t),
+                    EventKind::ChunkEnd => {
+                        if let Some(s) = busy_from.take() {
+                            report.chunk_latency.add(ev.t - s);
+                        }
+                    }
+                    _ => {
+                        if let Some(access) = ev.kind.grab_access() {
+                            if let Some(s) = grab_start.take() {
+                                report.grab_latency.add(ev.t - s);
+                            }
+                            match access {
+                                AccessKind::Central => report.grabs.central += 1,
+                                AccessKind::Local => report.grabs.local += 1,
+                                AccessKind::Remote => report.grabs.remote += 1,
+                                AccessKind::Free => report.grabs.free += 1,
+                            }
+                            if let EventKind::GrabRemote { queue, .. } = ev.kind {
+                                report.steals[w][queue as usize] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Renders the report as a plain-text table block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let span_ms = self.span_ns as f64 / 1e6;
+        let _ = writeln!(out, "trace report — span {span_ms:.3} ms");
+        let _ = writeln!(
+            out,
+            "{:<8}{:>10}{:>10}{:>10}{:>10}{:>9}",
+            "worker", "busy%", "sync%", "wait%", "idle%", "dropped"
+        );
+        for (w, b) in self.workers.iter().enumerate() {
+            let span = self.span_ns.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "P{:<7}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9}",
+                w,
+                100.0 * b.busy_ns / span,
+                100.0 * b.sync_ns / span,
+                100.0 * b.wait_ns / span,
+                100.0 * b.idle_ns / span,
+                self.dropped[w],
+            );
+        }
+        let g = &self.grabs;
+        let _ = writeln!(
+            out,
+            "grabs: {} local, {} remote, {} central, {} free ({} total)",
+            g.local,
+            g.remote,
+            g.central,
+            g.free,
+            g.total()
+        );
+        let _ = writeln!(
+            out,
+            "chunk latency: mean {:.1} µs, max {:.1} µs over {} chunks",
+            self.chunk_latency.mean_ns() / 1e3,
+            self.chunk_latency.max_ns as f64 / 1e3,
+            self.chunk_latency.samples
+        );
+        let _ = writeln!(
+            out,
+            "grab latency:  mean {:.1} ns, max {:.1} ns over {} grabs",
+            self.grab_latency.mean_ns(),
+            self.grab_latency.max_ns as f64,
+            self.grab_latency.samples
+        );
+        if self.grabs.remote > 0 {
+            let _ = writeln!(out, "steal matrix (thief row → victim column):");
+            let p = self.steals.len();
+            let _ = write!(out, "      ");
+            for v in 0..p {
+                let _ = write!(out, "{:>6}", format!("P{v}"));
+            }
+            let _ = writeln!(out);
+            for (thief, row) in self.steals.iter().enumerate() {
+                let _ = write!(out, "  P{thief:<4}");
+                for &n in row {
+                    if n == 0 {
+                        let _ = write!(out, "{:>6}", "·");
+                    } else {
+                        let _ = write!(out, "{n:>6}");
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind as K;
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::default();
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(1024);
+        assert_eq!(h.counts[0], 2); // 0 and 1
+        assert_eq!(h.counts[1], 2); // 2 and 3
+        assert_eq!(h.counts[10], 1); // 1024
+        assert_eq!(h.samples, 5);
+        assert_eq!(h.max_ns, 1024);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_samples() {
+        let mut h = Histogram::default();
+        h.add(u64::MAX);
+        assert_eq!(h.counts[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn report_counts_grabs_and_steals() {
+        let sink = TraceSink::new(2);
+        sink.record(0, K::GrabBegin);
+        sink.record(
+            0,
+            K::GrabLocal {
+                queue: 0,
+                lo: 0,
+                hi: 4,
+            },
+        );
+        sink.record(
+            0,
+            K::ChunkStart {
+                queue: 0,
+                lo: 0,
+                hi: 4,
+            },
+        );
+        sink.record(0, K::ChunkEnd);
+        sink.record(1, K::GrabBegin);
+        sink.record(
+            1,
+            K::GrabRemote {
+                queue: 0,
+                lo: 4,
+                hi: 6,
+            },
+        );
+        sink.record(
+            1,
+            K::ChunkStart {
+                queue: 0,
+                lo: 4,
+                hi: 6,
+            },
+        );
+        sink.record(1, K::ChunkEnd);
+        sink.record(1, K::GrabBegin);
+        sink.record(1, K::GrabCentral { lo: 6, hi: 8 });
+        let r = TraceReport::from_sink(&sink);
+        assert_eq!(r.grabs.local, 1);
+        assert_eq!(r.grabs.remote, 1);
+        assert_eq!(r.grabs.central, 1);
+        assert_eq!(r.grabs.total(), 3);
+        assert_eq!(r.steals[1][0], 1);
+        assert_eq!(r.steals[0][1], 0);
+        assert_eq!(r.chunk_latency.samples, 2);
+        assert_eq!(r.grab_latency.samples, 3);
+        let text = r.render();
+        assert!(text.contains("steal matrix"));
+        assert!(text.contains("grabs: 1 local, 1 remote, 1 central, 0 free (3 total)"));
+    }
+
+    #[test]
+    fn breakdown_sums_to_span() {
+        let sink = TraceSink::new(1);
+        sink.record(
+            0,
+            K::ChunkStart {
+                queue: 0,
+                lo: 0,
+                hi: 1,
+            },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.record(0, K::ChunkEnd);
+        let r = TraceReport::from_sink(&sink);
+        let b = &r.workers[0];
+        let sum = b.busy_ns + b.sync_ns + b.wait_ns + b.idle_ns;
+        let span = r.span_ns as f64;
+        assert!((sum - span).abs() / span.max(1.0) < 1e-6, "{sum} vs {span}");
+        assert!(b.busy_ns > 0.0);
+    }
+}

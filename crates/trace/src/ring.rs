@@ -1,0 +1,158 @@
+//! A fixed-capacity, single-writer event ring buffer.
+//!
+//! Storage is allocated once at construction; recording never allocates.
+//! When the buffer is full, the *oldest* events are overwritten — a trace
+//! that overflows keeps its most recent history, which is what post-mortem
+//! analysis of an execution's tail wants — and a drop counter records how
+//! much was lost so reports can say so.
+
+use crate::event::Event;
+
+/// Default per-worker capacity (events). At 32 bytes per event this is
+/// 2 MiB per worker — roomy enough for hundreds of thousands of chunks.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Fixed-capacity ring of [`Event`]s with oldest-first eviction.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the next write when the ring is full (oldest element).
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `cap` events (`cap >= 1`). The full
+    /// backing store is reserved up front; `push` never reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "ring capacity must be at least 1");
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest one if full.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity the ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events in recording order (oldest surviving event first).
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &Event> {
+        let (wrapped, tail) = self.buf.split_at(self.head);
+        tail.iter().chain(wrapped.iter())
+    }
+
+    /// Snapshot of the surviving events in recording order.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.iter_in_order().copied().collect()
+    }
+
+    /// Discards all events and resets the drop counter. Capacity (and the
+    /// reserved backing store) is retained.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t,
+            kind: EventKind::GrabBegin,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut r = EventRing::with_capacity(4);
+        for t in 0..4 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        // Two more evict the two oldest.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.iter_in_order().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let mut r = EventRing::with_capacity(3);
+        for t in 0..100 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 97);
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn push_never_reallocates() {
+        let mut r = EventRing::with_capacity(8);
+        let ptr = r.buf.as_ptr();
+        for t in 0..50 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.buf.as_ptr(), ptr, "backing store must not move");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = EventRing::with_capacity(2);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(9));
+        assert_eq!(r.to_vec()[0].t, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventRing::with_capacity(0);
+    }
+}

@@ -13,7 +13,10 @@
 //!   Sequent Symmetry, KSR-1);
 //! * [`kernels`] — the paper's five application kernels plus
 //!   synthetic imbalance workloads, as real computations and as simulator
-//!   workload models.
+//!   workload models;
+//! * [`trace`] — low-overhead execution tracing for real runs:
+//!   per-worker ring buffers feeding the simulator's `Timeline` (ASCII
+//!   Gantt), a Chrome trace-event exporter, and aggregate reports.
 //!
 //! See the repository README for a tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -24,6 +27,7 @@ pub use afs_core as core;
 pub use afs_kernels as kernels;
 pub use afs_runtime as runtime;
 pub use afs_sim as sim;
+pub use afs_trace as trace;
 
 /// One-stop prelude: scheduling policies, runtime entry points, simulator
 /// machine models, and kernels.
@@ -32,4 +36,5 @@ pub mod prelude {
     pub use afs_kernels::prelude::*;
     pub use afs_runtime::prelude::*;
     pub use afs_sim::prelude::*;
+    pub use afs_trace::prelude::*;
 }

@@ -141,7 +141,10 @@ fn central_grab_counts_agree_everywhere() {
         (RuntimeScheduler::gss(), Box::new(Gss::new())),
         (RuntimeScheduler::factoring(), Box::new(Factoring::new())),
         (RuntimeScheduler::trapezoid(), Box::new(Trapezoid::new())),
-        (RuntimeScheduler::mod_factoring(), Box::new(ModFactoring::new())),
+        (
+            RuntimeScheduler::mod_factoring(),
+            Box::new(ModFactoring::new()),
+        ),
         (
             RuntimeScheduler::from_core(ChunkSelf::new(17)),
             Box::new(ChunkSelf::new(17)),
