@@ -7,6 +7,8 @@
 //! repro --list         # list experiment ids
 //! repro --trace DIR    # also record a real traced run per experiment,
 //!                      # writing DIR/<id>.json (Chrome trace-event format)
+//! repro --bench-grabs  # grab-latency microbench (mutex vs lock-free),
+//!                      # writes BENCH_grabs.json in the current directory
 //! ```
 
 use std::io::Write;
@@ -18,6 +20,7 @@ use afs_bench::report::{render, render_csv, render_json, render_plot};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut bench_grabs = false;
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
@@ -30,6 +33,7 @@ fn main() {
         }
         match a.as_str() {
             "--quick" | "-q" => quick = true,
+            "--bench-grabs" => bench_grabs = true,
             "--trace" => want_trace_dir = true,
             "--plot" => format = "plot",
             "--json" => format = "json",
@@ -52,7 +56,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
-                     [--trace DIR] [ids... | all | ablations]"
+                     [--trace DIR] [--bench-grabs] [ids... | all | ablations]"
                 );
                 return;
             }
@@ -62,6 +66,21 @@ fn main() {
     if want_trace_dir {
         eprintln!("--trace needs a directory argument");
         std::process::exit(2);
+    }
+    if bench_grabs {
+        let result = afs_bench::grabs::run(quick);
+        print!("{}", result.render());
+        let path = std::path::Path::new("BENCH_grabs.json");
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if ids.is_empty() {
+            return;
+        }
     }
     if let Some(dir) = &trace_dir {
         if let Err(err) = std::fs::create_dir_all(dir) {

@@ -8,6 +8,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod grabs;
 pub mod microbench;
 pub mod report;
 pub mod tracing;

@@ -168,6 +168,50 @@ pub fn tapering_chunk(remaining: u64, p: usize, mu: f64, sigma: f64, alpha: f64)
     c.max(1).min(remaining)
 }
 
+/// Packs a queue's `[head, tail)` offsets into one word (`head:32 | tail:32`).
+///
+/// A contiguous work queue is fully described by two cursors: local grabs
+/// advance `head`, steals retreat `tail`, and the queue is empty when they
+/// meet. Packing both into a single `u64` lets a concurrent implementation
+/// claim a chunk with one compare-and-swap — any concurrent grab or steal
+/// changes the word and fails the CAS, so no handed-out ranges can overlap.
+#[inline]
+pub const fn pack_queue(head: u32, tail: u32) -> u64 {
+    ((head as u64) << 32) | tail as u64
+}
+
+/// Unpacks a queue word into `(head, tail)` offsets.
+#[inline]
+pub const fn unpack_queue(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Iterations remaining in a packed queue word (`tail − head`).
+#[inline]
+pub const fn packed_queue_len(word: u64) -> u64 {
+    let (head, tail) = unpack_queue(word);
+    debug_assert!(head <= tail, "queue word with head past tail");
+    (tail - head) as u64
+}
+
+/// The queue word after taking `take` iterations from the front (a local
+/// grab). `take` must not exceed [`packed_queue_len`].
+#[inline]
+pub const fn packed_take_front(word: u64, take: u64) -> u64 {
+    let (head, tail) = unpack_queue(word);
+    debug_assert!(take <= (tail - head) as u64);
+    pack_queue(head + take as u32, tail)
+}
+
+/// The queue word after taking `take` iterations from the back (a steal).
+/// `take` must not exceed [`packed_queue_len`].
+#[inline]
+pub const fn packed_take_back(word: u64, take: u64) -> u64 {
+    let (head, tail) = unpack_queue(word);
+    debug_assert!(take <= (tail - head) as u64);
+    pack_queue(head, tail - take as u32)
+}
+
 /// Drains `n` iterations taking `⌈r/k⌉` at a time; returns the number of
 /// grabs required. This is the exact quantity bounded by Lemma 3.1 of the
 /// paper (`O(k · log(n/k))`).
@@ -335,6 +379,51 @@ mod tests {
         assert_eq!(drain_count(1, 4), 1);
         // k = 1 drains in a single grab.
         assert_eq!(drain_count(1000, 1), 1);
+    }
+
+    #[test]
+    fn packed_queue_round_trips() {
+        for &(h, t) in &[(0u32, 0u32), (0, 1), (3, 100), (u32::MAX - 1, u32::MAX)] {
+            let w = pack_queue(h, t);
+            assert_eq!(unpack_queue(w), (h, t));
+            assert_eq!(packed_queue_len(w), (t - h) as u64);
+        }
+    }
+
+    #[test]
+    fn packed_splits_mirror_iter_range_splits() {
+        // The packed cursor math must agree with IterRange::split_front/back
+        // for every (front, back) interleaving — this is what makes the
+        // lock-free AFS queue hand out the same chunks as the mutex one.
+        let mut r = crate::range::IterRange::new(0, 64);
+        let mut w = pack_queue(0, 64);
+        for (front, n) in [(true, 8u64), (false, 4), (true, 7), (false, 13), (true, 32)] {
+            let n = n.min(packed_queue_len(w));
+            if front {
+                let taken = r.split_front(n);
+                w = packed_take_front(w, n);
+                let (h, _) = unpack_queue(w);
+                assert_eq!(taken.end, h as u64);
+            } else {
+                let taken = r.split_back(n);
+                w = packed_take_back(w, n);
+                let (_, t) = unpack_queue(w);
+                assert_eq!(taken.start, t as u64);
+            }
+            assert_eq!(packed_queue_len(w), r.len());
+            let (h, t) = unpack_queue(w);
+            assert_eq!((h as u64, t as u64), (r.start, r.end));
+        }
+    }
+
+    #[test]
+    fn packed_drain_to_empty() {
+        let mut w = pack_queue(5, 9);
+        w = packed_take_front(w, 2);
+        w = packed_take_back(w, 2);
+        assert_eq!(packed_queue_len(w), 0);
+        let (h, t) = unpack_queue(w);
+        assert_eq!(h, t);
     }
 
     #[test]

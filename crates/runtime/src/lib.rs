@@ -37,6 +37,7 @@
 //! assert_eq!(metrics.total_iters(), 1000);
 //! ```
 
+pub mod pad;
 pub mod parallel;
 pub mod pool;
 pub mod shared;

@@ -1,7 +1,7 @@
 //! Parallel loop execution: `parallel_for` and multi-phase regions.
 
 use crate::pool::Pool;
-use crate::source::{AfsSource, LockedSource, StaticSource, WorkSource};
+use crate::source::{AfsSource, FetchAddSource, LockedSource, StaticSource, WorkSource};
 use crate::source_le::{AfsLeSource, LeHistory};
 use crate::sync::Mutex;
 use afs_core::metrics::LoopMetrics;
@@ -23,6 +23,9 @@ pub struct RuntimeScheduler {
 enum Kind {
     /// Drive any core scheduler under its (single) queue lock.
     Locked(Box<dyn Scheduler>),
+    /// A strictly-monotone central counter (SS and fixed-size chunking):
+    /// one `fetch_add` per grab, no lock.
+    FetchAdd { chunk: u64 },
     /// Distributed AFS.
     Afs { k: KParam },
     /// Distributed AFS, "last executed" assignment (§4.3).
@@ -71,9 +74,22 @@ impl RuntimeScheduler {
         Self { kind: Kind::Static }
     }
 
-    /// Self-scheduling (one iteration per central-queue grab).
+    /// Self-scheduling (one iteration per central-queue grab). SS is a
+    /// strictly-monotone counter, so the runtime implements it with a
+    /// lock-free fetch-and-add — the paper's own realization of SS.
     pub fn self_sched() -> Self {
-        Self::from_core(afs_core::schedulers::SelfSched::new())
+        Self {
+            kind: Kind::FetchAdd { chunk: 1 },
+        }
+    }
+
+    /// Fixed-size chunking (`chunk` iterations per central grab), also
+    /// served by a lock-free fetch-and-add counter.
+    pub fn chunk_self(chunk: u64) -> Self {
+        assert!(chunk >= 1);
+        Self {
+            kind: Kind::FetchAdd { chunk },
+        }
     }
 
     /// Guided self-scheduling.
@@ -111,6 +127,8 @@ impl RuntimeScheduler {
         Some(match parsed {
             afs_core::omp::OmpSchedule::Static => Self::static_partition(),
             afs_core::omp::OmpSchedule::Auto => Self::afs_k_equals_p(),
+            afs_core::omp::OmpSchedule::Dynamic => Self::self_sched(),
+            afs_core::omp::OmpSchedule::DynamicChunk { chunk } => Self::chunk_self(chunk),
             other => Self::from_core(other.scheduler()),
         })
     }
@@ -119,6 +137,8 @@ impl RuntimeScheduler {
     pub fn name(&self) -> String {
         match &self.kind {
             Kind::Locked(s) => s.name(),
+            Kind::FetchAdd { chunk: 1 } => "SS".into(),
+            Kind::FetchAdd { chunk } => format!("CSS({chunk})"),
             Kind::Afs { k: KParam::EqualsP } => "AFS".into(),
             Kind::Afs {
                 k: KParam::Fixed(k),
@@ -142,6 +162,7 @@ impl RuntimeScheduler {
                     None => src,
                 })
             }
+            Kind::FetchAdd { chunk } => Box::new(FetchAddSource::new(n, *chunk)),
             Kind::Afs { k } => {
                 let src = AfsSource::new(n, p, k.resolve(p));
                 Box::new(match trace {
@@ -166,6 +187,7 @@ impl RuntimeScheduler {
                 QueueTopology::Central => 1,
                 QueueTopology::PerProcessor => p,
             },
+            Kind::FetchAdd { .. } => 1,
             Kind::Afs { .. } | Kind::AfsLe { .. } | Kind::Static => p,
         }
     }

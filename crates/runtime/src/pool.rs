@@ -12,7 +12,9 @@
 //! event, since the drivers specialize on `trace().is_some()` once per
 //! worker per loop.
 
+use crate::pad::CachePadded;
 use afs_trace::TraceSink;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -22,8 +24,6 @@ struct Slot {
     /// Monotonic job generation; workers run each generation exactly once.
     generation: u64,
     job: Option<Job>,
-    /// Workers still running the current generation.
-    running: usize,
     shutdown: bool,
 }
 
@@ -31,6 +31,20 @@ struct Shared {
     slot: Mutex<Slot>,
     start: Condvar,
     done: Condvar,
+    /// Per-worker completion slots: the last generation each worker
+    /// finished. Padded so the end-of-loop barrier is P independent stores
+    /// instead of P decrements of one shared counter line — only the worker
+    /// that completes the barrier touches the mutex.
+    acks: Vec<CachePadded<AtomicU64>>,
+}
+
+impl Shared {
+    /// Whether every worker has finished generation `generation`.
+    fn all_acked(&self, generation: u64) -> bool {
+        self.acks
+            .iter()
+            .all(|a| a.load(Ordering::SeqCst) >= generation)
+    }
 }
 
 /// A fixed-size pool of worker threads, indexed `0..p`.
@@ -67,11 +81,11 @@ impl Pool {
             slot: Mutex::new(Slot {
                 generation: 0,
                 job: None,
-                running: 0,
                 shutdown: false,
             }),
             start: Condvar::new(),
             done: Condvar::new(),
+            acks: (0..p).map(|_| CachePadded::default()).collect(),
         });
         let handles = (0..p)
             .map(|idx| {
@@ -113,16 +127,16 @@ impl Pool {
     fn run_arc(&self, job: Job) {
         let mut slot = self.shared.slot.lock().unwrap();
         // Serialize concurrent callers: a second `run` posted while a job is
-        // in flight would overwrite the generation and corrupt the barrier
-        // count, so wait for the previous job to drain first.
-        while slot.running > 0 {
+        // in flight would overwrite the generation and corrupt the barrier,
+        // so wait for the previous job to fully drain first.
+        while !self.shared.all_acked(slot.generation) {
             slot = self.shared.done.wait(slot).unwrap();
         }
         slot.job = Some(job);
         slot.generation += 1;
-        slot.running = self.p;
+        let generation = slot.generation;
         self.shared.start.notify_all();
-        while slot.running > 0 {
+        while !self.shared.all_acked(generation) {
             slot = self.shared.done.wait(slot).unwrap();
         }
         slot.job = None;
@@ -164,9 +178,17 @@ fn worker_loop(idx: usize, shared: &Shared) {
         job(idx);
         std::mem::forget(guard);
 
-        let mut slot = shared.slot.lock().unwrap();
-        slot.running -= 1;
-        if slot.running == 0 {
+        // Publish completion in this worker's own padded slot, then wake the
+        // barrier only if this store completed the generation. SeqCst makes
+        // the stores and the scan totally ordered, so whichever worker's
+        // store lands last is guaranteed to see every slot filled and take
+        // the mutex to notify — the other P−1 workers skip the lock
+        // entirely.
+        shared.acks[idx].store(seen_generation, Ordering::SeqCst);
+        if shared.all_acked(seen_generation) {
+            // Locking pairs with `run`'s check-then-wait so the notify
+            // cannot slip between its check and its sleep.
+            let _slot = shared.slot.lock().unwrap();
             shared.done.notify_all();
         }
     }

@@ -1,20 +1,33 @@
 //! Concurrent work sources: the real-thread counterparts of
 //! `afs_core::LoopState`.
 //!
-//! Central-queue policies (SS, GSS, factoring, trapezoid, MOD-FACTORING...)
-//! are *defined* by a single shared queue, so running the core state machine
-//! under one mutex is the faithful implementation, not a shortcut. AFS's
-//! defining property is per-processor queues whose accesses proceed in
-//! parallel, so it gets a genuinely distributed implementation here:
-//! per-queue locks plus lock-free load checks (the paper's footnote 4 —
-//! checking a queue's load requires no synchronization).
+//! The paper's schedulers are cheap precisely because their grabs are
+//! (nearly) synchronization-free: footnote 4 stipulates that load checks
+//! need no synchronization, and on the machines studied SS and fixed-size
+//! chunking are literally fetch-and-add schedulers. The hot paths here
+//! follow suit:
+//!
+//! * [`AfsSource`] — true distributed AFS with one *lock-free* queue per
+//!   worker: a single packed `head:32 | tail:32` atomic word per queue,
+//!   local grabs CAS the head forward, steals CAS the tail backward.
+//! * [`FetchAddSource`] — SS and fixed-size chunking are strictly-monotone
+//!   counters, so one `fetch_add` per grab implements them exactly.
+//! * [`LockedSource`] — GSS, factoring, trapezoid and friends hand out
+//!   chunks whose size depends on the remaining work, so they keep the
+//!   faithful implementation: the core state machine under one mutex.
+//! * [`LockedAfsSource`] — the original mutex-per-queue AFS, kept as the
+//!   differential-testing and benchmark baseline for the lock-free path.
 
+use crate::pad::CachePadded;
 use crate::sync::{lock_traced, Mutex};
-use afs_core::chunking::{afs_local_chunk, afs_steal_chunk, static_partition};
+use afs_core::chunking::{
+    afs_local_chunk, afs_steal_chunk, pack_queue, packed_queue_len, packed_take_back,
+    packed_take_front, static_partition, unpack_queue,
+};
 use afs_core::policy::{AccessKind, Grab, LoopState};
 use afs_core::range::IterRange;
-use afs_trace::TraceSink;
-use std::sync::atomic::{AtomicU64, Ordering};
+use afs_trace::{EventKind, TraceSink};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A concurrent source of loop chunks.
@@ -53,12 +66,319 @@ impl WorkSource for LockedSource {
     }
 }
 
-/// True distributed AFS: one lock + one atomic length per worker queue.
+/// A lock-free central queue for strictly-monotone chunk policies.
+///
+/// SS (chunk = 1) and fixed-size chunking (chunk = c) always hand out the
+/// next `chunk` iterations regardless of how much work remains, so the
+/// whole scheduler state is one cursor and a grab is one `fetch_add` — the
+/// paper's own characterization of these policies on fetch-and-add
+/// hardware. Policies whose chunk size depends on the remaining count
+/// (GSS, factoring, trapezoid) cannot be expressed this way and stay on
+/// [`LockedSource`].
+pub struct FetchAddSource {
+    cursor: CachePadded<AtomicU64>,
+    n: u64,
+    chunk: u64,
+}
+
+impl FetchAddSource {
+    /// A loop of `n` iterations handed out `chunk` at a time.
+    pub fn new(n: u64, chunk: u64) -> Self {
+        assert!(chunk >= 1);
+        Self {
+            cursor: CachePadded::new(AtomicU64::new(0)),
+            n,
+            chunk,
+        }
+    }
+}
+
+impl WorkSource for FetchAddSource {
+    fn next(&self, _worker: usize) -> Option<Grab> {
+        // Exactly-once is the uniqueness of fetch_add return values; each
+        // worker overshoots at most once after exhaustion, so the cursor
+        // stays far from wrapping. AcqRel keeps grab acquisition ordered
+        // with the previous holder's writes, like the mutex it replaces.
+        let start = self.cursor.fetch_add(self.chunk, Ordering::AcqRel);
+        if start >= self.n {
+            return None;
+        }
+        Some(Grab {
+            range: IterRange::new(start, (start + self.chunk).min(self.n)),
+            queue: 0,
+            access: AccessKind::Central,
+        })
+    }
+}
+
+/// Deterministic yield injection between CAS attempts, for seeded
+/// interleaving stress tests. Disabled (and branch-predicted away) in
+/// normal operation.
+struct YieldInject {
+    seed: u64,
+    ticket: AtomicU64,
+}
+
+impl YieldInject {
+    fn maybe_yield(&self) {
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
+        // splitmix64 finalizer over (seed, ticket): a fair deterministic coin.
+        let mut z = self
+            .seed
+            .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        if (z ^ (z >> 31)) & 1 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// How many full O(P) load scans the steal path performs before switching
+/// from "most loaded" to a cheap linear probe (see [`AfsSource::next`]).
+const MAX_FULL_SCANS: u32 = 2;
+
+/// True distributed AFS with lock-free queues.
 ///
 /// Plain AFS queues are always a single contiguous range (local grabs take
-/// from the front, steals from the back), so each queue is just an
-/// `IterRange` under its own mutex.
+/// from the front, steals from the back), so each queue is fully described
+/// by a packed `head:32 | tail:32` word in one cache-padded atomic. A grab
+/// is one load plus one CAS:
+///
+/// * local: `head += ⌈len/k⌉` (claims the front of the queue);
+/// * steal: `tail −= ⌈len/P⌉` (claims the back of the most loaded queue).
+///
+/// Because both cursors live in the *same* word, any interleaved grab or
+/// steal changes the word and fails the CAS — claimed ranges can never
+/// overlap, which is the exactly-once handout property (and the paper's
+/// Thm 3.1 premise that a stolen range is executed indivisibly). The
+/// load check (`most_loaded`) stays a plain unsynchronized scan, exactly
+/// the paper's footnote 4.
 pub struct AfsSource {
+    /// Queue `i`'s packed `(head, tail)` offsets, relative to `bases[i]`.
+    words: Vec<CachePadded<AtomicU64>>,
+    /// First iteration index of each queue's static partition.
+    bases: Vec<u64>,
+    k: u64,
+    p: usize,
+    trace: Option<Arc<TraceSink>>,
+    inject: Option<YieldInject>,
+    /// Last steal victim: where the linear-probe fallback starts.
+    last_victim: CachePadded<AtomicUsize>,
+    /// Full O(P) steal-path scans performed (most-loaded or probe passes);
+    /// observability for the bounded-rescan policy.
+    scans: CachePadded<AtomicU64>,
+}
+
+impl AfsSource {
+    /// Deterministic initial assignment of `n` iterations to `p` queues,
+    /// with local grab divisor `k` (pass `p as u64` for the paper's
+    /// `k = P` default).
+    pub fn new(n: u64, p: usize, k: u64) -> Self {
+        assert!(p >= 1 && k >= 1);
+        let parts: Vec<IterRange> = (0..p).map(|i| static_partition(n, p, i)).collect();
+        assert!(
+            parts.iter().all(|r| r.len() <= u32::MAX as u64),
+            "per-queue partition exceeds the packed 32-bit cursor range"
+        );
+        Self {
+            words: parts
+                .iter()
+                .map(|r| CachePadded::new(AtomicU64::new(pack_queue(0, r.len() as u32))))
+                .collect(),
+            bases: parts.iter().map(|r| r.start).collect(),
+            k,
+            p,
+            trace: None,
+            inject: None,
+            last_victim: CachePadded::new(AtomicUsize::new(0)),
+            scans: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Records contended-CAS retries into `sink` (the lock-free analogue of
+    /// the mutex path's `LockWait*` events).
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Deterministically injects `yield_now` between CAS attempts (seeded
+    /// interleaving stress tests only).
+    #[doc(hidden)]
+    pub fn with_yield_injection(mut self, seed: u64) -> Self {
+        self.inject = Some(YieldInject {
+            seed,
+            ticket: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Number of full O(P) steal-path scans performed so far.
+    pub fn steal_scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn queue_len(&self, i: usize) -> u64 {
+        packed_queue_len(self.words[i].load(Ordering::Relaxed))
+    }
+
+    /// Lock-free load check: index of the most loaded queue, or `None` if
+    /// all appear empty. May be stale by the time the caller CASes it.
+    fn most_loaded(&self) -> Option<usize> {
+        let mut best = 0usize;
+        let mut best_len = 0u64;
+        for i in 0..self.p {
+            let l = self.queue_len(i);
+            if l > best_len {
+                best_len = l;
+                best = i;
+            }
+        }
+        (best_len > 0).then_some(best)
+    }
+
+    /// Cheap fallback victim choice: the first non-empty queue after
+    /// `start`, wrapping. Used once `MAX_FULL_SCANS` most-loaded scans have
+    /// been wasted on steal races.
+    fn probe_from(&self, start: usize) -> Option<usize> {
+        (0..self.p)
+            .map(|off| (start + 1 + off) % self.p)
+            .find(|&i| self.queue_len(i) > 0)
+    }
+
+    #[inline]
+    fn inject_point(&self) {
+        if let Some(inj) = &self.inject {
+            inj.maybe_yield();
+        }
+    }
+
+    #[cold]
+    fn note_retry(&self, worker: usize, queue: usize) {
+        if let Some(sink) = &self.trace {
+            sink.record(
+                worker,
+                EventKind::CasRetry {
+                    queue: queue as u32,
+                },
+            );
+        }
+    }
+
+    /// One local-grab attempt loop: claims `⌈len/k⌉` from the front of the
+    /// worker's own queue, retrying while the CAS loses races.
+    #[inline]
+    fn try_local(&self, worker: usize) -> Option<Grab> {
+        loop {
+            let word = self.words[worker].load(Ordering::Acquire);
+            let len = packed_queue_len(word);
+            if len == 0 {
+                return None;
+            }
+            let take = afs_local_chunk(len, self.k);
+            self.inject_point();
+            if self.words[worker]
+                .compare_exchange(
+                    word,
+                    packed_take_front(word, take),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                let (head, _) = unpack_queue(word);
+                let start = self.bases[worker] + head as u64;
+                return Some(Grab {
+                    range: IterRange::new(start, start + take),
+                    queue: worker,
+                    access: AccessKind::Local,
+                });
+            }
+            self.note_retry(worker, worker);
+        }
+    }
+
+    /// One steal attempt loop against `victim`: claims `⌈len/P⌉` from the
+    /// back. Returns `None` when the victim drained under us (rescan).
+    #[inline]
+    fn try_steal(&self, worker: usize, victim: usize) -> Option<Grab> {
+        loop {
+            let word = self.words[victim].load(Ordering::Acquire);
+            let len = packed_queue_len(word);
+            if len == 0 {
+                return None;
+            }
+            let take = afs_steal_chunk(len, self.p);
+            self.inject_point();
+            if self.words[victim]
+                .compare_exchange(
+                    word,
+                    packed_take_back(word, take),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                let (_, tail) = unpack_queue(word);
+                let end = self.bases[victim] + tail as u64;
+                let access = if victim == worker {
+                    AccessKind::Local
+                } else {
+                    AccessKind::Remote
+                };
+                return Some(Grab {
+                    range: IterRange::new(end - take, end),
+                    queue: victim,
+                    access,
+                });
+            }
+            self.note_retry(worker, victim);
+        }
+    }
+}
+
+impl WorkSource for AfsSource {
+    fn next(&self, worker: usize) -> Option<Grab> {
+        debug_assert!(worker < self.p);
+        // Bounded rescans: when a steal race drains the chosen victim, the
+        // first MAX_FULL_SCANS re-selections use the paper's most-loaded
+        // rule; after that we fall back to a linear probe from the last
+        // victim, so a herd of thieves cannot spin on O(P) scans that keep
+        // electing the same contended queue.
+        let mut full_scans = 0u32;
+        loop {
+            // Local queue first.
+            if let Some(g) = self.try_local(worker) {
+                return Some(g);
+            }
+            // Observability-only counter: a plain load+store (not an atomic
+            // RMW) keeps the locked prefix off the steal path; racing
+            // increments may be lost, which the single-threaded regression
+            // test for the scan bound never sees.
+            self.scans
+                .store(self.scans.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            let victim = if full_scans < MAX_FULL_SCANS {
+                full_scans += 1;
+                self.most_loaded()?
+            } else {
+                self.probe_from(self.last_victim.load(Ordering::Relaxed))?
+            };
+            self.last_victim.store(victim, Ordering::Relaxed);
+            if let Some(g) = self.try_steal(worker, victim) {
+                return Some(g);
+            }
+        }
+    }
+}
+
+/// The original mutex-per-queue AFS: one lock + one atomic length per
+/// worker queue.
+///
+/// Kept as the differential-testing twin and the benchmark baseline of the
+/// lock-free [`AfsSource`] — `repro --bench-grabs` measures both.
+pub struct LockedAfsSource {
     queues: Vec<Mutex<IterRange>>,
     lens: Vec<AtomicU64>,
     k: u64,
@@ -66,10 +386,9 @@ pub struct AfsSource {
     trace: Option<Arc<TraceSink>>,
 }
 
-impl AfsSource {
+impl LockedAfsSource {
     /// Deterministic initial assignment of `n` iterations to `p` queues,
-    /// with local grab divisor `k` (pass `p as u64` for the paper's
-    /// `k = P` default).
+    /// with local grab divisor `k`.
     pub fn new(n: u64, p: usize, k: u64) -> Self {
         assert!(p >= 1 && k >= 1);
         let parts: Vec<IterRange> = (0..p).map(|i| static_partition(n, p, i)).collect();
@@ -88,8 +407,6 @@ impl AfsSource {
         self
     }
 
-    /// Lock-free load check: index of the most loaded queue, or `None` if
-    /// all appear empty. May be stale by the time the caller locks it.
     fn most_loaded(&self) -> Option<usize> {
         let mut best = 0usize;
         let mut best_len = 0u64;
@@ -104,14 +421,18 @@ impl AfsSource {
     }
 }
 
-impl WorkSource for AfsSource {
+impl WorkSource for LockedAfsSource {
     fn next(&self, worker: usize) -> Option<Grab> {
         debug_assert!(worker < self.p);
         loop {
             // Local queue first.
             if self.lens[worker].load(Ordering::Relaxed) > 0 {
-                let mut q =
-                    lock_traced(&self.queues[worker], self.trace.as_deref(), worker, worker);
+                let mut q = lock_traced(
+                    &self.queues[worker],
+                    self.trace.as_deref(),
+                    worker,
+                    worker as u32,
+                );
                 let len = q.len();
                 if len > 0 {
                     let take = afs_local_chunk(len, self.k);
@@ -126,7 +447,12 @@ impl WorkSource for AfsSource {
             }
             // Steal 1/P from the most loaded queue.
             let victim = self.most_loaded()?;
-            let mut q = lock_traced(&self.queues[victim], self.trace.as_deref(), worker, victim);
+            let mut q = lock_traced(
+                &self.queues[victim],
+                self.trace.as_deref(),
+                worker,
+                victim as u32,
+            );
             let len = q.len();
             if len == 0 {
                 // Raced with the owner or another thief; re-scan.
@@ -153,7 +479,7 @@ impl WorkSource for AfsSource {
 pub struct StaticSource {
     n: u64,
     p: usize,
-    taken: Vec<AtomicU64>,
+    taken: Vec<CachePadded<AtomicU64>>,
 }
 
 impl StaticSource {
@@ -163,7 +489,7 @@ impl StaticSource {
         Self {
             n,
             p,
-            taken: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            taken: (0..p).map(|_| CachePadded::default()).collect(),
         }
     }
 }
@@ -224,6 +550,27 @@ mod tests {
     }
 
     #[test]
+    fn locked_afs_matches_lockfree_afs() {
+        // Differential twin: the kept mutex implementation and the lock-free
+        // one must agree grab for grab on any single-threaded drive.
+        for (n, p, k) in [(512u64, 8usize, 8u64), (100, 4, 2), (7, 3, 3), (1, 1, 1)] {
+            let a = AfsSource::new(n, p, k);
+            let b = LockedAfsSource::new(n, p, k);
+            let order: Vec<usize> = (0..600).map(|i| (i * 7 + i / 5) % p).collect();
+            for &w in &order {
+                let (x, y) = (a.next(w), b.next(w));
+                match (x, y) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.range, x.queue, x.access), (y.range, y.queue, y.access));
+                    }
+                    (None, None) => break,
+                    (x, y) => panic!("divergence (n={n} p={p} k={k}): {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn afs_source_concurrent_coverage() {
         // 8 real threads hammer the source; every iteration must be handed
         // out exactly once.
@@ -247,6 +594,73 @@ mod tests {
             }
         });
         assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn drained_source_returns_none_within_bounded_scans() {
+        // Regression for the bounded-rescan policy: once the loop is
+        // exhausted, a worker's final (failing) grab must cost at most
+        // P + 2 full load scans, not an unbounded retry storm.
+        for p in [1usize, 4, 8] {
+            let src = AfsSource::new(64, p, p as u64);
+            for w in (0..p).cycle() {
+                if src.next(w).is_none() {
+                    break;
+                }
+            }
+            for w in 0..p {
+                let before = src.steal_scans();
+                assert!(src.next(w).is_none());
+                let used = src.steal_scans() - before;
+                assert!(
+                    used <= p as u64 + 2,
+                    "p={p}: drained next() took {used} scans"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_add_source_matches_core_self_sched() {
+        let src = FetchAddSource::new(100, 1);
+        let sched = SelfSched::new();
+        let mut core = sched.begin_loop(100, 4);
+        loop {
+            match (src.next(0), core.next(0)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.range, b.range);
+                    assert_eq!(a.access, AccessKind::Central);
+                    assert_eq!(a.queue, 0);
+                }
+                (None, None) => break,
+                (a, b) => panic!("divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_add_chunked_covers_exactly_once_concurrently() {
+        use std::sync::atomic::AtomicU8;
+        for chunk in [1u64, 7, 16] {
+            let n = 10_000u64;
+            let src = FetchAddSource::new(n, chunk);
+            let seen: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+            std::thread::scope(|s| {
+                for w in 0..8 {
+                    let src = &src;
+                    let seen = &seen;
+                    s.spawn(move || {
+                        while let Some(g) = src.next(w) {
+                            assert!(g.range.len() <= chunk);
+                            for i in g.range.iter() {
+                                assert_eq!(seen[i as usize].fetch_add(1, Ordering::SeqCst), 0);
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        }
     }
 
     #[test]

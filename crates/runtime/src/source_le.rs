@@ -6,6 +6,7 @@
 //! ranges; each queue is an `afs_core` [`RangeQueue`] under its own lock,
 //! with an atomic length for lock-free load checks.
 
+use crate::pad::CachePadded;
 use crate::source::WorkSource;
 use crate::sync::{lock_traced, Mutex};
 use afs_core::chunking::{afs_local_chunk, afs_steal_chunk, static_partition};
@@ -48,7 +49,7 @@ impl LeHistory {
 /// A per-loop AFS-LE work source.
 pub struct AfsLeSource {
     queues: Vec<Mutex<RangeQueue>>,
-    lens: Vec<AtomicU64>,
+    lens: Vec<CachePadded<AtomicU64>>,
     k: u64,
     p: usize,
     history: Arc<LeHistory>,
@@ -81,7 +82,10 @@ impl AfsLeSource {
                 .collect()
         };
         Self {
-            lens: queues.iter().map(|q| AtomicU64::new(q.len())).collect(),
+            lens: queues
+                .iter()
+                .map(|q| CachePadded::new(AtomicU64::new(q.len())))
+                .collect(),
             queues: queues.into_iter().map(Mutex::new).collect(),
             k,
             p,
@@ -115,8 +119,12 @@ impl WorkSource for AfsLeSource {
         debug_assert!(worker < self.p);
         loop {
             if self.lens[worker].load(Ordering::Relaxed) > 0 {
-                let mut q =
-                    lock_traced(&self.queues[worker], self.trace.as_deref(), worker, worker);
+                let mut q = lock_traced(
+                    &self.queues[worker],
+                    self.trace.as_deref(),
+                    worker,
+                    worker as u32,
+                );
                 let len = q.len();
                 if len > 0 {
                     let m = afs_local_chunk(len, self.k);
@@ -133,7 +141,12 @@ impl WorkSource for AfsLeSource {
                 }
             }
             let victim = self.most_loaded()?;
-            let mut q = lock_traced(&self.queues[victim], self.trace.as_deref(), worker, victim);
+            let mut q = lock_traced(
+                &self.queues[victim],
+                self.trace.as_deref(),
+                worker,
+                victim as u32,
+            );
             let len = q.len();
             if len == 0 {
                 continue;

@@ -56,7 +56,7 @@ pub fn lock_traced<'a, T>(
     m: &'a Mutex<T>,
     trace: Option<&TraceSink>,
     worker: usize,
-    queue: usize,
+    queue: u32,
 ) -> MutexGuard<'a, T> {
     match trace {
         None => m.lock(),
@@ -64,19 +64,9 @@ pub fn lock_traced<'a, T>(
             if let Some(g) = m.try_lock() {
                 return g;
             }
-            sink.record(
-                worker,
-                EventKind::LockWaitBegin {
-                    queue: queue as u32,
-                },
-            );
+            sink.record(worker, EventKind::LockWaitBegin { queue });
             let g = m.lock();
-            sink.record(
-                worker,
-                EventKind::LockWaitEnd {
-                    queue: queue as u32,
-                },
-            );
+            sink.record(worker, EventKind::LockWaitEnd { queue });
             g
         }
     }

@@ -102,6 +102,51 @@ fn thieves_beyond_queue_owners() {
     assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
 }
 
+/// Seeded interleaving stress for the lock-free AFS source: deterministic
+/// `yield_now` injection between the load and the CAS widens the race
+/// window that real schedulers only rarely hit, across 20 seeds × 8
+/// threads. Each handed-out range must be covered exactly once, lie inside
+/// its reported queue's original static partition (a stolen range is
+/// executed indivisibly and never migrates queues), and never be empty.
+#[test]
+fn afs_lockfree_seeded_interleavings() {
+    use afs_core::chunking::static_partition;
+    let n = 4_096u64;
+    let p = 8usize;
+    let parts: Vec<_> = (0..p).map(|i| static_partition(n, p, i)).collect();
+    for seed in 0..20u64 {
+        let src = AfsSource::new(n, p, p as u64).with_yield_injection(seed);
+        let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..p {
+                let src = &src;
+                let seen = &seen;
+                let parts = &parts;
+                s.spawn(move || {
+                    while let Some(g) = src.next(w) {
+                        assert!(!g.range.is_empty(), "seed {seed}: empty grab");
+                        let home = &parts[g.queue];
+                        assert!(
+                            g.range.start >= home.start && g.range.end <= home.end,
+                            "seed {seed}: grab {:?} outside queue {}'s partition {home:?}",
+                            g.range,
+                            g.queue,
+                        );
+                        for i in g.range.iter() {
+                            let prev = seen[i as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "seed {seed}: iteration {i} duplicated");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            seen.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+            "seed {seed}: incomplete coverage"
+        );
+    }
+}
+
 /// Metrics from concurrent execution are internally consistent.
 #[test]
 fn concurrent_metrics_consistency() {

@@ -155,6 +155,19 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                         );
                     }
                 }
+                EventKind::CasRetry { queue } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"cas retry\",\"cat\":\"sync\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"queue\":{queue}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
                 EventKind::ChunkStart { queue, lo, hi } => {
                     busy_start = Some((ev.t, queue, lo, hi));
                 }

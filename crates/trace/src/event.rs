@@ -63,6 +63,13 @@ pub enum EventKind {
         /// Queue whose lock was acquired.
         queue: u32,
     },
+    /// A compare-and-swap on queue `queue`'s lock-free head/tail word lost
+    /// to a concurrent claimer and is being retried. Only real contention
+    /// produces this event (the claim uses the strong `compare_exchange`).
+    CasRetry {
+        /// Queue whose packed word the CAS targeted.
+        queue: u32,
+    },
     /// The loop is exhausted from this worker's point of view; it is heading
     /// into the end-of-loop barrier. Time after this event is the idle tail.
     BarrierWait,

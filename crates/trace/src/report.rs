@@ -93,6 +93,9 @@ pub struct TraceReport {
     /// `steals[thief][victim]` = chunks worker `thief` took from `victim`'s
     /// queue.
     pub steals: Vec<Vec<u64>>,
+    /// Contended compare-and-swap retries on lock-free queue words, summed
+    /// over all workers. Zero for lock-based sources and uncontended runs.
+    pub cas_retries: u64,
     /// Events lost to ring overflow, per worker.
     pub dropped: Vec<u64>,
     /// Run span: latest event timestamp (ns since sink origin).
@@ -156,6 +159,7 @@ impl TraceReport {
                             report.chunk_latency.add(ev.t - s);
                         }
                     }
+                    EventKind::CasRetry { .. } => report.cas_retries += 1,
                     _ => {
                         if let Some(access) = ev.kind.grab_access() {
                             if let Some(s) = grab_start.take() {
@@ -225,6 +229,13 @@ impl TraceReport {
             self.grab_latency.max_ns as f64,
             self.grab_latency.samples
         );
+        if self.cas_retries > 0 {
+            let _ = writeln!(
+                out,
+                "cas retries: {} (lock-free contention)",
+                self.cas_retries
+            );
+        }
         if self.grabs.remote > 0 {
             let _ = writeln!(out, "steal matrix (thief row → victim column):");
             let p = self.steals.len();
@@ -329,6 +340,35 @@ mod tests {
         let text = r.render();
         assert!(text.contains("steal matrix"));
         assert!(text.contains("grabs: 1 local, 1 remote, 1 central, 0 free (3 total)"));
+    }
+
+    #[test]
+    fn report_counts_cas_retries() {
+        let sink = TraceSink::new(2);
+        sink.record(0, K::GrabBegin);
+        sink.record(0, K::CasRetry { queue: 0 });
+        sink.record(0, K::CasRetry { queue: 1 });
+        sink.record(
+            0,
+            K::GrabLocal {
+                queue: 0,
+                lo: 0,
+                hi: 4,
+            },
+        );
+        sink.record(1, K::CasRetry { queue: 0 });
+        let r = TraceReport::from_sink(&sink);
+        assert_eq!(r.cas_retries, 3);
+        assert_eq!(r.grabs.local, 1);
+        assert_eq!(r.grab_latency.samples, 1, "retries must not end the grab");
+        assert!(r.render().contains("cas retries: 3"));
+        // A retry-free trace renders no retry line at all.
+        let quiet = TraceSink::new(1);
+        quiet.record(0, K::GrabBegin);
+        quiet.record(0, K::GrabCentral { lo: 0, hi: 1 });
+        assert!(!TraceReport::from_sink(&quiet)
+            .render()
+            .contains("cas retries"));
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                         tl.push(w, SegmentKind::Sync, s, t);
                     }
                 }
+                // A retried CAS stays inside the enclosing Sync span; the
+                // event only marks contention, it does not split the span.
+                EventKind::CasRetry { .. } => {}
                 EventKind::ChunkStart { .. } => busy_start = Some(t),
                 EventKind::ChunkEnd => {
                     if let Some(s) = busy_start.take() {
