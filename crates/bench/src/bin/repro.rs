@@ -9,6 +9,11 @@
 //!                      # writing DIR/<id>.json (Chrome trace-event format)
 //! repro --bench-grabs  # grab-latency microbench (mutex vs lock-free),
 //!                      # writes BENCH_grabs.json in the current directory
+//! repro --bench-kernels
+//!                      # end-to-end kernels on real threads across
+//!                      # policies x barrier protocol x pinning, writes
+//!                      # BENCH_kernels.json (add --trace DIR for per-config
+//!                      # Chrome traces of the SOR runs)
 //! ```
 
 use std::io::Write;
@@ -21,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut bench_grabs = false;
+    let mut bench_kernels = false;
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
@@ -34,6 +40,7 @@ fn main() {
         match a.as_str() {
             "--quick" | "-q" => quick = true,
             "--bench-grabs" => bench_grabs = true,
+            "--bench-kernels" => bench_kernels = true,
             "--trace" => want_trace_dir = true,
             "--plot" => format = "plot",
             "--json" => format = "json",
@@ -56,7 +63,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
-                     [--trace DIR] [--bench-grabs] [ids... | all | ablations]"
+                     [--trace DIR] [--bench-grabs] [--bench-kernels] \
+                     [ids... | all | ablations]"
                 );
                 return;
             }
@@ -78,7 +86,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        if ids.is_empty() {
+        if ids.is_empty() && !bench_kernels {
             return;
         }
     }
@@ -86,6 +94,31 @@ fn main() {
         if let Err(err) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create trace dir {}: {err}", dir.display());
             std::process::exit(2);
+        }
+    }
+    if bench_kernels {
+        let result = afs_bench::kernels::run(quick);
+        print!("{}", result.render());
+        let path = std::path::Path::new("BENCH_kernels.json");
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if let Some(dir) = &trace_dir {
+            match afs_bench::kernels::capture_traces(dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("trace: wrote {}", p.display());
+                    }
+                }
+                Err(err) => eprintln!("trace: kernel captures failed: {err}"),
+            }
+        }
+        if ids.is_empty() {
+            return;
         }
     }
     enum Job {

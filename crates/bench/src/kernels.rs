@@ -1,0 +1,530 @@
+//! End-to-end kernel benchmark: whole paper kernels on real threads.
+//!
+//! `repro --bench-grabs` measures one scheduler grab; this benchmark
+//! measures what the user actually waits for — SOR, Gaussian elimination
+//! and transitive closure driven through `parallel_phases` on a live
+//! worker pool — across the grid
+//!
+//! > policies × {condvar, spin} barrier × {pinned, unpinned}
+//!
+//! at `P = 8` workers. The kernels are deliberately sized so the loop
+//! bodies are short: SOR runs hundreds of steps × 2 phases over a small
+//! grid, which makes the per-phase rendezvous the first-order cost and
+//! shows exactly what the sense-reversing barrier buys (the
+//! `spin_speedup` rows). Runs on an oversubscribed host (fewer cores than
+//! `P`, e.g. a CI container) still show the gap: the condvar protocol pays
+//! two futex round-trips per worker per phase while the spin barrier's
+//! yield ladder keeps the rendezvous in user space.
+//!
+//! Every cell reports best-of-reps makespan (robust against scheduler
+//! noise) plus the totals; deltas are reported per policy so the barrier
+//! win can be separated from scheduling effects.
+
+use affinity_sched::apps;
+use afs_kernels::gauss::GaussSystem;
+use afs_kernels::sor::SorGrid;
+use afs_kernels::transitive::{random_graph, TransitiveClosure};
+use afs_runtime::{BarrierKind, Pool, RuntimeScheduler};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Workers for every cell: the paper's P=8 configuration.
+pub const P: usize = 8;
+
+/// Barrier protocols measured.
+pub const BARRIERS: [&str; 2] = ["condvar", "spin"];
+
+/// Kernels measured.
+pub const KERNELS: [&str; 3] = ["sor", "gauss", "tc"];
+
+/// One measured (kernel, policy, barrier, pinned) cell.
+#[derive(Clone, Debug)]
+pub struct KernelSample {
+    /// `"sor"`, `"gauss"` or `"tc"`.
+    pub kernel: &'static str,
+    /// Policy name (matches `RuntimeScheduler::name`).
+    pub policy: String,
+    /// `"condvar"` or `"spin"`.
+    pub barrier: &'static str,
+    /// Workers pinned to cores?
+    pub pinned: bool,
+    /// Worker count.
+    pub p: usize,
+    /// Barrier rendezvous per run (phase count).
+    pub phases: u64,
+    /// Iterations per run (verified against `LoopMetrics`).
+    pub iters: u64,
+    /// Repetitions measured.
+    pub reps: u64,
+    /// Σ makespan over all reps, ns.
+    pub total_ns: u64,
+    /// Fastest single rep, ns — the headline number per cell.
+    pub best_ns: u64,
+}
+
+impl KernelSample {
+    /// Best-rep nanoseconds per phase (rendezvous + its work).
+    pub fn ns_per_phase(&self) -> f64 {
+        self.best_ns as f64 / self.phases.max(1) as f64
+    }
+}
+
+/// Everything one bench run measured.
+#[derive(Clone, Debug)]
+pub struct KernelBenchResult {
+    /// Shrunken smoke-test sizes?
+    pub quick: bool,
+    /// Worker count used for the whole grid.
+    pub p: usize,
+    /// SOR steps per run (the phase-heavy headline workload).
+    pub sor_steps: u64,
+    /// All measured cells.
+    pub samples: Vec<KernelSample>,
+}
+
+impl KernelBenchResult {
+    /// Best-rep makespan (ns) of one cell.
+    pub fn best_of(&self, kernel: &str, policy: &str, barrier: &str, pinned: bool) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.kernel == kernel
+                    && s.policy == policy
+                    && s.barrier == barrier
+                    && s.pinned == pinned
+            })
+            .map(|s| s.best_ns as f64)
+    }
+
+    /// Condvar-over-spin makespan ratio for one (kernel, policy, pinned)
+    /// row (>1 means the spin barrier wins).
+    pub fn spin_speedup(&self, kernel: &str, policy: &str, pinned: bool) -> Option<f64> {
+        let condvar = self.best_of(kernel, policy, "condvar", pinned)?;
+        let spin = self.best_of(kernel, policy, "spin", pinned)?;
+        Some(condvar / spin.max(1.0))
+    }
+
+    /// Unpinned-over-pinned makespan ratio for one (kernel, policy,
+    /// barrier) row (>1 means pinning wins).
+    pub fn pin_speedup(&self, kernel: &str, policy: &str, barrier: &str) -> Option<f64> {
+        let unpinned = self.best_of(kernel, policy, barrier, false)?;
+        let pinned = self.best_of(kernel, policy, barrier, true)?;
+        Some(unpinned / pinned.max(1.0))
+    }
+
+    /// The acceptance headline: spin-over-condvar on the phase-heavy SOR
+    /// under AFS, unpinned (the cleanest barrier-only comparison).
+    pub fn headline(&self) -> Option<f64> {
+        self.spin_speedup("sor", "AFS", false)
+    }
+
+    /// Distinct policy names, in first-seen order.
+    fn policies(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.samples {
+            if !out.contains(&s.policy.as_str()) {
+                out.push(&s.policy);
+            }
+        }
+        out
+    }
+
+    /// Plain-text tables, one per kernel, plus per-policy deltas.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel benchmark — P={} real threads, best-of-reps makespan{}",
+            self.p,
+            if self.quick { " (quick)" } else { "" }
+        );
+        for kernel in KERNELS {
+            let Some(head) = self.samples.iter().find(|s| s.kernel == kernel) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "== {kernel} ({} phases, {} iters) ==",
+                head.phases, head.iters
+            );
+            let _ = writeln!(
+                out,
+                "{:<12}{:<8}{:>13}{:>13}{:>8}",
+                "policy", "pinned", "condvar ms", "spin ms", "spin×"
+            );
+            for policy in self.policies() {
+                for pinned in [false, true] {
+                    let cv = self.best_of(kernel, policy, "condvar", pinned);
+                    let sp = self.best_of(kernel, policy, "spin", pinned);
+                    if cv.is_none() && sp.is_none() {
+                        continue;
+                    }
+                    let cell = |v: Option<f64>| match v {
+                        Some(ns) => format!("{:.2}", ns / 1e6),
+                        None => "-".into(),
+                    };
+                    let ratio = match self.spin_speedup(kernel, policy, pinned) {
+                        Some(r) => format!("{r:.2}"),
+                        None => "-".into(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<12}{:<8}{:>13}{:>13}{:>8}",
+                        policy,
+                        if pinned { "yes" } else { "no" },
+                        cell(cv),
+                        cell(sp),
+                        ratio,
+                    );
+                }
+            }
+            let pins: Vec<String> = self
+                .policies()
+                .iter()
+                .filter_map(|policy| {
+                    self.pin_speedup(kernel, policy, "spin")
+                        .map(|r| format!("{policy} {r:.2}x"))
+                })
+                .collect();
+            if !pins.is_empty() {
+                let _ = writeln!(out, "  pinned-vs-unpinned (spin): {}", pins.join(", "));
+            }
+        }
+        if let Some(h) = self.headline() {
+            let _ = writeln!(
+                out,
+                "headline: SOR/AFS spin-over-condvar at P={}: {h:.2}x",
+                self.p
+            );
+        }
+        out
+    }
+
+    /// Serializes the result as a JSON document (`BENCH_kernels.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": \"kernels\",\n");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"p\": {},", self.p);
+        let _ = writeln!(out, "  \"sor_steps\": {},", self.sor_steps);
+        let _ = writeln!(
+            out,
+            "  \"metric\": \"whole-kernel makespan ns on real threads; best_ns = fastest rep; \
+             grid = kernels x policies x barrier protocol x core pinning at P workers\","
+        );
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"kernel\": \"{}\", \"policy\": \"{}\", \"barrier\": \"{}\", \
+                 \"pinned\": {}, \"p\": {}, \"phases\": {}, \"iters\": {}, \"reps\": {}, \
+                 \"total_ns\": {}, \"best_ns\": {}, \"ns_per_phase\": {:.1}}}",
+                s.kernel,
+                s.policy,
+                s.barrier,
+                s.pinned,
+                s.p,
+                s.phases,
+                s.iters,
+                s.reps,
+                s.total_ns,
+                s.best_ns,
+                s.ns_per_phase()
+            );
+            out.push_str(if i + 1 == self.samples.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ],\n  \"spin_speedup_condvar_over_spin\": [\n");
+        let mut rows: Vec<String> = Vec::new();
+        for kernel in KERNELS {
+            for policy in self.policies() {
+                for pinned in [false, true] {
+                    if let Some(r) = self.spin_speedup(kernel, policy, pinned) {
+                        rows.push(format!(
+                            "    {{\"kernel\": \"{kernel}\", \"policy\": \"{policy}\", \
+                             \"pinned\": {pinned}, \"speedup\": {r:.2}}}"
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ],\n  \"pin_speedup_unpinned_over_pinned\": [\n");
+        let mut rows: Vec<String> = Vec::new();
+        for kernel in KERNELS {
+            for policy in self.policies() {
+                for barrier in BARRIERS {
+                    if let Some(r) = self.pin_speedup(kernel, policy, barrier) {
+                        rows.push(format!(
+                            "    {{\"kernel\": \"{kernel}\", \"policy\": \"{policy}\", \
+                             \"barrier\": \"{barrier}\", \"speedup\": {r:.2}}}"
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]");
+        if let Some(h) = self.headline() {
+            let _ = write!(out, ",\n  \"headline_sor_afs_spin_over_condvar\": {h:.2}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// The policy grid: the paper's AFS (plain and grab-ahead), the two
+/// central-queue references, and the no-synchronization floor.
+fn policies() -> Vec<RuntimeScheduler> {
+    vec![
+        RuntimeScheduler::afs_k_equals_p(),
+        RuntimeScheduler::afs_grab_ahead(8),
+        RuntimeScheduler::gss(),
+        RuntimeScheduler::self_sched(),
+        RuntimeScheduler::static_partition(),
+    ]
+}
+
+/// Kernel problem sizes. Small grids + many phases on purpose: the bodies
+/// must be short enough that the rendezvous dominates, which is the
+/// regime the barrier rework targets (and the regime the paper's kernels
+/// actually live in at their inner-loop sizes).
+struct Sizes {
+    sor_n: usize,
+    sor_steps: usize,
+    gauss_n: usize,
+    tc_n: usize,
+    reps: u64,
+}
+
+impl Sizes {
+    fn of(quick: bool) -> Self {
+        if quick {
+            Sizes {
+                sor_n: 24,
+                sor_steps: 12,
+                gauss_n: 24,
+                tc_n: 24,
+                reps: 1,
+            }
+        } else {
+            Sizes {
+                // A small grid over many steps keeps each phase's body in
+                // the microsecond range, so the per-phase rendezvous is the
+                // first-order cost — the regime the barrier rework targets.
+                sor_n: 24,
+                // ≥100 steps: the phase-heavy headline configuration.
+                sor_steps: 400,
+                gauss_n: 96,
+                tc_n: 96,
+                reps: 7,
+            }
+        }
+    }
+}
+
+/// Runs one kernel once on `pool` and returns (phases, iters, makespan ns).
+/// Panics if the metrics disagree with the kernel's known iteration count —
+/// a benchmark that miscounts is worse than no benchmark.
+fn run_kernel(
+    kernel: &str,
+    pool: &Pool,
+    policy: &RuntimeScheduler,
+    sizes: &Sizes,
+) -> (u64, u64, u64) {
+    match kernel {
+        "sor" => {
+            let n = sizes.sor_n;
+            let mut grid = SorGrid::new(n);
+            let start = Instant::now();
+            let m = apps::par_sor(pool, &mut grid, sizes.sor_steps, policy);
+            let ns = start.elapsed().as_nanos() as u64;
+            let expect = (sizes.sor_steps * n) as u64;
+            assert_eq!(m.total_iters(), expect, "sor/{}", policy.name());
+            (sizes.sor_steps as u64, expect, ns)
+        }
+        "gauss" => {
+            let n = sizes.gauss_n;
+            let mut sys = GaussSystem::new(n, 0xBE7C);
+            let phases = sys.phases() as u64;
+            let start = Instant::now();
+            let m = apps::par_gauss(pool, &mut sys, policy);
+            let ns = start.elapsed().as_nanos() as u64;
+            let expect = (n * (n - 1) / 2) as u64;
+            assert_eq!(m.total_iters(), expect, "gauss/{}", policy.name());
+            (phases, expect, ns)
+        }
+        "tc" => {
+            let n = sizes.tc_n;
+            let mut tc = TransitiveClosure::new(random_graph(n, 0.05, 0xBE7C));
+            let start = Instant::now();
+            let m = apps::par_transitive(pool, &mut tc, policy);
+            let ns = start.elapsed().as_nanos() as u64;
+            let expect = (n * n) as u64;
+            assert_eq!(m.total_iters(), expect, "tc/{}", policy.name());
+            (n as u64, expect, ns)
+        }
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Runs the full grid. `quick` shrinks sizes for smoke tests/CI.
+pub fn run(quick: bool) -> KernelBenchResult {
+    let sizes = Sizes::of(quick);
+    let mut samples = Vec::new();
+    for (barrier, kind) in [
+        ("condvar", BarrierKind::Condvar),
+        ("spin", BarrierKind::Spin),
+    ] {
+        for pinned in [false, true] {
+            // One pool per (barrier, pinned) config, reused across every
+            // policy and kernel — exactly how an application would hold it.
+            let pool = Pool::builder(P).barrier(kind).pin_cores(pinned).build();
+            for policy in policies() {
+                for kernel in KERNELS {
+                    let mut total_ns = 0u64;
+                    let mut best_ns = u64::MAX;
+                    let mut phases = 0u64;
+                    let mut iters = 0u64;
+                    for _ in 0..sizes.reps {
+                        let (ph, it, ns) = run_kernel(kernel, &pool, &policy, &sizes);
+                        phases = ph;
+                        iters = it;
+                        total_ns += ns;
+                        best_ns = best_ns.min(ns);
+                    }
+                    samples.push(KernelSample {
+                        kernel,
+                        policy: policy.name(),
+                        barrier,
+                        pinned,
+                        p: P,
+                        phases,
+                        iters,
+                        reps: sizes.reps,
+                        total_ns,
+                        best_ns,
+                    });
+                }
+            }
+        }
+    }
+    KernelBenchResult {
+        quick,
+        p: P,
+        sor_steps: sizes.sor_steps as u64,
+        samples,
+    }
+}
+
+/// Writes one Chrome trace per (barrier, pinned) config of a quick-scale
+/// AFS SOR run into `dir` (`kernels_sor_<barrier>_<pinned|unpinned>.json`).
+/// The condvar traces show the old barrier tails; the spin traces show
+/// them collapse — load two side by side in Perfetto. Returns the paths
+/// written.
+pub fn capture_traces(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use afs_trace::{chrome_trace, TraceSink};
+    use std::sync::Arc;
+    let sizes = Sizes::of(true);
+    let mut written = Vec::new();
+    for (barrier, kind) in [
+        ("condvar", BarrierKind::Condvar),
+        ("spin", BarrierKind::Spin),
+    ] {
+        for pinned in [false, true] {
+            let sink = Arc::new(TraceSink::new(P));
+            let pool = Pool::builder(P)
+                .barrier(kind)
+                .pin_cores(pinned)
+                .trace(Arc::clone(&sink))
+                .build();
+            let mut grid = SorGrid::new(sizes.sor_n);
+            apps::par_sor(
+                &pool,
+                &mut grid,
+                sizes.sor_steps,
+                &RuntimeScheduler::afs_k_equals_p(),
+            );
+            drop(pool);
+            let pin_tag = if pinned { "pinned" } else { "unpinned" };
+            let name = format!("kernels_sor_{barrier}_{pin_tag}");
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, chrome_trace(&sink, &name))?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> KernelBenchResult {
+        let cell = |barrier: &'static str, pinned: bool, best_ns: u64| KernelSample {
+            kernel: "sor",
+            policy: "AFS".into(),
+            barrier,
+            pinned,
+            p: 8,
+            phases: 200,
+            iters: 12_800,
+            reps: 3,
+            total_ns: best_ns * 3,
+            best_ns,
+        };
+        KernelBenchResult {
+            quick: true,
+            p: 8,
+            sor_steps: 200,
+            samples: vec![
+                cell("condvar", false, 30_000_000),
+                cell("spin", false, 10_000_000),
+                cell("condvar", true, 27_000_000),
+                cell("spin", true, 9_000_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn speedups_are_ratios_of_best_reps() {
+        let r = synthetic();
+        assert!((r.spin_speedup("sor", "AFS", false).unwrap() - 3.0).abs() < 1e-9);
+        assert!((r.pin_speedup("sor", "AFS", "spin").unwrap() - 10.0 / 9.0).abs() < 1e-9);
+        assert!((r.headline().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(r.spin_speedup("gauss", "AFS", false), None);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let json = synthetic().to_json();
+        let v = afs_trace::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("kernels"));
+        assert_eq!(v.get("p").and_then(|p| p.as_f64()), Some(8.0));
+        let samples = v.get("samples").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(
+            samples[0].get("barrier").and_then(|b| b.as_str()),
+            Some("condvar")
+        );
+        let sp = v
+            .get("spin_speedup_condvar_over_spin")
+            .and_then(|s| s.as_array())
+            .unwrap();
+        assert_eq!(sp[0].get("speedup").and_then(|s| s.as_f64()), Some(3.0));
+        assert!(v.get("headline_sor_afs_spin_over_condvar").is_some());
+        assert!(v.get("pin_speedup_unpinned_over_pinned").is_some());
+    }
+
+    #[test]
+    fn render_shows_grid_and_headline() {
+        let text = synthetic().render();
+        assert!(text.contains("sor"));
+        assert!(text.contains("condvar ms"));
+        assert!(text.contains("spin×"));
+        assert!(text.contains("headline"));
+    }
+}

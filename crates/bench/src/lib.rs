@@ -9,6 +9,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod grabs;
+pub mod kernels;
 pub mod microbench;
 pub mod report;
 pub mod tracing;

@@ -1,0 +1,224 @@
+//! A decentralized sense-reversing phase barrier.
+//!
+//! The pool's start/done rendezvous routes every phase through the
+//! coordinator thread: publish, wake, collect, repeat. For a nest of many
+//! short phases that round-trip *is* the cost — on an oversubscribed host
+//! it adds a whole extra scheduling slot (the coordinator's) per phase.
+//! This barrier removes the coordinator from the steady state: the workers
+//! release each other, and the last worker to arrive performs the serial
+//! phase turnaround (building the next phase's work source) before
+//! releasing the others, so a P-worker phase costs P scheduling slots and
+//! zero kernel round-trips on a dedicated machine.
+//!
+//! The "sense" is a monotone generation counter rather than a flipping
+//! boolean: arrivals for generation `g + 1` cannot begin until every
+//! waiter of generation `g` has been released *logically* (the arrival
+//! counter is reset strictly before the sense store publishes `g`), so the
+//! classic two-sense alternation collapses to one word and there is no
+//! reuse hazard even if a released waiter races far ahead.
+//!
+//! Waiting is the same ladder the pool uses: spin a configurable budget,
+//! `yield_now` a second budget, then park on a condvar. The parking
+//! handshake is an eventcount — a waiter registers in `sleepers` *before*
+//! its final sense re-check, the releaser stores the sense *before*
+//! loading `sleepers` (all `SeqCst`) — so in the single total order either
+//! the releaser sees the sleeper and notifies under the lock, or the
+//! sleeper's re-check sees the new sense; a wakeup cannot be lost.
+
+use crate::inject::YieldInject;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A reusable phase barrier for a fixed party of `p` workers.
+///
+/// All `p` workers must call [`SenseBarrier::arrive`] (or
+/// [`SenseBarrier::arrive_then`]) with the same strictly-increasing
+/// generation sequence `1, 2, 3, …`; the call returns once all `p` have
+/// arrived at that generation. Everything a worker wrote before arriving
+/// happens-before everything any worker does after being released.
+pub struct SenseBarrier {
+    p: u64,
+    /// Arrivals in the in-progress generation; reset by the last arriver.
+    arrivals: AtomicU64,
+    /// The last fully-arrived generation (the monotone "sense").
+    sense: AtomicU64,
+    /// Waiters parked (or committing to park) on `cv`.
+    sleepers: AtomicU64,
+    park: Mutex<()>,
+    cv: Condvar,
+    spins: u32,
+    yields: u32,
+    inject: Option<YieldInject>,
+}
+
+impl SenseBarrier {
+    /// A barrier for `p` workers with the given spin/yield budgets before
+    /// parking. Panics if `p == 0`.
+    pub fn new(p: usize, spins: u32, yields: u32) -> Self {
+        assert!(p >= 1, "a barrier needs at least one participant");
+        Self {
+            p: p as u64,
+            arrivals: AtomicU64::new(0),
+            sense: AtomicU64::new(0),
+            sleepers: AtomicU64::new(0),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            spins,
+            yields,
+            inject: None,
+        }
+    }
+
+    /// Like [`SenseBarrier::new`], with deterministic yield injection at
+    /// the protocol's race windows (seeded stress tests only).
+    pub(crate) fn with_injection(p: usize, spins: u32, yields: u32, seed: u64) -> Self {
+        let mut b = Self::new(p, spins, yields);
+        b.inject = Some(YieldInject::new(seed));
+        b
+    }
+
+    #[inline]
+    fn inject_point(&self) {
+        if let Some(inj) = &self.inject {
+            inj.maybe_yield();
+        }
+    }
+
+    /// Arrives at generation `gen`; returns once all `p` workers have.
+    pub fn arrive(&self, gen: u64) {
+        self.arrive_then(gen, || {});
+    }
+
+    /// Arrives at generation `gen`; the last worker to arrive runs `turn`
+    /// (exclusively — every other worker has arrived and none has been
+    /// released) before releasing the party. Returns once released; `turn`
+    /// happens-before every return.
+    pub fn arrive_then(&self, gen: u64, turn: impl FnOnce()) {
+        let arrived = self.arrivals.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inject_point();
+        if arrived == self.p {
+            // Reset strictly before publishing the sense: a released
+            // waiter's arrival for `gen + 1` can only happen after this
+            // store, so the counter never counts across generations.
+            self.arrivals.store(0, Ordering::SeqCst);
+            turn();
+            self.sense.store(gen, Ordering::SeqCst);
+            // Eventcount publish side: the SeqCst sense store above is
+            // ordered before this load, pairing with the waiter's
+            // register-then-recheck.
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _guard = self.lock_park();
+                self.cv.notify_all();
+            }
+            return;
+        }
+        let released = |b: &Self| b.sense.load(Ordering::SeqCst) >= gen;
+        for _ in 0..self.spins {
+            if released(self) {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..self.yields {
+            if released(self) {
+                return;
+            }
+            self.inject_point();
+            std::thread::yield_now();
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        self.inject_point();
+        let mut guard = self.lock_park();
+        while !released(self) {
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn lock_park(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.park.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Drives `p` threads through `gens` generations, checking at every
+    /// barrier that all increments of the previous generation are visible.
+    fn drive(barrier: &SenseBarrier, p: usize, gens: u64) {
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..p {
+                s.spawn(|| {
+                    for gen in 1..=gens {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.arrive(gen);
+                        assert!(
+                            counter.load(Ordering::Relaxed) >= gen * p as u64,
+                            "arrivals of generation {gen} not all visible"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), gens * p as u64);
+    }
+
+    #[test]
+    fn all_arrivals_visible_after_release() {
+        drive(&SenseBarrier::new(4, 64, 16), 4, 500);
+    }
+
+    #[test]
+    fn zero_budget_barrier_parks_and_completes() {
+        drive(&SenseBarrier::new(4, 0, 0), 4, 200);
+    }
+
+    #[test]
+    fn oversubscribed_party_completes() {
+        // Far more threads than this machine has cores.
+        drive(&SenseBarrier::new(16, 64, 4), 16, 100);
+    }
+
+    #[test]
+    fn single_participant_never_waits() {
+        let b = SenseBarrier::new(1, 0, 0);
+        for gen in 1..=1000 {
+            b.arrive(gen);
+        }
+    }
+
+    #[test]
+    fn turn_runs_exactly_once_per_generation_before_release() {
+        let p = 4;
+        let gens = 300u64;
+        let b = SenseBarrier::new(p, 64, 16);
+        let turns = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..p {
+                s.spawn(|| {
+                    for gen in 1..=gens {
+                        b.arrive_then(gen, || {
+                            turns.fetch_add(1, Ordering::Relaxed);
+                        });
+                        // The turn of this generation has run by the time
+                        // anyone is released.
+                        assert!(turns.load(Ordering::Relaxed) >= gen);
+                    }
+                });
+            }
+        });
+        assert_eq!(turns.load(Ordering::Relaxed), gens);
+    }
+
+    #[test]
+    fn injected_yields_do_not_break_the_protocol() {
+        for seed in 0..8 {
+            let b = SenseBarrier::with_injection(4, 0, 4, seed);
+            drive(&b, 4, 100);
+        }
+    }
+}

@@ -37,6 +37,9 @@
 //! assert_eq!(metrics.total_iters(), 1000);
 //! ```
 
+pub mod affinity;
+pub mod barrier;
+mod inject;
 pub mod pad;
 pub mod parallel;
 pub mod pool;
@@ -45,13 +48,14 @@ pub mod source;
 pub mod source_le;
 pub mod sync;
 
+pub use barrier::SenseBarrier;
 pub use parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
-pub use pool::Pool;
+pub use pool::{BarrierKind, Pool, PoolBuilder};
 pub use shared::RowMatrix;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
-    pub use crate::pool::Pool;
+    pub use crate::pool::{BarrierKind, Pool, PoolBuilder};
     pub use crate::shared::RowMatrix;
 }

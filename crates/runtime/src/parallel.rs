@@ -1,6 +1,6 @@
 //! Parallel loop execution: `parallel_for` and multi-phase regions.
 
-use crate::pool::Pool;
+use crate::pool::{BarrierKind, Pool};
 use crate::source::{AfsSource, FetchAddSource, LockedSource, StaticSource, WorkSource};
 use crate::source_le::{AfsLeSource, LeHistory};
 use crate::sync::Mutex;
@@ -8,6 +8,7 @@ use afs_core::metrics::LoopMetrics;
 use afs_core::policy::{QueueTopology, Scheduler};
 use afs_core::schedulers::affinity::KParam;
 use afs_trace::{EventKind, TraceSink};
+use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 /// A scheduling policy usable by the runtime.
@@ -26,8 +27,9 @@ enum Kind {
     /// A strictly-monotone central counter (SS and fixed-size chunking):
     /// one `fetch_add` per grab, no lock.
     FetchAdd { chunk: u64 },
-    /// Distributed AFS.
-    Afs { k: KParam },
+    /// Distributed AFS; `ahead` local chunks are claimed per CAS (1 =
+    /// plain AFS, see `AfsSource::with_grab_ahead`).
+    Afs { k: KParam, ahead: usize },
     /// Distributed AFS, "last executed" assignment (§4.3).
     AfsLe {
         k: KParam,
@@ -41,7 +43,10 @@ impl RuntimeScheduler {
     /// AFS with `k = P` (the paper's default configuration).
     pub fn afs_k_equals_p() -> Self {
         Self {
-            kind: Kind::Afs { k: KParam::EqualsP },
+            kind: Kind::Afs {
+                k: KParam::EqualsP,
+                ahead: 1,
+            },
         }
     }
 
@@ -51,6 +56,21 @@ impl RuntimeScheduler {
         Self {
             kind: Kind::Afs {
                 k: KParam::Fixed(k),
+                ahead: 1,
+            },
+        }
+    }
+
+    /// AFS (`k = P`) with grab-ahead: each local CAS claims up to `batch`
+    /// consecutive chunks, amortizing the atomic on fine-grained bodies.
+    /// Chunk boundaries, `LoopMetrics`, and the sync-count tables are
+    /// unchanged on deterministic drives (see
+    /// `AfsSource::with_grab_ahead`).
+    pub fn afs_grab_ahead(batch: usize) -> Self {
+        Self {
+            kind: Kind::Afs {
+                k: KParam::EqualsP,
+                ahead: batch.clamp(1, crate::source::MAX_GRAB_AHEAD),
             },
         }
     }
@@ -139,10 +159,22 @@ impl RuntimeScheduler {
             Kind::Locked(s) => s.name(),
             Kind::FetchAdd { chunk: 1 } => "SS".into(),
             Kind::FetchAdd { chunk } => format!("CSS({chunk})"),
-            Kind::Afs { k: KParam::EqualsP } => "AFS".into(),
+            Kind::Afs {
+                k: KParam::EqualsP,
+                ahead: 1,
+            } => "AFS".into(),
+            Kind::Afs {
+                k: KParam::EqualsP,
+                ahead,
+            } => format!("AFS(ga={ahead})"),
             Kind::Afs {
                 k: KParam::Fixed(k),
+                ahead: 1,
             } => format!("AFS(k={k})"),
+            Kind::Afs {
+                k: KParam::Fixed(k),
+                ahead,
+            } => format!("AFS(k={k},ga={ahead})"),
             Kind::AfsLe { .. } => "AFS-LE".into(),
             Kind::Static => "STATIC".into(),
         }
@@ -163,8 +195,8 @@ impl RuntimeScheduler {
                 })
             }
             Kind::FetchAdd { chunk } => Box::new(FetchAddSource::new(n, *chunk)),
-            Kind::Afs { k } => {
-                let src = AfsSource::new(n, p, k.resolve(p));
+            Kind::Afs { k, ahead } => {
+                let src = AfsSource::new(n, p, k.resolve(p)).with_grab_ahead(*ahead);
                 Box::new(match trace {
                     Some(sink) => src.with_trace(Arc::clone(sink)),
                     None => src,
@@ -213,6 +245,14 @@ where
 /// once per (phase, iteration). A fresh scheduler loop-state is created per
 /// phase, so deterministic policies re-create the same assignment each
 /// phase — which is what preserves affinity.
+///
+/// On a pool with the (default) spin barrier the whole nest is dispatched
+/// to the workers **once**: between phases the workers pass a
+/// [`crate::barrier::SenseBarrier`], and the last worker to arrive builds
+/// the next phase's work source before releasing the others, so the
+/// coordinator thread is out of the per-phase loop entirely. On a condvar
+/// pool every phase is a full coordinator rendezvous — the pre-rework
+/// protocol, kept as the differential/benchmark baseline.
 pub fn parallel_phases<F, L>(
     pool: &Pool,
     phases: usize,
@@ -222,53 +262,152 @@ pub fn parallel_phases<F, L>(
 ) -> LoopMetrics
 where
     F: Fn(usize, u64) + Sync,
-    L: Fn(usize) -> u64,
+    L: Fn(usize) -> u64 + Sync,
+{
+    match pool.barrier_kind() {
+        BarrierKind::Spin => fused_phases(pool, phases, &len_of, policy, &body),
+        BarrierKind::Condvar => per_phase_rendezvous(pool, phases, &len_of, policy, &body),
+    }
+}
+
+/// Drains `source` on `worker`, recording grabs into `local` (and `sink`,
+/// when tracing). One phase of one worker — shared by both drivers.
+#[inline]
+fn drain_phase<F: Fn(usize, u64) + Sync>(
+    worker: usize,
+    phase: usize,
+    source: &dyn WorkSource,
+    local: &mut LoopMetrics,
+    trace: Option<&Arc<TraceSink>>,
+    body: &F,
+) {
+    match trace {
+        None => {
+            // Untraced fast path: not even a per-grab branch.
+            while let Some(grab) = source.next(worker) {
+                local.record(worker, &grab);
+                for i in grab.range.iter() {
+                    body(phase, i);
+                }
+            }
+        }
+        Some(sink) => loop {
+            sink.record(worker, EventKind::GrabBegin);
+            let Some(grab) = source.next(worker) else {
+                // The failed final grab is not a Grab* event, so event
+                // counts stay 1:1 with LoopMetrics; mark the arrival at
+                // the end-of-phase barrier (the matching BarrierRelease is
+                // recorded when this worker passes it).
+                sink.record(worker, EventKind::BarrierArrive);
+                break;
+            };
+            sink.record(worker, EventKind::of_grab(&grab));
+            local.record(worker, &grab);
+            let (q, lo, hi) = (grab.queue as u32, grab.range.start, grab.range.end);
+            sink.record(worker, EventKind::ChunkStart { queue: q, lo, hi });
+            for i in grab.range.iter() {
+                body(phase, i);
+            }
+            sink.record(worker, EventKind::ChunkEnd);
+        },
+    }
+}
+
+/// The pre-rework driver: one coordinator rendezvous (`Pool::run`) per
+/// phase, with the next phase's source built serially in between.
+fn per_phase_rendezvous<F, L>(
+    pool: &Pool,
+    phases: usize,
+    len_of: &L,
+    policy: &RuntimeScheduler,
+    body: &F,
+) -> LoopMetrics
+where
+    F: Fn(usize, u64) + Sync,
+    L: Fn(usize) -> u64 + Sync,
 {
     let p = pool.workers();
     let trace = pool.trace();
     let mut total = LoopMetrics::new(p, policy.queues(p));
     for phase in 0..phases {
-        let n = len_of(phase);
-        let source = policy.make_source(n, p, trace);
+        let source = policy.make_source(len_of(phase), p, trace);
         let phase_metrics = Mutex::new(LoopMetrics::new(p, policy.queues(p)));
         pool.run(|worker| {
             let mut local = LoopMetrics::new(p, policy.queues(p));
-            match trace {
-                None => {
-                    // Untraced fast path: not even a per-grab branch.
-                    while let Some(grab) = source.next(worker) {
-                        local.record(worker, &grab);
-                        for i in grab.range.iter() {
-                            body(phase, i);
-                        }
-                    }
-                }
-                Some(sink) => {
-                    loop {
-                        sink.record(worker, EventKind::GrabBegin);
-                        let Some(grab) = source.next(worker) else {
-                            // The failed final grab is not a Grab* event, so
-                            // event counts stay 1:1 with LoopMetrics; mark
-                            // the transition into the end-of-loop barrier.
-                            sink.record(worker, EventKind::BarrierWait);
-                            break;
-                        };
-                        sink.record(worker, EventKind::of_grab(&grab));
-                        local.record(worker, &grab);
-                        let (q, lo, hi) = (grab.queue as u32, grab.range.start, grab.range.end);
-                        sink.record(worker, EventKind::ChunkStart { queue: q, lo, hi });
-                        for i in grab.range.iter() {
-                            body(phase, i);
-                        }
-                        sink.record(worker, EventKind::ChunkEnd);
-                    }
-                }
-            }
+            drain_phase(worker, phase, &*source, &mut local, trace, body);
             phase_metrics.lock().merge(&local);
         });
         total.merge(&phase_metrics.into_inner());
     }
     total
+}
+
+/// A per-phase work-source slot for the fused driver. Plain memory,
+/// synchronized by the [`crate::barrier::SenseBarrier`]: slot `ph + 1` is
+/// written only inside the barrier's turn closure (all workers arrived,
+/// none released — exclusive by construction) and read only after the
+/// release, which happens-after the write.
+struct SourceSlot<'a>(UnsafeCell<Option<Box<dyn WorkSource + 'a>>>);
+
+// SAFETY: see the access protocol above — the barrier orders every write
+// exclusively before all reads of the same slot.
+unsafe impl Sync for SourceSlot<'_> {}
+
+/// The fused driver: one `Pool::run` for the whole nest; workers chain
+/// from phase to phase through a decentralized sense-reversing barrier,
+/// the last arriver building the next source (so cross-phase scheduler
+/// state such as AFS-LE's history sees every update of the finished
+/// phase).
+fn fused_phases<F, L>(
+    pool: &Pool,
+    phases: usize,
+    len_of: &L,
+    policy: &RuntimeScheduler,
+    body: &F,
+) -> LoopMetrics
+where
+    F: Fn(usize, u64) + Sync,
+    L: Fn(usize) -> u64 + Sync,
+{
+    let p = pool.workers();
+    let trace = pool.trace();
+    let queues = policy.queues(p);
+    let total = Mutex::new(LoopMetrics::new(p, queues));
+    if phases == 0 {
+        return total.into_inner();
+    }
+    let slots: Vec<SourceSlot> = (0..phases)
+        .map(|_| SourceSlot(UnsafeCell::new(None)))
+        .collect();
+    // SAFETY: no worker exists yet; the coordinator owns slot 0.
+    unsafe { *slots[0].0.get() = Some(policy.make_source(len_of(0), p, trace)) };
+    let barrier = pool.phase_barrier();
+    pool.run(|worker| {
+        let mut local = LoopMetrics::new(p, queues);
+        for phase in 0..phases {
+            // SAFETY: slot `phase` was written before this worker got here
+            // (slot 0 before the pool ran; later slots inside the barrier
+            // turn that released this worker) and no one writes it again.
+            let source = unsafe { (*slots[phase].0.get()).as_deref().unwrap() };
+            drain_phase(worker, phase, source, &mut local, trace, body);
+            if phase + 1 < phases {
+                barrier.arrive_then((phase + 1) as u64, || {
+                    // SAFETY: the turn closure runs on exactly one worker,
+                    // after every worker arrived and before any is
+                    // released — exclusive access to the next slot.
+                    unsafe {
+                        *slots[phase + 1].0.get() =
+                            Some(policy.make_source(len_of(phase + 1), p, trace));
+                    }
+                });
+                if let Some(sink) = trace {
+                    sink.record(worker, EventKind::BarrierRelease);
+                }
+            }
+        }
+        total.lock().merge(&local);
+    });
+    total.into_inner()
 }
 
 /// Executes a coalesced loop nest: `body` receives the multi-index of each

@@ -5,45 +5,254 @@
 //! once and reused for every parallel loop and phase, so per-loop overhead
 //! is a broadcast + barrier, not thread creation.
 //!
-//! A pool can carry an [`afs_trace::TraceSink`] ([`Pool::with_trace`]): the
-//! loop drivers in [`crate::parallel`] then record scheduling events into
-//! the sink's per-worker lanes, spanning every loop and phase run on the
-//! pool. Without a sink, tracing costs nothing — not even a branch per
-//! event, since the drivers specialize on `trace().is_some()` once per
-//! worker per loop.
+//! # The phase rendezvous
+//!
+//! The paper's kernels are nests of short parallel phases inside a
+//! sequential loop (SOR runs 100+ steps × 2 phases), so once individual
+//! grabs are lock-free the dominant runtime cost is the per-phase
+//! rendezvous itself. The pool offers two protocols ([`BarrierKind`]):
+//!
+//! * **Spin** (default) — a sense-reversing barrier. The "sense" is a
+//!   monotone 64-bit generation, published into one `CachePadded` flag per
+//!   worker (local spinning: each worker's flag line is invalidated exactly
+//!   once per phase, there is no broadcast storm on a shared word), with
+//!   per-worker padded ack slots on the completion side. Waiters spin a
+//!   configurable budget with [`std::hint::spin_loop`], then
+//!   [`std::thread::yield_now`], and finally fall back to condvar parking —
+//!   so an oversubscribed pool (more workers than cores, e.g. a CI
+//!   container) degrades to the blocking protocol instead of burning
+//!   timeslices. On a dedicated machine a phase turnaround is pure
+//!   user-space stores and loads: zero kernel round-trips.
+//! * **Condvar** — the classic mutex + condition-variable rendezvous the
+//!   runtime shipped with before the barrier rework, kept selectable for
+//!   differential testing and as the benchmark baseline, mirroring the
+//!   `LockedAfsSource` pattern. Every worker reacquires the single shared
+//!   mutex to receive each job (a convoy: P serial lock hand-offs per
+//!   phase) and parks between phases, paying two kernel round-trips per
+//!   worker per phase.
+//!
+//! Both protocols share the publication scheme (per-worker `SeqCst`
+//! generation flags + padded ack slots guarding a plain job cell), so the
+//! differential tests compare exactly the two *waiting* strategies.
+//!
+//! A pool can pin worker `i` to core `i mod cores`
+//! ([`PoolBuilder::pin_cores`]), making AFS's deterministic
+//! chunk→processor mapping physical cache affinity (see
+//! [`crate::affinity`]).
+//!
+//! A pool can carry an [`afs_trace::TraceSink`] ([`PoolBuilder::trace`]):
+//! the loop drivers in [`crate::parallel`] then record scheduling events
+//! into the sink's per-worker lanes, and the pool itself records a
+//! `BarrierRelease` on each lane when a worker leaves the rendezvous — the
+//! closing half of the `BarrierArrive` the driver records when the worker
+//! runs out of work. Without a sink, tracing costs nothing.
 
+use crate::affinity;
+use crate::inject::YieldInject;
 use crate::pad::CachePadded;
-use afs_trace::TraceSink;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use afs_trace::{EventKind, TraceSink};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
 
-struct Slot {
-    /// Monotonic job generation; workers run each generation exactly once.
-    generation: u64,
-    job: Option<Job>,
-    shutdown: bool,
+/// Which rendezvous protocol the pool's phase barrier uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// The classic rendezvous: every worker parks on (and reacquires) one
+    /// shared mutex + condvar per phase — two kernel round-trips per
+    /// worker per phase. Baseline and differential-testing twin.
+    Condvar,
+    /// Sense-reversing barrier: spin, then yield, then park. The phase
+    /// hot path on a dedicated machine never enters the kernel.
+    Spin,
 }
 
+/// Default spin iterations before yielding (dedicated machines). ~1–2 µs
+/// of `spin_loop` hints: longer than a phase turnaround, shorter than a
+/// timeslice.
+pub const DEFAULT_SPINS: u32 = 4_096;
+
+/// Spin iterations used when the pool is oversubscribed (more workers than
+/// cores): just enough to catch a same-core flip without burning the
+/// timeslice the publisher needs.
+const OVERSUBSCRIBED_SPINS: u32 = 64;
+
+/// Default `yield_now` rounds between spinning and parking. On an
+/// oversubscribed host each yield lets the publisher (or the remaining
+/// workers) run, so the rendezvous usually completes here without any
+/// futex traffic.
+pub const DEFAULT_YIELDS: u32 = 256;
+
+/// Coordinator-side `yield_now` rounds when the pool is oversubscribed.
+/// While acks trickle in, every futile coordinator wakeup steals a
+/// timeslice from the workers still computing; parking after a couple of
+/// yields costs one futex wake (by the last acker) and returns the core.
+/// Workers keep the full yield budget: their next event (the new phase)
+/// arrives quickly, and parking all of them would re-create the condvar
+/// protocol's wake-all storm.
+const OVERSUBSCRIBED_COORD_YIELDS: u32 = 2;
+
+/// The published job slot. Plain memory, synchronized by the generation
+/// flags: the coordinator writes it strictly before storing the new
+/// generation into the per-worker flags, workers read it strictly after
+/// loading that generation, and the coordinator clears it only after every
+/// worker's ack store has been observed. Those flag/ack accesses are
+/// `SeqCst`, so each access to the cell is ordered by a synchronizes-with
+/// edge and the cell itself needs no atomicity.
+struct JobCell(UnsafeCell<Option<Job>>);
+
+// SAFETY: see the field protocol above — all accesses are ordered through
+// the `starts`/`acks` atomics, so no two threads ever touch the cell
+// concurrently.
+unsafe impl Sync for JobCell {}
+
 struct Shared {
-    slot: Mutex<Slot>,
-    start: Condvar,
-    done: Condvar,
+    /// The job of the current generation.
+    job: JobCell,
+    /// Per-worker sense flags: the generation published to that worker.
+    /// Padded so each worker spins on a line only the coordinator writes,
+    /// exactly once per phase.
+    starts: Vec<CachePadded<AtomicU64>>,
     /// Per-worker completion slots: the last generation each worker
-    /// finished. Padded so the end-of-loop barrier is P independent stores
-    /// instead of P decrements of one shared counter line — only the worker
-    /// that completes the barrier touches the mutex.
+    /// finished. Padded so the end-of-phase barrier is P independent
+    /// stores, not P RMWs on one shared counter line.
     acks: Vec<CachePadded<AtomicU64>>,
+    /// Set (once) when the pool is dropping; checked at every wait point.
+    shutdown: AtomicBool,
+    /// Workers currently parked (or committing to park) on `start_cv`.
+    /// The coordinator takes the parking lock to notify only when this is
+    /// non-zero, so the fast path never touches the mutex.
+    sleepers: AtomicU64,
+    /// Coordinators currently parked (or committing to park) on `done_cv`.
+    done_waiters: AtomicU64,
+    /// Parking lot shared by both condvars. Uncontended except when a
+    /// waiter has actually given up spinning.
+    park: Mutex<()>,
+    start_cv: Condvar,
+    done_cv: Condvar,
+    /// Classic protocol ([`BarrierKind::Condvar`]): wait under the mutex,
+    /// never spin. When set, `spins`/`yields` are unused.
+    classic: bool,
+    /// Spin iterations before yielding (spin protocol only).
+    spins: u32,
+    /// `yield_now` rounds before parking (spin protocol only).
+    yields: u32,
+    /// Coordinator-side `yield_now` rounds before parking; clamped to
+    /// [`OVERSUBSCRIBED_COORD_YIELDS`] when workers outnumber cores.
+    coord_yields: u32,
+    /// Deterministic yield injection at the protocol's race windows
+    /// (seeded stress tests only).
+    inject: Option<YieldInject>,
+    /// The seed behind `inject`, so derived barriers can inject too.
+    inject_seed: Option<u64>,
+    /// Workers that successfully pinned themselves to a core.
+    pinned: AtomicUsize,
 }
 
 impl Shared {
+    fn lock_park(&self) -> MutexGuard<'_, ()> {
+        self.park.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[inline]
+    fn inject_point(&self) {
+        if let Some(inj) = &self.inject {
+            inj.maybe_yield();
+        }
+    }
+
     /// Whether every worker has finished generation `generation`.
     fn all_acked(&self, generation: u64) -> bool {
         self.acks
             .iter()
             .all(|a| a.load(Ordering::SeqCst) >= generation)
+    }
+
+    /// Waits until the coordinator publishes a generation newer than
+    /// `seen` into this worker's flag. Returns the new generation, or
+    /// `None` on shutdown. Classic protocol: wait under the mutex.
+    /// Spin protocol: spin → yield → park.
+    fn wait_start(&self, idx: usize, seen: u64) -> Option<u64> {
+        let check = |shared: &Shared| -> Option<Option<u64>> {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Some(None);
+            }
+            let g = shared.starts[idx].load(Ordering::SeqCst);
+            (g != seen).then_some(Some(g))
+        };
+        if self.classic {
+            // The pre-rework protocol, preserved as the baseline: sleep on
+            // the condvar and reacquire the shared mutex to receive every
+            // job. The coordinator publishes while holding the mutex, so
+            // checking under it cannot miss a wakeup.
+            let mut guard = self.lock_park();
+            loop {
+                if let Some(r) = check(self) {
+                    return r;
+                }
+                guard = self.start_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        for _ in 0..self.spins {
+            if let Some(r) = check(self) {
+                return r;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..self.yields {
+            if let Some(r) = check(self) {
+                return r;
+            }
+            self.inject_point();
+            std::thread::yield_now();
+        }
+        // Park. The sleeper count is raised *before* the final flag check
+        // (both SeqCst): if the coordinator's load saw zero sleepers and
+        // skipped the notify, its flag store is SC-ordered before our
+        // re-check, which therefore observes it — a wakeup cannot be lost.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        self.inject_point();
+        let mut guard = self.lock_park();
+        let r = loop {
+            if let Some(r) = check(self) {
+                break r;
+            }
+            guard = self.start_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        };
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        r
+    }
+
+    /// Coordinator side (spin protocol): waits until every worker acked
+    /// `generation`. Spin → yield → park, symmetric with
+    /// [`Shared::wait_start`]. The classic protocol instead waits under
+    /// the mutex inside [`Pool::run_arc`].
+    fn wait_all_acked(&self, generation: u64) {
+        for _ in 0..self.spins {
+            if self.all_acked(generation) {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..self.coord_yields {
+            if self.all_acked(generation) {
+                return;
+            }
+            self.inject_point();
+            std::thread::yield_now();
+        }
+        self.done_waiters.fetch_add(1, Ordering::SeqCst);
+        self.inject_point();
+        let mut guard = self.lock_park();
+        while !self.all_acked(generation) {
+            guard = self.done_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(guard);
+        self.done_waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -51,14 +260,170 @@ impl Shared {
 pub struct Pool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run` callers and carries the generation.
+    generation: Mutex<u64>,
     p: usize,
+    barrier: BarrierKind,
     trace: Option<Arc<TraceSink>>,
 }
 
+/// Configures and builds a [`Pool`].
+///
+/// ```
+/// use afs_runtime::pool::{BarrierKind, Pool};
+/// let pool = Pool::builder(4)
+///     .barrier(BarrierKind::Spin)
+///     .pin_cores(true)
+///     .build();
+/// assert_eq!(pool.workers(), 4);
+/// ```
+pub struct PoolBuilder {
+    p: usize,
+    barrier: BarrierKind,
+    pin: bool,
+    spins: u32,
+    yields: u32,
+    trace: Option<Arc<TraceSink>>,
+    inject_seed: Option<u64>,
+}
+
+impl PoolBuilder {
+    /// Selects the rendezvous protocol (default: [`BarrierKind::Spin`]).
+    pub fn barrier(mut self, kind: BarrierKind) -> Self {
+        self.barrier = kind;
+        self
+    }
+
+    /// Pins worker `i` to core `i mod cores` at spawn (best-effort; no-op
+    /// off Linux). Default: off.
+    pub fn pin_cores(mut self, on: bool) -> Self {
+        self.pin = on;
+        self
+    }
+
+    /// Overrides the spin budget: `spins` busy iterations, then `yields`
+    /// rounds of `yield_now`, then parking. Only meaningful for
+    /// [`BarrierKind::Spin`]. Oversubscribed pools (more workers than
+    /// cores) clamp `spins` down automatically.
+    pub fn spin_budget(mut self, spins: u32, yields: u32) -> Self {
+        self.spins = spins;
+        self.yields = yields;
+        self
+    }
+
+    /// Records scheduling and barrier events into `sink` (one lane per
+    /// worker; the sink must have at least `p` lanes).
+    pub fn trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Deterministically injects `yield_now` at the barrier's sense-flip
+    /// points (seeded interleaving stress tests only).
+    #[doc(hidden)]
+    pub fn yield_injection(mut self, seed: u64) -> Self {
+        self.inject_seed = Some(seed);
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    ///
+    /// Panics if `p == 0` or an attached sink has fewer than `p` lanes.
+    pub fn build(self) -> Pool {
+        let p = self.p;
+        assert!(p >= 1, "need at least one worker");
+        if let Some(sink) = &self.trace {
+            assert!(
+                sink.workers() >= p,
+                "trace sink has {} lanes but the pool needs {p}",
+                sink.workers()
+            );
+        }
+        let cores = affinity::core_count();
+        let (spins, yields) = match self.barrier {
+            BarrierKind::Condvar => (0, 0),
+            BarrierKind::Spin => {
+                // An oversubscribed pool cannot make progress while a
+                // waiter burns its timeslice: cap the busy phase and rely
+                // on the yield rounds (and ultimately parking).
+                let spins = if p <= cores {
+                    self.spins
+                } else {
+                    self.spins.min(OVERSUBSCRIBED_SPINS)
+                };
+                (spins, self.yields)
+            }
+        };
+        let classic = self.barrier == BarrierKind::Condvar;
+        let coord_yields = if p <= cores {
+            yields
+        } else {
+            yields.min(OVERSUBSCRIBED_COORD_YIELDS)
+        };
+        let shared = Arc::new(Shared {
+            job: JobCell(UnsafeCell::new(None)),
+            starts: (0..p).map(|_| CachePadded::default()).collect(),
+            acks: (0..p).map(|_| CachePadded::default()).collect(),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicU64::new(0),
+            done_waiters: AtomicU64::new(0),
+            park: Mutex::new(()),
+            start_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            classic,
+            spins,
+            coord_yields,
+            yields,
+            inject: self.inject_seed.map(YieldInject::new),
+            inject_seed: self.inject_seed,
+            pinned: AtomicUsize::new(0),
+        });
+        let handles = (0..p)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let sink = self.trace.clone();
+                let pin_to = self.pin.then_some(idx % cores);
+                std::thread::Builder::new()
+                    .name(format!("afs-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, &shared, pin_to, sink))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        let pool = Pool {
+            shared,
+            handles,
+            generation: Mutex::new(0),
+            p,
+            barrier: self.barrier,
+            trace: self.trace,
+        };
+        if self.pin {
+            // One sync round so every worker has started (and pinned)
+            // before the first real phase — `pinned_workers` is then exact.
+            pool.run(|_| {});
+        }
+        pool
+    }
+}
+
 impl Pool {
-    /// Spawns `p` workers. Panics if `p == 0`.
+    /// Starts configuring a pool of `p` workers.
+    pub fn builder(p: usize) -> PoolBuilder {
+        PoolBuilder {
+            p,
+            barrier: BarrierKind::Spin,
+            pin: false,
+            spins: DEFAULT_SPINS,
+            yields: DEFAULT_YIELDS,
+            trace: None,
+            inject_seed: None,
+        }
+    }
+
+    /// Spawns `p` workers with the default (spin) barrier. Panics if
+    /// `p == 0`.
     pub fn new(p: usize) -> Self {
-        Self::build(p, None)
+        Self::builder(p).build()
     }
 
     /// Spawns `p` workers that record scheduling events into `sink`.
@@ -67,41 +432,7 @@ impl Pool {
     /// sink keeps accumulating across every loop and phase run on this
     /// pool, so one trace can span a whole multi-loop application.
     pub fn with_trace(p: usize, sink: Arc<TraceSink>) -> Self {
-        assert!(
-            sink.workers() >= p,
-            "trace sink has {} lanes but the pool needs {p}",
-            sink.workers()
-        );
-        Self::build(p, Some(sink))
-    }
-
-    fn build(p: usize, trace: Option<Arc<TraceSink>>) -> Self {
-        assert!(p >= 1, "need at least one worker");
-        let shared = Arc::new(Shared {
-            slot: Mutex::new(Slot {
-                generation: 0,
-                job: None,
-                shutdown: false,
-            }),
-            start: Condvar::new(),
-            done: Condvar::new(),
-            acks: (0..p).map(|_| CachePadded::default()).collect(),
-        });
-        let handles = (0..p)
-            .map(|idx| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("afs-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, &shared))
-                    .expect("failed to spawn worker")
-            })
-            .collect();
-        Self {
-            shared,
-            handles,
-            p,
-            trace,
-        }
+        Self::builder(p).trace(sink).build()
     }
 
     /// Number of workers.
@@ -109,9 +440,40 @@ impl Pool {
         self.p
     }
 
+    /// The rendezvous protocol this pool was built with.
+    pub fn barrier_kind(&self) -> BarrierKind {
+        self.barrier
+    }
+
+    /// How many workers successfully pinned themselves to a core. Exact
+    /// once the first job has completed (always, for pools built with
+    /// `pin_cores(true)`, which run a sync round at build time).
+    pub fn pinned_workers(&self) -> usize {
+        self.shared.pinned.load(Ordering::SeqCst)
+    }
+
     /// The trace sink attached at construction, if any.
     pub fn trace(&self) -> Option<&Arc<TraceSink>> {
         self.trace.as_ref()
+    }
+
+    /// A [`crate::barrier::SenseBarrier`] for this pool's worker party,
+    /// inheriting the pool's spin/yield budgets (and injection seed, when
+    /// stressed). The loop drivers use it to chain phases worker-to-worker
+    /// without a coordinator round-trip per phase.
+    pub(crate) fn phase_barrier(&self) -> crate::barrier::SenseBarrier {
+        let s = &self.shared;
+        match s.inject_seed {
+            // Derive a distinct stream so pool and barrier injection
+            // decisions don't mirror each other.
+            Some(seed) => crate::barrier::SenseBarrier::with_injection(
+                self.p,
+                s.spins,
+                s.yields,
+                seed ^ 0x5EB0_5EB0_5EB0_5EB0,
+            ),
+            None => crate::barrier::SenseBarrier::new(self.p, s.spins, s.yields),
+        }
     }
 
     /// Runs `job(worker_index)` on every worker and waits for all to finish.
@@ -125,21 +487,53 @@ impl Pool {
     }
 
     fn run_arc(&self, job: Job) {
-        let mut slot = self.shared.slot.lock().unwrap();
-        // Serialize concurrent callers: a second `run` posted while a job is
-        // in flight would overwrite the generation and corrupt the barrier,
-        // so wait for the previous job to fully drain first.
-        while !self.shared.all_acked(slot.generation) {
-            slot = self.shared.done.wait(slot).unwrap();
+        // The generation lock serializes concurrent callers: the previous
+        // job was fully acked (and the job cell cleared) before the lock
+        // was last released, so the cell is exclusively ours now.
+        let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        let gen = *generation + 1;
+        // SAFETY: no worker reads the cell until it observes `gen` in its
+        // start flag (stored below), and all acks of `gen - 1` were
+        // collected before the previous coordinator released the lock.
+        unsafe { *self.shared.job.0.get() = Some(job) };
+        if self.shared.classic {
+            // The pre-rework protocol: publish and collect while holding
+            // the shared mutex. Workers can only pass their own mutex
+            // acquisitions once we sleep on `done_cv`, so the last ack's
+            // notify cannot slip between our check and our sleep.
+            let mut guard = self.shared.lock_park();
+            for flag in &self.shared.starts {
+                flag.store(gen, Ordering::SeqCst);
+            }
+            self.shared.start_cv.notify_all();
+            while !self.shared.all_acked(gen) {
+                guard = self
+                    .shared
+                    .done_cv
+                    .wait(guard)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            drop(guard);
+        } else {
+            for flag in &self.shared.starts {
+                flag.store(gen, Ordering::SeqCst);
+                self.shared.inject_point();
+            }
+            // Wake parked workers. Reading the sleeper count SeqCst after
+            // the SeqCst flag stores pairs with wait_start's
+            // inc-then-recheck: we either see the sleeper (and notify
+            // under the lock) or the sleeper's recheck sees our flags.
+            if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
+                let _guard = self.shared.lock_park();
+                self.shared.start_cv.notify_all();
+            }
+            self.shared.wait_all_acked(gen);
         }
-        slot.job = Some(job);
-        slot.generation += 1;
-        let generation = slot.generation;
-        self.shared.start.notify_all();
-        while !self.shared.all_acked(generation) {
-            slot = self.shared.done.wait(slot).unwrap();
-        }
-        slot.job = None;
+        // SAFETY: every worker acked `gen`, and each ack store follows the
+        // worker's clone of the job; dropping the cell contents is ordered
+        // after all uses.
+        unsafe { *self.shared.job.0.get() = None };
+        *generation = gen;
     }
 }
 
@@ -155,41 +549,51 @@ fn make_scoped_job<F: Fn(usize) + Send + Sync>(job: F) -> Job {
     Arc::from(boxed)
 }
 
-fn worker_loop(idx: usize, shared: &Shared) {
-    let mut seen_generation = 0u64;
+fn worker_loop(idx: usize, shared: &Shared, pin_to: Option<usize>, sink: Option<Arc<TraceSink>>) {
+    if let Some(cpu) = pin_to {
+        if affinity::pin_current_to(cpu) {
+            shared.pinned.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let mut seen = 0u64;
     loop {
-        let job = {
-            let mut slot = shared.slot.lock().unwrap();
-            loop {
-                if slot.shutdown {
-                    return;
-                }
-                if slot.generation != seen_generation {
-                    if let Some(job) = slot.job.as_ref() {
-                        seen_generation = slot.generation;
-                        break Arc::clone(job);
-                    }
-                }
-                slot = shared.start.wait(slot).unwrap();
-            }
+        let Some(gen) = shared.wait_start(idx, seen) else {
+            return; // shutdown
         };
+        seen = gen;
+        // SAFETY: the coordinator wrote the cell before storing `gen` into
+        // our flag (both flag accesses SeqCst ⇒ synchronizes-with), and
+        // will not touch it again until our ack below.
+        let job = unsafe { (*shared.job.0.get()).as_ref().map(Arc::clone) };
+        let Some(job) = job else { continue };
+        if let Some(sink) = &sink {
+            // Closes the BarrierArrive the loop driver recorded when this
+            // worker ran out of work last phase (the first release of a
+            // pool's life has no arrive; consumers ignore it).
+            sink.record(idx, EventKind::BarrierRelease);
+        }
         // Abort on panic: unwinding past the barrier would deadlock `run`.
         let guard = AbortOnPanic;
         job(idx);
         std::mem::forget(guard);
 
-        // Publish completion in this worker's own padded slot, then wake the
-        // barrier only if this store completed the generation. SeqCst makes
-        // the stores and the scan totally ordered, so whichever worker's
-        // store lands last is guaranteed to see every slot filled and take
-        // the mutex to notify — the other P−1 workers skip the lock
-        // entirely.
-        shared.acks[idx].store(seen_generation, Ordering::SeqCst);
-        if shared.all_acked(seen_generation) {
-            // Locking pairs with `run`'s check-then-wait so the notify
-            // cannot slip between its check and its sleep.
-            let _slot = shared.slot.lock().unwrap();
-            shared.done.notify_all();
+        // Publish completion in this worker's own padded slot. SeqCst makes
+        // the ack stores, the waiter-count loads and the coordinator's scan
+        // totally ordered: whichever worker's store lands last is
+        // guaranteed to either see the parked coordinator (and wake it
+        // under the lock) or have its ack observed by the coordinator's
+        // own re-check before parking.
+        shared.acks[idx].store(seen, Ordering::SeqCst);
+        shared.inject_point();
+        // Classic protocol: the coordinator always parks on `done_cv`, so
+        // the worker completing the generation must always lock + notify
+        // (the seed's rule: only the last worker touches the mutex). Spin
+        // protocol: notify only when a coordinator actually gave up
+        // spinning and registered as a waiter.
+        let coordinator_parked = shared.classic || shared.done_waiters.load(Ordering::SeqCst) > 0;
+        if coordinator_parked && shared.all_acked(seen) {
+            let _guard = shared.lock_park();
+            shared.done_cv.notify_all();
         }
     }
 }
@@ -204,10 +608,10 @@ impl Drop for AbortOnPanic {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut slot = self.shared.slot.lock().unwrap();
-            slot.shutdown = true;
-            self.shared.start.notify_all();
+            let _guard = self.shared.lock_park();
+            self.shared.start_cv.notify_all();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -220,27 +624,35 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+    fn both_kinds() -> [BarrierKind; 2] {
+        [BarrierKind::Spin, BarrierKind::Condvar]
+    }
+
     #[test]
     fn every_worker_runs_once() {
-        let pool = Pool::new(4);
-        let hits = [const { AtomicUsize::new(0) }; 4];
-        pool.run(|w| {
-            hits[w].fetch_add(1, Ordering::SeqCst);
-        });
-        for h in &hits {
-            assert_eq!(h.load(Ordering::SeqCst), 1);
+        for kind in both_kinds() {
+            let pool = Pool::builder(4).barrier(kind).build();
+            let hits = [const { AtomicUsize::new(0) }; 4];
+            pool.run(|w| {
+                hits[w].fetch_add(1, Ordering::SeqCst);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "{kind:?}");
+            }
         }
     }
 
     #[test]
     fn jobs_are_sequential_barriers() {
-        let pool = Pool::new(3);
-        let counter = AtomicU64::new(0);
-        for round in 0..10u64 {
-            pool.run(|_| {
-                counter.fetch_add(1, Ordering::SeqCst);
-            });
-            assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * 3);
+        for kind in both_kinds() {
+            let pool = Pool::builder(3).barrier(kind).build();
+            let counter = AtomicU64::new(0);
+            for round in 0..10u64 {
+                pool.run(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * 3, "{kind:?}");
+            }
         }
     }
 
@@ -258,22 +670,75 @@ mod tests {
 
     #[test]
     fn single_worker_pool() {
-        let pool = Pool::new(1);
-        let mut ran = false;
-        let flag = std::sync::atomic::AtomicBool::new(false);
-        pool.run(|w| {
-            assert_eq!(w, 0);
-            flag.store(true, Ordering::SeqCst);
-        });
-        ran |= flag.load(Ordering::SeqCst);
-        assert!(ran);
+        for kind in both_kinds() {
+            let pool = Pool::builder(1).barrier(kind).build();
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            pool.run(|w| {
+                assert_eq!(w, 0);
+                flag.store(true, Ordering::SeqCst);
+            });
+            assert!(flag.load(Ordering::SeqCst), "{kind:?}");
+        }
     }
 
     #[test]
     fn pool_drop_joins_workers() {
-        let pool = Pool::new(4);
-        pool.run(|_| {});
-        drop(pool); // must not hang
+        for kind in both_kinds() {
+            let pool = Pool::builder(4).barrier(kind).build();
+            pool.run(|_| {});
+            drop(pool); // must not hang
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_completes() {
+        // More workers than this machine has cores: the spin barrier must
+        // degrade to yielding/parking, not livelock.
+        let pool = Pool::builder(16).spin_budget(u32::MAX, 2).build();
+        let counter = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50 * 16);
+    }
+
+    #[test]
+    fn zero_budget_spin_pool_parks_and_completes() {
+        let pool = Pool::builder(4).spin_budget(0, 0).build();
+        let counter = AtomicU64::new(0);
+        for _ in 0..20 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn builder_reports_kind_and_defaults() {
+        assert_eq!(Pool::new(2).barrier_kind(), BarrierKind::Spin);
+        let cv = Pool::builder(2).barrier(BarrierKind::Condvar).build();
+        assert_eq!(cv.barrier_kind(), BarrierKind::Condvar);
+    }
+
+    #[test]
+    fn pinned_pool_reports_pinned_workers() {
+        let pool = Pool::builder(3).pin_cores(true).build();
+        if cfg!(target_os = "linux") {
+            assert_eq!(pool.pinned_workers(), 3);
+        } else {
+            assert_eq!(pool.pinned_workers(), 0);
+        }
+        // Pinning must not affect correctness.
+        let counter = AtomicU64::new(0);
+        pool.run(|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // Unpinned pools report zero.
+        assert_eq!(Pool::new(2).pinned_workers(), 0);
     }
 
     #[test]
@@ -283,6 +748,23 @@ mod tests {
         assert!(pool.trace().is_some());
         assert_eq!(pool.trace().unwrap().workers(), 2);
         assert!(Pool::new(2).trace().is_none());
+    }
+
+    #[test]
+    fn pool_records_barrier_release_per_job() {
+        let sink = Arc::new(TraceSink::new(2));
+        let pool = Pool::with_trace(2, Arc::clone(&sink));
+        pool.run(|_| {});
+        pool.run(|_| {});
+        drop(pool);
+        for w in 0..2 {
+            let releases = sink
+                .events(w)
+                .iter()
+                .filter(|e| e.kind == EventKind::BarrierRelease)
+                .count();
+            assert_eq!(releases, 2, "worker {w}");
+        }
     }
 
     #[test]

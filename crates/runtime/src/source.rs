@@ -18,6 +18,7 @@
 //! * [`LockedAfsSource`] — the original mutex-per-queue AFS, kept as the
 //!   differential-testing and benchmark baseline for the lock-free path.
 
+use crate::inject::YieldInject;
 use crate::pad::CachePadded;
 use crate::sync::{lock_traced, Mutex};
 use afs_core::chunking::{
@@ -27,6 +28,7 @@ use afs_core::chunking::{
 use afs_core::policy::{AccessKind, Grab, LoopState};
 use afs_core::range::IterRange;
 use afs_trace::{EventKind, TraceSink};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -111,32 +113,23 @@ impl WorkSource for FetchAddSource {
     }
 }
 
-/// Deterministic yield injection between CAS attempts, for seeded
-/// interleaving stress tests. Disabled (and branch-predicted away) in
-/// normal operation.
-struct YieldInject {
-    seed: u64,
-    ticket: AtomicU64,
-}
-
-impl YieldInject {
-    fn maybe_yield(&self) {
-        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
-        // splitmix64 finalizer over (seed, ticket): a fair deterministic coin.
-        let mut z = self
-            .seed
-            .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        if (z ^ (z >> 31)) & 1 == 0 {
-            std::thread::yield_now();
-        }
-    }
-}
-
 /// How many full O(P) load scans the steal path performs before switching
 /// from "most loaded" to a cheap linear probe (see [`AfsSource::next`]).
 const MAX_FULL_SCANS: u32 = 2;
+
+/// Upper bound on the consecutive local chunks a single CAS may claim when
+/// grab-ahead is enabled (see [`AfsSource::with_grab_ahead`]).
+pub const MAX_GRAB_AHEAD: usize = 8;
+
+/// A worker-private stash of pre-claimed local sub-chunks, stored in
+/// reverse order so handing one out is a `pop`.
+struct Stash(UnsafeCell<Vec<Grab>>);
+
+// SAFETY: stash slot `i` is only ever touched by the thread currently
+// driving worker index `i` — the same exclusivity `Pool` guarantees for
+// trace lanes and per-worker `LoopMetrics` — and a worker's grabs are
+// sequential, so no two threads access one slot concurrently.
+unsafe impl Sync for Stash {}
 
 /// True distributed AFS with lock-free queues.
 ///
@@ -161,6 +154,11 @@ pub struct AfsSource {
     bases: Vec<u64>,
     k: u64,
     p: usize,
+    /// Local chunks claimed per CAS (1 = plain AFS).
+    ahead: usize,
+    /// Per-worker stash of pre-claimed sub-chunks (drained before any new
+    /// CAS; empty whenever `ahead == 1`).
+    stash: Vec<CachePadded<Stash>>,
     trace: Option<Arc<TraceSink>>,
     inject: Option<YieldInject>,
     /// Last steal victim: where the linear-probe fallback starts.
@@ -189,6 +187,10 @@ impl AfsSource {
             bases: parts.iter().map(|r| r.start).collect(),
             k,
             p,
+            ahead: 1,
+            stash: (0..p)
+                .map(|_| CachePadded::new(Stash(UnsafeCell::new(Vec::new()))))
+                .collect(),
             trace: None,
             inject: None,
             last_victim: CachePadded::new(AtomicUsize::new(0)),
@@ -203,14 +205,26 @@ impl AfsSource {
         self
     }
 
+    /// Claims up to `batch` consecutive local chunks with one CAS and
+    /// hands them out through a worker-private stash, amortizing the
+    /// atomic on fine-grained bodies. The planned chunk sizes follow the
+    /// same `⌈rem/k⌉` recurrence live grabs compute, and each sub-chunk is
+    /// still reported as its own `Local` grab — so on any deterministic
+    /// drive the handed-out sequence (and therefore `LoopMetrics` and the
+    /// paper's sync-count tables) is bit-identical to plain AFS; the head
+    /// cursor merely advances in larger steps. Exactly-once is untouched:
+    /// the CAS claims the whole batch range exclusively, and the stash
+    /// partitions it. `batch` is clamped to `1..=`[`MAX_GRAB_AHEAD`].
+    pub fn with_grab_ahead(mut self, batch: usize) -> Self {
+        self.ahead = batch.clamp(1, MAX_GRAB_AHEAD);
+        self
+    }
+
     /// Deterministically injects `yield_now` between CAS attempts (seeded
     /// interleaving stress tests only).
     #[doc(hidden)]
     pub fn with_yield_injection(mut self, seed: u64) -> Self {
-        self.inject = Some(YieldInject {
-            seed,
-            ticket: AtomicU64::new(0),
-        });
+        self.inject = Some(YieldInject::new(seed));
         self
     }
 
@@ -267,34 +281,59 @@ impl AfsSource {
         }
     }
 
-    /// One local-grab attempt loop: claims `⌈len/k⌉` from the front of the
-    /// worker's own queue, retrying while the CAS loses races.
+    /// One local-grab attempt loop: claims the next (up to `ahead`)
+    /// `⌈len/k⌉` chunks from the front of the worker's own queue with one
+    /// CAS, retrying while the CAS loses races. Pre-claimed sub-chunks are
+    /// drained from the stash before any new claim.
     #[inline]
     fn try_local(&self, worker: usize) -> Option<Grab> {
+        // SAFETY: worker index `worker` is driven by exactly one thread at
+        // a time (see `Stash`), so this is effectively a thread-local.
+        let stash = unsafe { &mut *self.stash[worker].0.get() };
+        if let Some(g) = stash.pop() {
+            return Some(g);
+        }
         loop {
             let word = self.words[worker].load(Ordering::Acquire);
             let len = packed_queue_len(word);
             if len == 0 {
                 return None;
             }
-            let take = afs_local_chunk(len, self.k);
+            // Plan up to `ahead` consecutive chunk sizes against the frozen
+            // length — the same recurrence live grabs would compute.
+            let mut takes = [0u64; MAX_GRAB_AHEAD];
+            let mut planned = 0usize;
+            let (mut rem, mut total) = (len, 0u64);
+            while planned < self.ahead && rem > 0 {
+                let t = afs_local_chunk(rem, self.k);
+                takes[planned] = t;
+                planned += 1;
+                rem -= t;
+                total += t;
+            }
             self.inject_point();
             if self.words[worker]
                 .compare_exchange(
                     word,
-                    packed_take_front(word, take),
+                    packed_take_front(word, total),
                     Ordering::AcqRel,
                     Ordering::Relaxed,
                 )
                 .is_ok()
             {
                 let (head, _) = unpack_queue(word);
-                let start = self.bases[worker] + head as u64;
-                return Some(Grab {
-                    range: IterRange::new(start, start + take),
-                    queue: worker,
-                    access: AccessKind::Local,
-                });
+                let mut start = self.bases[worker] + head as u64;
+                for &take in &takes[..planned] {
+                    stash.push(Grab {
+                        range: IterRange::new(start, start + take),
+                        queue: worker,
+                        access: AccessKind::Local,
+                    });
+                    start += take;
+                }
+                // Pops must hand the batch out front to back.
+                stash.reverse();
+                return stash.pop();
             }
             self.note_retry(worker, worker);
         }
@@ -568,6 +607,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn grab_ahead_matches_plain_afs_on_deterministic_drives() {
+        // With no interleaved steal between a batch claim and its drain,
+        // grab-ahead must hand out the exact chunk sequence plain AFS
+        // computes live — single-worker drives guarantee that, and so does
+        // a per-worker full drain before moving on.
+        for (n, p, k, ahead) in [
+            (512u64, 1usize, 1u64, 8usize),
+            (512, 1, 1, 3),
+            (1000, 4, 4, 8),
+            (7, 2, 2, 8),
+        ] {
+            let plain = AfsSource::new(n, p, k);
+            let batched = AfsSource::new(n, p, k).with_grab_ahead(ahead);
+            for w in 0..p {
+                loop {
+                    match (plain.try_local(w), batched.try_local(w)) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.range, b.range, "n={n} p={p} k={k} ga={ahead}");
+                            assert_eq!(a.access, AccessKind::Local);
+                            assert_eq!(b.access, AccessKind::Local);
+                        }
+                        (None, None) => break,
+                        (a, b) => panic!("divergence: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grab_ahead_concurrent_coverage() {
+        // Exactly-once must survive 8 threads with batched local claims
+        // racing steals.
+        use std::sync::atomic::AtomicU8;
+        let n = 10_000u64;
+        let p = 8;
+        let src = AfsSource::new(n, p, p as u64).with_grab_ahead(8);
+        let seen: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..p {
+                let src = &src;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(g) = src.next(w) {
+                        for i in g.range.iter() {
+                            let prev = seen[i as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "iteration {i} handed out twice");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn grab_ahead_batch_is_clamped() {
+        // Out-of-range batches clamp instead of panicking or over-claiming.
+        let src = AfsSource::new(100, 1, 1).with_grab_ahead(0);
+        assert_eq!(src.ahead, 1);
+        let src = AfsSource::new(100, 1, 1).with_grab_ahead(1000);
+        assert_eq!(src.ahead, MAX_GRAB_AHEAD);
     }
 
     #[test]

@@ -197,6 +197,163 @@ fn afs_source_concurrent_coverage_any_shape() {
     }
 }
 
+/// Seeded interleaving stress for the sense-reversing phase barrier:
+/// deterministic `yield_now` injection at the protocol's race windows
+/// (arrival increment → sense re-check, sleeper registration → park),
+/// 8 threads × 20 seeds. Phases must never overlap — every iteration of
+/// phase `ph − 1` is visible before any body of phase `ph` runs — and the
+/// run must complete (a lost wakeup would park a worker forever).
+#[test]
+fn spin_barrier_seeded_interleavings() {
+    let p = 8;
+    let phases = 40usize;
+    let len = 64u64;
+    for seed in 0..20u64 {
+        // Zero spin budget + tiny yield budget drives every waiter through
+        // the yield ladder *and* the parking fallback under injection.
+        let pool = Pool::builder(p)
+            .spin_budget(0, 2)
+            .yield_injection(seed)
+            .build();
+        let counts: Vec<AtomicU64> = (0..phases).map(|_| AtomicU64::new(0)).collect();
+        let m = parallel_phases(
+            &pool,
+            phases,
+            |_| len,
+            &RuntimeScheduler::afs_k_equals_p(),
+            |ph, _i| {
+                if ph > 0 {
+                    let prev = counts[ph - 1].load(Ordering::SeqCst);
+                    assert_eq!(
+                        prev,
+                        len,
+                        "seed {seed}: phase {ph} body ran before phase {} drained",
+                        ph - 1
+                    );
+                }
+                counts[ph].fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(m.total_iters(), phases as u64 * len, "seed {seed}");
+        for (ph, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), len, "seed {seed}: phase {ph}");
+        }
+    }
+}
+
+/// Property test: 10k tiny phases through both barrier protocols produce
+/// identical `LoopMetrics`. STATIC's metrics are fully deterministic
+/// (fixed partition, zero synchronized grabs), so equality is exact —
+/// worker by worker, queue by queue.
+#[test]
+fn ten_thousand_tiny_phases_identical_metrics_across_barriers() {
+    let phases = 10_000usize;
+    let p = 4;
+    let run = |kind: BarrierKind| {
+        let pool = Pool::builder(p).barrier(kind).build();
+        let total = AtomicU64::new(0);
+        let m = parallel_phases(
+            &pool,
+            phases,
+            |ph| (ph % 3) as u64 + 1,
+            &RuntimeScheduler::static_partition(),
+            |_, _| {
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        (m, total.load(Ordering::Relaxed))
+    };
+    let (m_spin, n_spin) = run(BarrierKind::Spin);
+    let (m_cv, n_cv) = run(BarrierKind::Condvar);
+    assert_eq!(n_spin, n_cv);
+    assert_eq!(m_spin.total_iters(), m_cv.total_iters());
+    assert_eq!(m_spin.iters_per_worker, m_cv.iters_per_worker);
+    assert_eq!(m_spin.sync.synchronized(), 0);
+    assert_eq!(m_cv.sync.synchronized(), 0);
+}
+
+/// Differential: both barrier protocols produce identical iteration
+/// coverage on every policy, and identical `LoopMetrics` to the extent the
+/// policy's metrics are schedule-independent — total iterations always;
+/// synchronized-grab counts for the central-queue policies (the chunk-size
+/// recurrence depends only on the remaining count, which the queue lock
+/// serializes); zero central grabs for the distributed AFS family (the
+/// local/remote split itself is timing-dependent by design).
+#[test]
+fn barrier_kinds_are_differential_twins_on_all_policies() {
+    enum CountCheck {
+        /// Synchronized-grab count is schedule-independent.
+        Exact,
+        /// Distributed policy: assert no central grabs instead.
+        NoCentral,
+    }
+    let cases: Vec<(fn() -> RuntimeScheduler, CountCheck)> = vec![
+        (RuntimeScheduler::static_partition, CountCheck::Exact),
+        (RuntimeScheduler::self_sched, CountCheck::Exact),
+        (RuntimeScheduler::gss, CountCheck::Exact),
+        (RuntimeScheduler::factoring, CountCheck::Exact),
+        (RuntimeScheduler::trapezoid, CountCheck::Exact),
+        (RuntimeScheduler::afs_k_equals_p, CountCheck::NoCentral),
+        (|| RuntimeScheduler::afs_with_k(2), CountCheck::NoCentral),
+        (
+            || RuntimeScheduler::afs_grab_ahead(8),
+            CountCheck::NoCentral,
+        ),
+    ];
+    let n = 3_000u64;
+    let phases = 4usize;
+    let p = 8;
+    for (make, check) in cases {
+        let run = |kind: BarrierKind| {
+            let policy = make();
+            let pool = Pool::builder(p).barrier(kind).build();
+            let counts: Vec<AtomicU32> =
+                (0..n * phases as u64).map(|_| AtomicU32::new(0)).collect();
+            let m = parallel_phases(
+                &pool,
+                phases,
+                |_| n,
+                &policy,
+                |ph, i| {
+                    let slot = ph as u64 * n + i;
+                    let prev = counts[slot as usize].fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(
+                        prev,
+                        0,
+                        "{}/{kind:?}: ({ph}, {i}) duplicated",
+                        policy.name()
+                    );
+                },
+            );
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+                "{}/{kind:?}: incomplete coverage",
+                policy.name()
+            );
+            (policy.name(), m)
+        };
+        let (name, m_spin) = run(BarrierKind::Spin);
+        let (_, m_cv) = run(BarrierKind::Condvar);
+        assert_eq!(m_spin.total_iters(), m_cv.total_iters(), "{name}");
+        assert_eq!(
+            m_spin.total_iters(),
+            n * phases as u64,
+            "{name}: wrong iteration total"
+        );
+        match check {
+            CountCheck::Exact => assert_eq!(
+                m_spin.sync.synchronized(),
+                m_cv.sync.synchronized(),
+                "{name}: synchronized-grab counts diverge across barriers"
+            ),
+            CountCheck::NoCentral => {
+                assert_eq!(m_spin.sync.central, 0, "{name}");
+                assert_eq!(m_cv.sync.central, 0, "{name}");
+            }
+        }
+    }
+}
+
 /// `parallel_phases` covers every (phase, iteration) exactly once for
 /// arbitrary phase-length vectors.
 #[test]

@@ -70,6 +70,7 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
         let mut grab_start: Option<u64> = None;
         let mut wait_start: Option<(u64, u32)> = None;
         let mut busy_start: Option<(u64, u32, u64, u64)> = None;
+        let mut barrier_start: Option<u64> = None;
         for ev in sink.events(w) {
             match ev.kind {
                 EventKind::GrabBegin => grab_start = Some(ev.t),
@@ -189,6 +190,7 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                     }
                 }
                 EventKind::BarrierWait => {
+                    // Legacy single-event form: an instant only.
                     push(
                         w,
                         ev.t,
@@ -199,6 +201,37 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                             us(ev.t),
                         ),
                     );
+                }
+                EventKind::BarrierArrive => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"barrier\",\"cat\":\"barrier\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3}}}",
+                            us(ev.t),
+                        ),
+                    );
+                    barrier_start = Some(ev.t);
+                }
+                EventKind::BarrierRelease => {
+                    // The first release of a pool's life has no arrive;
+                    // draw a span only for matched pairs.
+                    if let Some(s) = barrier_start.take() {
+                        push(
+                            w,
+                            s,
+                            &mut seq,
+                            format!(
+                                "{{\"name\":\"barrier wait\",\"cat\":\"barrier\",\
+                                 \"ph\":\"X\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                                 \"dur\":{:.3}}}",
+                                us(s),
+                                us(ev.t - s),
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -270,6 +303,19 @@ mod tests {
         assert!(json.contains("\"ph\":\"s\""));
         assert!(json.contains("\"ph\":\"f\""));
         assert!(json.contains("grab remote"));
+    }
+
+    #[test]
+    fn barrier_pair_emits_span_and_instant() {
+        let sink = TraceSink::new(1);
+        // An unmatched leading release must not fabricate a span.
+        sink.record(0, K::BarrierRelease);
+        sink.record(0, K::BarrierArrive);
+        sink.record(0, K::BarrierRelease);
+        let json = chrome_trace(&sink, "t");
+        assert!(json.contains("barrier wait"));
+        assert_eq!(json.matches("\"barrier wait\"").count(), 1);
+        assert!(json.contains("\"name\":\"barrier\""));
     }
 
     #[test]

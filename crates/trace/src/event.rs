@@ -72,7 +72,19 @@ pub enum EventKind {
     },
     /// The loop is exhausted from this worker's point of view; it is heading
     /// into the end-of-loop barrier. Time after this event is the idle tail.
+    ///
+    /// Legacy event: current drivers record the [`EventKind::BarrierArrive`]
+    /// / [`EventKind::BarrierRelease`] pair instead, which bounds the
+    /// barrier span exactly. Kept decodable so old traces still analyze.
     BarrierWait,
+    /// The worker arrived at the end-of-phase barrier (its final grab
+    /// failed). Paired with the next [`EventKind::BarrierRelease`] on the
+    /// same lane; the distance between them is the exact rendezvous time.
+    BarrierArrive,
+    /// The worker left the rendezvous: the pool handed it the next phase's
+    /// job. The first release of a pool's life has no preceding arrive;
+    /// consumers ignore unmatched releases.
+    BarrierRelease,
 }
 
 impl EventKind {
@@ -157,5 +169,7 @@ mod tests {
         assert_eq!(EventKind::GrabBegin.grab_access(), None);
         assert_eq!(EventKind::ChunkEnd.grab_access(), None);
         assert_eq!(EventKind::BarrierWait.grab_access(), None);
+        assert_eq!(EventKind::BarrierArrive.grab_access(), None);
+        assert_eq!(EventKind::BarrierRelease.grab_access(), None);
     }
 }

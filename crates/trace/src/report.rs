@@ -74,7 +74,12 @@ pub struct WorkerBreakdown {
     pub sync_ns: f64,
     /// Blocked on a contended queue lock.
     pub wait_ns: f64,
-    /// Everything else up to the last event anywhere (barrier tail etc.).
+    /// At the end-of-phase rendezvous: `BarrierArrive → BarrierRelease`
+    /// spans, plus a trailing unreleased arrive (the run's final barrier)
+    /// up to the last event anywhere. Legacy `BarrierWait` events carry no
+    /// span and land in `idle_ns`, as they always did.
+    pub barrier_ns: f64,
+    /// Everything else up to the last event anywhere.
     pub idle_ns: f64,
 }
 
@@ -140,19 +145,20 @@ impl TraceReport {
             let busy = tl.lane_total(w, SegmentKind::Busy) * 1_000.0;
             let sync = tl.lane_total(w, SegmentKind::Sync) * 1_000.0;
             let wait = tl.lane_total(w, SegmentKind::Wait) * 1_000.0;
-            let idle = (span_ns as f64 - busy - sync - wait).max(0.0);
-            report.workers.push(WorkerBreakdown {
-                busy_ns: busy,
-                sync_ns: sync,
-                wait_ns: wait,
-                idle_ns: idle,
-            });
 
             let mut grab_start: Option<u64> = None;
             let mut busy_from: Option<u64> = None;
+            let mut barrier_from: Option<u64> = None;
+            let mut barrier = 0.0f64;
             for ev in sink.events(w) {
                 match ev.kind {
                     EventKind::GrabBegin => grab_start = Some(ev.t),
+                    EventKind::BarrierArrive => barrier_from = Some(ev.t),
+                    EventKind::BarrierRelease => {
+                        if let Some(s) = barrier_from.take() {
+                            barrier += (ev.t - s) as f64;
+                        }
+                    }
                     EventKind::ChunkStart { .. } => busy_from = Some(ev.t),
                     EventKind::ChunkEnd => {
                         if let Some(s) = busy_from.take() {
@@ -178,6 +184,19 @@ impl TraceReport {
                     }
                 }
             }
+            // The run's final barrier is never released: count it to the
+            // last event anywhere, which is where the run span ends.
+            if let Some(s) = barrier_from.take() {
+                barrier += span_ns.saturating_sub(s) as f64;
+            }
+            let idle = (span_ns as f64 - busy - sync - wait - barrier).max(0.0);
+            report.workers.push(WorkerBreakdown {
+                busy_ns: busy,
+                sync_ns: sync,
+                wait_ns: wait,
+                barrier_ns: barrier,
+                idle_ns: idle,
+            });
         }
         report
     }
@@ -189,18 +208,19 @@ impl TraceReport {
         let _ = writeln!(out, "trace report — span {span_ms:.3} ms");
         let _ = writeln!(
             out,
-            "{:<8}{:>10}{:>10}{:>10}{:>10}{:>9}",
-            "worker", "busy%", "sync%", "wait%", "idle%", "dropped"
+            "{:<8}{:>10}{:>10}{:>10}{:>10}{:>10}{:>9}",
+            "worker", "busy%", "sync%", "wait%", "barrier%", "idle%", "dropped"
         );
         for (w, b) in self.workers.iter().enumerate() {
             let span = self.span_ns.max(1) as f64;
             let _ = writeln!(
                 out,
-                "P{:<7}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9}",
+                "P{:<7}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9}",
                 w,
                 100.0 * b.busy_ns / span,
                 100.0 * b.sync_ns / span,
                 100.0 * b.wait_ns / span,
+                100.0 * b.barrier_ns / span,
                 100.0 * b.idle_ns / span,
                 self.dropped[w],
             );
@@ -386,9 +406,55 @@ mod tests {
         sink.record(0, K::ChunkEnd);
         let r = TraceReport::from_sink(&sink);
         let b = &r.workers[0];
-        let sum = b.busy_ns + b.sync_ns + b.wait_ns + b.idle_ns;
+        let sum = b.busy_ns + b.sync_ns + b.wait_ns + b.barrier_ns + b.idle_ns;
         let span = r.span_ns as f64;
         assert!((sum - span).abs() / span.max(1.0) < 1e-6, "{sum} vs {span}");
         assert!(b.busy_ns > 0.0);
+    }
+
+    #[test]
+    fn barrier_pairs_bound_the_rendezvous_exactly() {
+        let sink = TraceSink::new(2);
+        // Lane 1: a trailing arrive with no release — the run's final
+        // barrier — counts up to the last event anywhere (lane 0's tail).
+        sink.record(1, K::BarrierArrive);
+        sink.record(0, K::BarrierArrive);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.record(0, K::BarrierRelease);
+        sink.record(
+            0,
+            K::ChunkStart {
+                queue: 0,
+                lo: 0,
+                hi: 1,
+            },
+        );
+        sink.record(0, K::ChunkEnd);
+        let r = TraceReport::from_sink(&sink);
+        assert!(
+            r.workers[0].barrier_ns >= 2e6,
+            "arrive→release span too small: {}",
+            r.workers[0].barrier_ns
+        );
+        assert!(r.workers[1].barrier_ns > 0.0, "trailing arrive not counted");
+        for b in &r.workers {
+            let sum = b.busy_ns + b.sync_ns + b.wait_ns + b.barrier_ns + b.idle_ns;
+            let span = r.span_ns as f64;
+            assert!((sum - span).abs() / span.max(1.0) < 1e-6, "{sum} vs {span}");
+        }
+        assert!(r.render().contains("barrier%"));
+    }
+
+    #[test]
+    fn unmatched_release_and_legacy_wait_are_ignored() {
+        let sink = TraceSink::new(1);
+        // A pool's first release precedes any arrive; legacy BarrierWait
+        // opens no span. Neither may produce barrier time.
+        sink.record(0, K::BarrierRelease);
+        sink.record(0, K::BarrierWait);
+        sink.record(0, K::GrabBegin);
+        sink.record(0, K::GrabCentral { lo: 0, hi: 1 });
+        let r = TraceReport::from_sink(&sink);
+        assert_eq!(r.workers[0].barrier_ns, 0.0);
     }
 }

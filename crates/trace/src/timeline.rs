@@ -70,12 +70,17 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                         tl.push(w, SegmentKind::Busy, s, t);
                     }
                 }
-                EventKind::BarrierWait => {
-                    // Close any dangling interval; the rest of the lane is
-                    // the idle tail.
+                EventKind::BarrierWait | EventKind::BarrierArrive => {
+                    // Close any dangling interval; the lane is idle until
+                    // the barrier releases (the simulator draws the barrier
+                    // tail as idle, and the timeline follows suit — exact
+                    // barrier accounting lives in `TraceReport`).
                     sync_start = None;
                     wait_start = None;
                 }
+                // Leaving the rendezvous opens no segment: the gap between
+                // arrive and release is idle on the timeline.
+                EventKind::BarrierRelease => {}
             }
         }
     }

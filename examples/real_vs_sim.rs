@@ -54,9 +54,15 @@ fn main() {
         let res = simulate(&wl, &sim_sched, &cfg);
         let sim_tl = res.timeline.as_ref().expect("timeline enabled");
 
-        // Real execution of the same grid on a traced worker pool.
+        // Real execution of the same grid on a traced worker pool: spin
+        // barrier for fast phase turnaround, workers pinned to cores
+        // (best-effort; a no-op where unsupported).
         let sink = Arc::new(TraceSink::new(P));
-        let pool = Pool::with_trace(P, Arc::clone(&sink));
+        let pool = Pool::builder(P)
+            .barrier(BarrierKind::Spin)
+            .pin_cores(true)
+            .trace(Arc::clone(&sink))
+            .build();
         let mut grid = SorGrid::new(N as usize);
         let metrics = par_sor(&pool, &mut grid, STEPS, &real_sched);
         drop(pool);

@@ -23,7 +23,13 @@ fn main() {
     let expect = reference.checksum(steps);
     println!("sequential: checksum {expect:.6}, {seq_time:.2?}");
 
-    let pool = Pool::new(4);
+    // Spin barrier + core pinning: the fast-rendezvous configuration the
+    // kernel benchmark (`repro --bench-kernels`) measures against the
+    // classic condvar protocol.
+    let pool = Pool::builder(4)
+        .barrier(BarrierKind::Spin)
+        .pin_cores(true)
+        .build();
     let policies = [
         RuntimeScheduler::static_partition(),
         RuntimeScheduler::self_sched(),
@@ -31,6 +37,7 @@ fn main() {
         RuntimeScheduler::factoring(),
         RuntimeScheduler::trapezoid(),
         RuntimeScheduler::afs_k_equals_p(),
+        RuntimeScheduler::afs_grab_ahead(8),
     ];
     for policy in policies {
         let mut grid = SorGrid::new(n);
