@@ -14,13 +14,120 @@
 //!                      # policies x barrier protocol x pinning, writes
 //!                      # BENCH_kernels.json (add --trace DIR for per-config
 //!                      # Chrome traces of the SOR runs)
+//! repro --bench-kernels --metrics [FILE]
+//!                      # also export the always-on runtime metrics of the
+//!                      # bench run (counters, histograms, perf events where
+//!                      # the kernel allows). FILE defaults to metrics.json;
+//!                      # a .prom suffix selects Prometheus text exposition
+//! repro --check-bench FILE [--baseline FILE] [--tolerance X] [--strict]
+//!                      # validate a BENCH_*.json document; with --baseline,
+//!                      # also compare cell by cell and report regressions
+//!                      # beyond the tolerance (default 0.30). Schema errors
+//!                      # always exit 1; regressions exit 1 only with
+//!                      # --strict (CI runners are noisy)
 //! ```
 
 use std::io::Write;
 
 use afs_bench::ablations;
+use afs_bench::check;
 use afs_bench::experiments::Experiment;
 use afs_bench::report::{render, render_csv, render_json, render_plot};
+use afs_metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Writes a metrics snapshot to `path`; the extension picks the format
+/// (`.prom` → Prometheus text exposition, anything else → JSON).
+fn export_metrics(snapshot: &MetricsSnapshot, path: &std::path::Path) {
+    let body = if path.extension().and_then(|e| e.to_str()) == Some("prom") {
+        snapshot.to_prometheus()
+    } else {
+        snapshot.to_json()
+    };
+    match std::fs::write(path, body) {
+        Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+        Err(err) => {
+            eprintln!("metrics: cannot write {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Loads and parses one bench JSON document or exits with code 1.
+fn load_bench(path: &str) -> afs_trace::json::Value {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("check-bench: cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    match afs_trace::json::parse(&text) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("check-bench: {path} is not valid JSON: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--check-bench` mode: validate `file`, optionally compare against
+/// `baseline`. Exits the process with the gate's verdict.
+fn run_check(file: &str, baseline: Option<&str>, tolerance: f64, strict: bool) -> ! {
+    let current = load_bench(file);
+    let kind = match check::validate(&current) {
+        Ok(kind) => {
+            let samples = current
+                .get("samples")
+                .and_then(|s| s.as_array())
+                .map_or(0, <[_]>::len);
+            println!("ok: {file} is a valid {kind} bench document ({samples} samples)");
+            kind
+        }
+        Err(errs) => {
+            eprintln!("check-bench: {file} failed schema validation:");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+    };
+    let Some(base_path) = baseline else {
+        std::process::exit(0);
+    };
+    let base = load_bench(base_path);
+    match check::compare(&current, &base, tolerance) {
+        Ok(cmp) => {
+            for w in &cmp.warnings {
+                eprintln!("warning: {w}");
+            }
+            for i in &cmp.improvements {
+                println!("improved: {i}");
+            }
+            for r in &cmp.regressions {
+                println!("REGRESSION: {r}");
+            }
+            println!(
+                "compared {} {kind} cells against {base_path} (tolerance {:.0}%): \
+                 {} regressed, {} improved",
+                cmp.compared,
+                tolerance * 100.0,
+                cmp.regressions.len(),
+                cmp.improvements.len()
+            );
+            if !cmp.ok() && strict {
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(errs) => {
+            eprintln!("check-bench: cannot compare {file} against {base_path}:");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +137,15 @@ fn main() {
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
+    let mut metrics_path: Option<std::path::PathBuf> = None;
+    let mut want_metrics_path = false;
+    let mut check_bench: Option<String> = None;
+    let mut want_check_bench = false;
+    let mut baseline: Option<String> = None;
+    let mut want_baseline = false;
+    let mut tolerance = 0.30f64;
+    let mut want_tolerance = false;
+    let mut strict = false;
     let mut ids: Vec<String> = Vec::new();
     for a in &args {
         if want_trace_dir {
@@ -37,11 +153,50 @@ fn main() {
             want_trace_dir = false;
             continue;
         }
+        if want_check_bench {
+            check_bench = Some(a.clone());
+            want_check_bench = false;
+            continue;
+        }
+        if want_baseline {
+            baseline = Some(a.clone());
+            want_baseline = false;
+            continue;
+        }
+        if want_tolerance {
+            tolerance = match a.parse::<f64>() {
+                Ok(t) if t >= 0.0 => t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number, got {a:?}");
+                    std::process::exit(2);
+                }
+            };
+            want_tolerance = false;
+            continue;
+        }
+        if want_metrics_path {
+            want_metrics_path = false;
+            // The FILE operand is optional: claim the token only when it
+            // looks like an export path, else fall through and parse it
+            // as a normal argument.
+            if a.ends_with(".json") || a.ends_with(".prom") {
+                metrics_path = Some(std::path::PathBuf::from(a));
+                continue;
+            }
+        }
         match a.as_str() {
             "--quick" | "-q" => quick = true,
             "--bench-grabs" => bench_grabs = true,
             "--bench-kernels" => bench_kernels = true,
             "--trace" => want_trace_dir = true,
+            "--metrics" => {
+                metrics_path = Some(std::path::PathBuf::from("metrics.json"));
+                want_metrics_path = true;
+            }
+            "--check-bench" => want_check_bench = true,
+            "--baseline" => want_baseline = true,
+            "--tolerance" => want_tolerance = true,
+            "--strict" => strict = true,
             "--plot" => format = "plot",
             "--json" => format = "json",
             "--csv" => format = "csv",
@@ -64,19 +219,54 @@ fn main() {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
                      [--trace DIR] [--bench-grabs] [--bench-kernels] \
+                     [--metrics [FILE.json|FILE.prom]] \
+                     [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
                 );
                 return;
             }
-            other => ids.push(other.to_string()),
+            other => {
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    metrics_path = Some(std::path::PathBuf::from(path));
+                } else {
+                    ids.push(other.to_string());
+                }
+            }
         }
     }
     if want_trace_dir {
         eprintln!("--trace needs a directory argument");
         std::process::exit(2);
     }
+    if want_check_bench {
+        eprintln!("--check-bench needs a file argument");
+        std::process::exit(2);
+    }
+    if want_baseline {
+        eprintln!("--baseline needs a file argument");
+        std::process::exit(2);
+    }
+    if want_tolerance {
+        eprintln!("--tolerance needs a number argument");
+        std::process::exit(2);
+    }
+    if let Some(file) = &check_bench {
+        run_check(file, baseline.as_deref(), tolerance, strict);
+    }
+    // Metrics accumulated across every --bench-* run of this invocation.
+    let mut bench_metrics: Option<MetricsSnapshot> = None;
+    let mut merge_metrics = |snapshot: &MetricsSnapshot| match &mut bench_metrics {
+        Some(m) => m.merge(snapshot),
+        none => *none = Some(snapshot.clone()),
+    };
     if bench_grabs {
-        let result = afs_bench::grabs::run(quick);
+        let registry = metrics_path
+            .as_ref()
+            .map(|_| MetricsRegistry::new(*afs_bench::grabs::WORKERS.last().unwrap()));
+        let result = afs_bench::grabs::run_with_metrics(quick, registry.as_ref());
+        if let Some(reg) = &registry {
+            merge_metrics(&reg.snapshot());
+        }
         print!("{}", result.render());
         let path = std::path::Path::new("BENCH_grabs.json");
         match std::fs::write(path, result.to_json()) {
@@ -85,9 +275,6 @@ fn main() {
                 eprintln!("cannot write {}: {err}", path.display());
                 std::process::exit(2);
             }
-        }
-        if ids.is_empty() && !bench_kernels {
-            return;
         }
     }
     if let Some(dir) = &trace_dir {
@@ -98,6 +285,9 @@ fn main() {
     }
     if bench_kernels {
         let result = afs_bench::kernels::run(quick);
+        if metrics_path.is_some() {
+            merge_metrics(&result.metrics);
+        }
         print!("{}", result.render());
         let path = std::path::Path::new("BENCH_kernels.json");
         match std::fs::write(path, result.to_json()) {
@@ -117,9 +307,17 @@ fn main() {
                 Err(err) => eprintln!("trace: kernel captures failed: {err}"),
             }
         }
-        if ids.is_empty() {
-            return;
+    }
+    if let Some(path) = &metrics_path {
+        match &bench_metrics {
+            Some(snapshot) => export_metrics(snapshot, path),
+            None => eprintln!(
+                "--metrics: nothing to export (metrics come from --bench-grabs / --bench-kernels runs)"
+            ),
         }
+    }
+    if (bench_grabs || bench_kernels) && ids.is_empty() {
+        return;
     }
     enum Job {
         Paper(Experiment),

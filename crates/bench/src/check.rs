@@ -1,0 +1,413 @@
+//! Bench-file validation and regression comparison (`repro --check-bench`).
+//!
+//! The committed `BENCH_grabs.json` / `BENCH_kernels.json` files are the
+//! repo's performance trajectory; CI used to eyeball them with ad-hoc
+//! one-liners. This module is the real gate:
+//!
+//! * [`validate`] — structural schema check of one bench document: the
+//!   right `bench` tag, every sample row carrying every required field
+//!   with the right type, sane values (non-zero grab counts, `best_ns ≤
+//!   total_ns`, …). Accepts both schema version 0 (no `schema_version` /
+//!   `host` keys — the files this repo committed first) and version 1.
+//! * [`compare`] — matches a fresh run against a baseline document cell by
+//!   cell (kernels keyed on `kernel`+`policy`+`barrier`+`pinned`, grabs on
+//!   `protocol`+`policy`+`impl`+`p`) and flags cells slower than
+//!   `baseline × (1 + tolerance)`. Quick-vs-full mismatches compare
+//!   nothing and produce a warning instead: the sizes differ, so the
+//!   numbers are incommensurable.
+//!
+//! Everything here works on [`afs_trace::json::Value`] so the gate exercises
+//! the same in-tree parser the exporters are tested against.
+
+use afs_trace::json::Value;
+use std::fmt;
+
+/// Which benchmark a validated document holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchKind {
+    /// `BENCH_grabs.json` (`"bench": "grab_latency"`).
+    Grabs,
+    /// `BENCH_kernels.json` (`"bench": "kernels"`).
+    Kernels,
+}
+
+impl fmt::Display for BenchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BenchKind::Grabs => "grab_latency",
+            BenchKind::Kernels => "kernels",
+        })
+    }
+}
+
+/// The outcome of a baseline comparison.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Cells slower than baseline beyond tolerance, worst first.
+    pub regressions: Vec<String>,
+    /// Cells faster than baseline beyond tolerance (informational).
+    pub improvements: Vec<String>,
+    /// Non-fatal oddities: quick-vs-full mismatch, cells present on only
+    /// one side, differing hosts.
+    pub warnings: Vec<String>,
+    /// Cells compared.
+    pub compared: usize,
+}
+
+impl Comparison {
+    /// True when no cell regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn str_of<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+fn num_of(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn bool_of(v: &Value, key: &str) -> Option<bool> {
+    v.get(key).and_then(Value::as_bool)
+}
+
+/// Checks the version-1 additions when present. Version 0 files (no
+/// `schema_version`) are fine; claiming a version we don't know is not.
+fn validate_envelope(doc: &Value, errs: &mut Vec<String>) {
+    match doc.get("schema_version") {
+        None => {} // version 0: pre-host files, still decodable
+        Some(v) => match v.as_f64() {
+            Some(n) if n != 1.0 => errs.push(format!("unknown schema_version {n}")),
+            None => errs.push("schema_version must be a number".into()),
+            Some(_) => {
+                let Some(host) = doc.get("host") else {
+                    errs.push("schema_version 1 requires a host block".into());
+                    return;
+                };
+                if num_of(host, "cpus").is_none_or(|c| c < 1.0) {
+                    errs.push("host.cpus must be a number >= 1".into());
+                }
+                for key in ["kernel", "os", "arch"] {
+                    if str_of(host, key).is_none() {
+                        errs.push(format!("host.{key} must be a string"));
+                    }
+                }
+                if bool_of(host, "pin_capable").is_none() {
+                    errs.push("host.pin_capable must be a boolean".into());
+                }
+            }
+        },
+    }
+    if doc.get("quick").is_none_or(|q| q.as_bool().is_none()) {
+        errs.push("quick must be a boolean".into());
+    }
+}
+
+fn validate_grab_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("samples[{i}].{field}");
+    match str_of(s, "protocol") {
+        Some("interleaved") | Some("threaded") => {}
+        _ => errs.push(format!("{}: must be interleaved|threaded", at("protocol"))),
+    }
+    if str_of(s, "policy").is_none() {
+        errs.push(format!("{}: must be a string", at("policy")));
+    }
+    match str_of(s, "impl") {
+        Some("mutex") | Some("lockfree") => {}
+        _ => errs.push(format!("{}: must be mutex|lockfree", at("impl"))),
+    }
+    if num_of(s, "p").is_none_or(|p| p < 1.0) {
+        errs.push(format!("{}: must be a number >= 1", at("p")));
+    }
+    let grabs = num_of(s, "grabs");
+    if grabs.is_none_or(|g| g < 1.0) {
+        errs.push(format!("{}: must be a number >= 1", at("grabs")));
+    }
+    if num_of(s, "total_ns").is_none_or(|t| t < 1.0) {
+        errs.push(format!("{}: must be a number >= 1", at("total_ns")));
+    }
+    if num_of(s, "mean_ns_per_grab").is_none_or(|m| m <= 0.0) {
+        errs.push(format!(
+            "{}: must be a positive number",
+            at("mean_ns_per_grab")
+        ));
+    }
+}
+
+fn validate_kernel_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("samples[{i}].{field}");
+    match str_of(s, "kernel") {
+        Some("sor") | Some("gauss") | Some("tc") => {}
+        _ => errs.push(format!("{}: must be sor|gauss|tc", at("kernel"))),
+    }
+    if str_of(s, "policy").is_none() {
+        errs.push(format!("{}: must be a string", at("policy")));
+    }
+    match str_of(s, "barrier") {
+        Some("condvar") | Some("spin") => {}
+        _ => errs.push(format!("{}: must be condvar|spin", at("barrier"))),
+    }
+    if bool_of(s, "pinned").is_none() {
+        errs.push(format!("{}: must be a boolean", at("pinned")));
+    }
+    for field in ["p", "phases", "iters", "reps"] {
+        if num_of(s, field).is_none_or(|v| v < 1.0) {
+            errs.push(format!("{}: must be a number >= 1", at(field)));
+        }
+    }
+    match (num_of(s, "best_ns"), num_of(s, "total_ns")) {
+        (Some(best), Some(total)) if best >= 1.0 && best <= total => {}
+        (Some(_), Some(_)) => errs.push(format!(
+            "{}: best_ns must satisfy 1 <= best_ns <= total_ns",
+            at("best_ns")
+        )),
+        _ => errs.push(format!("{}/total_ns: must be numbers", at("best_ns"))),
+    }
+}
+
+/// Validates one bench document structurally. Returns which bench it is,
+/// or every problem found (never just the first — a corrupted file should
+/// be diagnosable in one run).
+pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
+    let mut errs = Vec::new();
+    let kind = match str_of(doc, "bench") {
+        Some("grab_latency") => Some(BenchKind::Grabs),
+        Some("kernels") => Some(BenchKind::Kernels),
+        Some(other) => {
+            errs.push(format!("unknown bench tag {other:?}"));
+            None
+        }
+        None => {
+            errs.push("missing bench tag (is this a bench JSON at all?)".into());
+            None
+        }
+    };
+    validate_envelope(doc, &mut errs);
+    match doc.get("samples").and_then(Value::as_array) {
+        None => errs.push("samples must be an array".into()),
+        Some([]) => errs.push("samples must not be empty".into()),
+        Some(samples) => {
+            for (i, s) in samples.iter().enumerate() {
+                match kind {
+                    Some(BenchKind::Grabs) => validate_grab_sample(i, s, &mut errs),
+                    Some(BenchKind::Kernels) => validate_kernel_sample(i, s, &mut errs),
+                    None => {}
+                }
+            }
+        }
+    }
+    match (kind, errs.is_empty()) {
+        (Some(k), true) => Ok(k),
+        _ => Err(errs),
+    }
+}
+
+/// The identity of one sample row within its document, and the headline
+/// latency number regressions are judged on.
+fn cell(kind: BenchKind, s: &Value) -> Option<(String, f64)> {
+    match kind {
+        BenchKind::Grabs => {
+            let key = format!(
+                "{}/{}/{}/P={}",
+                str_of(s, "protocol")?,
+                str_of(s, "policy")?,
+                str_of(s, "impl")?,
+                num_of(s, "p")?
+            );
+            Some((key, num_of(s, "mean_ns_per_grab")?))
+        }
+        BenchKind::Kernels => {
+            let key = format!(
+                "{}/{}/{}/{}",
+                str_of(s, "kernel")?,
+                str_of(s, "policy")?,
+                str_of(s, "barrier")?,
+                if bool_of(s, "pinned")? {
+                    "pinned"
+                } else {
+                    "unpinned"
+                }
+            );
+            Some((key, num_of(s, "best_ns")?))
+        }
+    }
+}
+
+/// Compares a fresh bench run against a baseline document of the same
+/// bench. A cell regresses when `current > baseline × (1 + tolerance)`;
+/// symmetric improvements are reported informationally. Returns `Err` when
+/// the documents are not comparable at all (different benches, or either
+/// fails [`validate`]).
+pub fn compare(
+    current: &Value,
+    baseline: &Value,
+    tolerance: f64,
+) -> Result<Comparison, Vec<String>> {
+    let cur_kind = validate(current).map_err(|e| prefix("current", e))?;
+    let base_kind = validate(baseline).map_err(|e| prefix("baseline", e))?;
+    if cur_kind != base_kind {
+        return Err(vec![format!(
+            "bench mismatch: current is {cur_kind}, baseline is {base_kind}"
+        )]);
+    }
+    let mut out = Comparison::default();
+    let quick = |d: &Value| bool_of(d, "quick").unwrap_or(false);
+    if quick(current) != quick(baseline) {
+        out.warnings.push(format!(
+            "quick-vs-full mismatch (current quick={}, baseline quick={}): \
+             sizes differ, skipping cell comparison",
+            quick(current),
+            quick(baseline)
+        ));
+        return Ok(out);
+    }
+    if let (Some(cur_host), Some(base_host)) = (current.get("host"), baseline.get("host")) {
+        if cur_host != base_host {
+            out.warnings.push(
+                "hosts differ between current and baseline; \
+                 treat regressions as hints, not verdicts"
+                    .into(),
+            );
+        }
+    }
+    let rows = |d: &Value| -> Vec<(String, f64)> {
+        d.get("samples")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|s| cell(cur_kind, s))
+            .collect()
+    };
+    let base_rows = rows(baseline);
+    for (key, cur) in rows(current) {
+        let Some((_, base)) = base_rows.iter().find(|(k, _)| *k == key) else {
+            out.warnings.push(format!("{key}: not in baseline"));
+            continue;
+        };
+        out.compared += 1;
+        let ratio = cur / base.max(1e-9);
+        if ratio > 1.0 + tolerance {
+            out.regressions.push(format!(
+                "{key}: {cur:.0} ns vs baseline {base:.0} ns ({ratio:.2}x)"
+            ));
+        } else if ratio < 1.0 / (1.0 + tolerance) {
+            out.improvements.push(format!(
+                "{key}: {cur:.0} ns vs baseline {base:.0} ns ({ratio:.2}x)"
+            ));
+        }
+    }
+    for (key, _) in &base_rows {
+        if !rows(current).iter().any(|(k, _)| k == key) {
+            out.warnings
+                .push(format!("{key}: in baseline but not in current run"));
+        }
+    }
+    Ok(out)
+}
+
+fn prefix(which: &str, errs: Vec<String>) -> Vec<String> {
+    errs.into_iter().map(|e| format!("{which}: {e}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_trace::json::parse;
+
+    fn grabs_doc(quick: bool, mean: f64) -> String {
+        format!(
+            r#"{{"bench": "grab_latency", "schema_version": 1,
+                 "host": {{"cpus": 8, "kernel": "6.1", "os": "linux", "arch": "x86_64", "pin_capable": true}},
+                 "quick": {quick}, "max_iters_per_drain": 100,
+                 "samples": [
+                   {{"protocol": "interleaved", "policy": "AFS", "impl": "lockfree",
+                     "p": 8, "grabs": 100, "total_ns": {}, "mean_ns_per_grab": {mean}}}
+                 ]}}"#,
+            (mean * 100.0) as u64
+        )
+    }
+
+    #[test]
+    fn validates_both_schema_versions() {
+        let v1 = parse(&grabs_doc(false, 25.0)).unwrap();
+        assert_eq!(validate(&v1), Ok(BenchKind::Grabs));
+        // Version 0: no schema_version, no host — the pre-metrics files.
+        let v0 = parse(
+            r#"{"bench": "kernels", "quick": false,
+                "samples": [{"kernel": "sor", "policy": "AFS", "barrier": "spin",
+                             "pinned": false, "p": 8, "phases": 10, "iters": 100,
+                             "reps": 3, "total_ns": 300, "best_ns": 90}]}"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&v0), Ok(BenchKind::Kernels));
+    }
+
+    #[test]
+    fn rejects_corrupted_documents_with_every_error() {
+        let bad = parse(
+            r#"{"bench": "kernels", "schema_version": 7, "quick": false,
+                "samples": [{"kernel": "sort", "policy": "AFS", "barrier": "spin",
+                             "pinned": "yes", "p": 8, "phases": 10, "iters": 100,
+                             "reps": 3, "total_ns": 90, "best_ns": 300}]}"#,
+        )
+        .unwrap();
+        let errs = validate(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema_version")));
+        assert!(errs.iter().any(|e| e.contains("kernel")));
+        assert!(errs.iter().any(|e| e.contains("pinned")));
+        assert!(errs.iter().any(|e| e.contains("best_ns")));
+        assert!(errs.len() >= 4, "all problems in one run: {errs:?}");
+
+        assert!(validate(&parse(r#"{"x": 1}"#).unwrap()).is_err());
+        assert!(
+            validate(&parse(r#"{"bench": "kernels", "quick": true, "samples": []}"#).unwrap())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn flags_regressions_beyond_tolerance_only() {
+        let base = parse(&grabs_doc(false, 20.0)).unwrap();
+        let fine = parse(&grabs_doc(false, 24.0)).unwrap();
+        let slow = parse(&grabs_doc(false, 30.0)).unwrap();
+        let fast = parse(&grabs_doc(false, 10.0)).unwrap();
+
+        let c = compare(&fine, &base, 0.30).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+        assert_eq!(c.compared, 1);
+
+        let c = compare(&slow, &base, 0.30).unwrap();
+        assert!(!c.ok());
+        assert!(c.regressions[0].contains("1.50x"), "{:?}", c.regressions);
+
+        let c = compare(&fast, &base, 0.30).unwrap();
+        assert!(c.ok());
+        assert_eq!(c.improvements.len(), 1);
+    }
+
+    #[test]
+    fn quick_vs_full_warns_instead_of_comparing() {
+        let base = parse(&grabs_doc(false, 20.0)).unwrap();
+        let quick = parse(&grabs_doc(true, 500.0)).unwrap();
+        let c = compare(&quick, &base, 0.30).unwrap();
+        assert!(c.ok());
+        assert_eq!(c.compared, 0);
+        assert!(c.warnings[0].contains("quick-vs-full"));
+    }
+
+    #[test]
+    fn different_benches_do_not_compare() {
+        let grabs = parse(&grabs_doc(false, 20.0)).unwrap();
+        let kernels = parse(
+            r#"{"bench": "kernels", "quick": false,
+                "samples": [{"kernel": "sor", "policy": "AFS", "barrier": "spin",
+                             "pinned": false, "p": 8, "phases": 10, "iters": 100,
+                             "reps": 3, "total_ns": 300, "best_ns": 90}]}"#,
+        )
+        .unwrap();
+        let errs = compare(&grabs, &kernels, 0.30).unwrap_err();
+        assert!(errs[0].contains("mismatch"));
+    }
+}

@@ -32,9 +32,15 @@
 //!   real multiprocessor it is the one that shows convoy effects.
 
 use afs_core::prelude::*;
+use afs_metrics::{HostInfo, MetricsRegistry};
 use afs_runtime::source::{AfsSource, FetchAddSource, LockedAfsSource, LockedSource, WorkSource};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Schema version of `BENCH_grabs.json`. Version 1 added the `host`
+/// block; files without a `schema_version` key are version 0 and stay
+/// decodable.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// Worker counts measured. The interesting point is the largest (most
 /// contended); the smaller ones show how the gap opens.
@@ -75,6 +81,8 @@ pub struct GrabBenchResult {
     pub quick: bool,
     /// Largest per-loop iteration count used in the grid.
     pub n: u64,
+    /// The machine that produced the numbers.
+    pub host: HostInfo,
     /// All measured cells.
     pub samples: Vec<GrabSample>,
 }
@@ -169,6 +177,8 @@ impl GrabBenchResult {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"bench\": \"grab_latency\",\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"host\": {},", self.host.to_json());
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
         let _ = writeln!(out, "  \"max_iters_per_drain\": {},", self.n);
         let _ = writeln!(
@@ -225,7 +235,12 @@ impl GrabBenchResult {
 /// every worker's local queue drains at the same relative rate, so steals
 /// kick in exactly where they would concurrently — while keeping the run
 /// deterministic and free of OS-scheduler noise.
-fn interleaved_pass(make: &dyn Fn() -> Box<dyn WorkSource>, p: usize, drains: u64) -> (u64, u64) {
+fn interleaved_pass(
+    make: &dyn Fn() -> Box<dyn WorkSource>,
+    p: usize,
+    drains: u64,
+    metrics: Option<&MetricsRegistry>,
+) -> (u64, u64) {
     let sources: Vec<Box<dyn WorkSource>> = (0..drains).map(|_| make()).collect();
     let start = Instant::now();
     let mut grabs = 0u64;
@@ -242,6 +257,9 @@ fn interleaved_pass(make: &dyn Fn() -> Box<dyn WorkSource>, p: usize, drains: u6
                     sum = sum.wrapping_add(g.range.start ^ g.range.end);
                     grabs += 1;
                     any = true;
+                    if let Some(m) = metrics {
+                        m.worker(w).record_grab(g.access, g.range.len());
+                    }
                 }
             }
             if !any {
@@ -262,7 +280,12 @@ fn interleaved_pass(make: &dyn Fn() -> Box<dyn WorkSource>, p: usize, drains: u6
 /// oversubscribed runs get preempted *inside* the grab path (mutex convoys
 /// vs lost CAS windows) instead of each thread draining a whole source
 /// within its own slice.
-fn threaded_pass(make: &dyn Fn() -> Box<dyn WorkSource>, p: usize, drains: u64) -> (u64, u64) {
+fn threaded_pass(
+    make: &dyn Fn() -> Box<dyn WorkSource>,
+    p: usize,
+    drains: u64,
+    metrics: Option<&MetricsRegistry>,
+) -> (u64, u64) {
     let sources: Vec<Box<dyn WorkSource>> = (0..drains).map(|_| make()).collect();
     // Each worker timestamps its own release and finish; the makespan is
     // max(finish) − min(release). (Timing from the main thread would be
@@ -284,6 +307,9 @@ fn threaded_pass(make: &dyn Fn() -> Box<dyn WorkSource>, p: usize, drains: u64) 
                         while let Some(g) = src.next(w) {
                             sum = sum.wrapping_add(g.range.start ^ g.range.end);
                             local += 1;
+                            if let Some(m) = metrics {
+                                m.worker(w).record_grab(g.access, g.range.len());
+                            }
                         }
                     }
                     std::hint::black_box(sum);
@@ -309,13 +335,14 @@ fn measure(
     p: usize,
     drains: u64,
     reps: u64,
+    metrics: Option<&MetricsRegistry>,
 ) -> (u64, u64) {
     let mut grabs = 0u64;
     let mut total_ns = 0u64;
     for _ in 0..reps {
         let (g, ns) = match protocol {
-            "interleaved" => interleaved_pass(make, p, drains),
-            _ => threaded_pass(make, p, drains),
+            "interleaved" => interleaved_pass(make, p, drains, metrics),
+            _ => threaded_pass(make, p, drains, metrics),
         };
         grabs += g;
         total_ns += ns;
@@ -325,6 +352,14 @@ fn measure(
 
 /// Runs the full grid. `quick` shrinks sizes for smoke tests/CI.
 pub fn run(quick: bool) -> GrabBenchResult {
+    run_with_metrics(quick, None)
+}
+
+/// Like [`run`], optionally recording every grab into `metrics` (sized for
+/// at least [`WORKERS`]'s maximum). Recording is in the timed loop — that
+/// is the point: it prices the always-on counters at the harshest spot in
+/// the codebase, a bare grab with no loop body around it.
+pub fn run_with_metrics(quick: bool, metrics: Option<&MetricsRegistry>) -> GrabBenchResult {
     type Make = Box<dyn Fn(u64, usize) -> Box<dyn WorkSource>>;
     // (policy, impl, factory, n, drains-per-pass). The per-queue policies
     // hand out only O(P·k·log n) chunks per loop, so they repeat many small
@@ -394,7 +429,8 @@ pub fn run(quick: bool) -> GrabBenchResult {
             n_report = n_report.max(*n);
             for p in WORKERS {
                 let factory = |n: u64, p: usize| move || make(n, p);
-                let (grabs, total_ns) = measure(protocol, &factory(*n, p), p, *drains, reps);
+                let (grabs, total_ns) =
+                    measure(protocol, &factory(*n, p), p, *drains, reps, metrics);
                 samples.push(GrabSample {
                     protocol,
                     policy,
@@ -406,9 +442,15 @@ pub fn run(quick: bool) -> GrabBenchResult {
             }
         }
     }
+    // Probe pin capability on a scratch thread so the bench thread itself
+    // is never left pinned to core 0.
+    let pin_capable = std::thread::spawn(|| afs_runtime::affinity::pin_current_to(0))
+        .join()
+        .unwrap_or(false);
     GrabBenchResult {
         quick,
         n: n_report,
+        host: HostInfo::capture(pin_capable),
         samples,
     }
 }
@@ -421,6 +463,13 @@ mod tests {
         GrabBenchResult {
             quick: true,
             n: 100,
+            host: HostInfo {
+                cpus: 8,
+                kernel: "6.1.0-test".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                pin_capable: false,
+            },
             samples: vec![
                 GrabSample {
                     protocol: "interleaved",
@@ -468,6 +517,13 @@ mod tests {
         assert_eq!(
             v.get("bench").and_then(|b| b.as_str()),
             Some("grab_latency")
+        );
+        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(1.0));
+        let host = v.get("host").expect("host block");
+        assert_eq!(host.get("cpus").and_then(|c| c.as_f64()), Some(8.0));
+        assert_eq!(
+            host.get("pin_capable").and_then(|b| b.as_bool()),
+            Some(false)
         );
         let samples = v.get("samples").and_then(|s| s.as_array()).unwrap();
         assert_eq!(samples.len(), 3);

@@ -24,9 +24,15 @@ use affinity_sched::apps;
 use afs_kernels::gauss::GaussSystem;
 use afs_kernels::sor::SorGrid;
 use afs_kernels::transitive::{random_graph, TransitiveClosure};
+use afs_metrics::{HostInfo, MetricsSnapshot};
 use afs_runtime::{BarrierKind, Pool, RuntimeScheduler};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Schema version of `BENCH_kernels.json`. Version 1 added the `host`
+/// block; files without a `schema_version` key are version 0 and stay
+/// decodable.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// Workers for every cell: the paper's P=8 configuration.
 pub const P: usize = 8;
@@ -78,8 +84,15 @@ pub struct KernelBenchResult {
     pub p: usize,
     /// SOR steps per run (the phase-heavy headline workload).
     pub sor_steps: u64,
+    /// The machine that produced the numbers.
+    pub host: HostInfo,
     /// All measured cells.
     pub samples: Vec<KernelSample>,
+    /// Always-on runtime metrics merged over every pool the grid used
+    /// (perf events requested; counters-only where the kernel refuses).
+    /// Exported separately via `repro --metrics`, not serialized into
+    /// `BENCH_kernels.json`.
+    pub metrics: MetricsSnapshot,
 }
 
 impl KernelBenchResult {
@@ -204,6 +217,8 @@ impl KernelBenchResult {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"bench\": \"kernels\",\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"host\": {},", self.host.to_json());
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
         let _ = writeln!(out, "  \"p\": {},", self.p);
         let _ = writeln!(out, "  \"sor_steps\": {},", self.sor_steps);
@@ -375,6 +390,8 @@ fn run_kernel(
 pub fn run(quick: bool) -> KernelBenchResult {
     let sizes = Sizes::of(quick);
     let mut samples = Vec::new();
+    let mut metrics = MetricsSnapshot::empty(P);
+    let mut pin_ok = false;
     for (barrier, kind) in [
         ("condvar", BarrierKind::Condvar),
         ("spin", BarrierKind::Spin),
@@ -382,7 +399,16 @@ pub fn run(quick: bool) -> KernelBenchResult {
         for pinned in [false, true] {
             // One pool per (barrier, pinned) config, reused across every
             // policy and kernel — exactly how an application would hold it.
-            let pool = Pool::builder(P).barrier(kind).pin_cores(pinned).build();
+            // Perf events are requested on every pool; where the kernel
+            // refuses them the run degrades to counters-only.
+            let pool = Pool::builder(P)
+                .barrier(kind)
+                .pin_cores(pinned)
+                .perf_events(true)
+                .build();
+            if pinned {
+                pin_ok |= pool.pinned_workers() == P;
+            }
             for policy in policies() {
                 for kernel in KERNELS {
                     let mut total_ns = 0u64;
@@ -410,13 +436,16 @@ pub fn run(quick: bool) -> KernelBenchResult {
                     });
                 }
             }
+            metrics.merge(&pool.metrics().snapshot());
         }
     }
     KernelBenchResult {
         quick,
         p: P,
         sor_steps: sizes.sor_steps as u64,
+        host: HostInfo::capture(pin_ok),
         samples,
+        metrics,
     }
 }
 
@@ -480,12 +509,20 @@ mod tests {
             quick: true,
             p: 8,
             sor_steps: 200,
+            host: HostInfo {
+                cpus: 8,
+                kernel: "6.1.0-test".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                pin_capable: true,
+            },
             samples: vec![
                 cell("condvar", false, 30_000_000),
                 cell("spin", false, 10_000_000),
                 cell("condvar", true, 27_000_000),
                 cell("spin", true, 9_000_000),
             ],
+            metrics: MetricsSnapshot::empty(8),
         }
     }
 
@@ -503,6 +540,13 @@ mod tests {
         let json = synthetic().to_json();
         let v = afs_trace::json::parse(&json).expect("valid JSON");
         assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("kernels"));
+        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(1.0));
+        let host = v.get("host").expect("host block");
+        assert_eq!(host.get("cpus").and_then(|c| c.as_f64()), Some(8.0));
+        assert_eq!(
+            host.get("pin_capable").and_then(|b| b.as_bool()),
+            Some(true)
+        );
         assert_eq!(v.get("p").and_then(|p| p.as_f64()), Some(8.0));
         let samples = v.get("samples").and_then(|s| s.as_array()).unwrap();
         assert_eq!(samples.len(), 4);

@@ -1,0 +1,202 @@
+//! Concurrent log₂ latency histograms.
+//!
+//! Same bucketing as `afs_trace::report::Histogram` (so the two are
+//! directly comparable), but recordable from any thread: buckets are
+//! relaxed atomic adds. Unlike [`crate::counters::WorkerCounters`], a
+//! histogram *is* multi-writer (any worker may take a barrier turn and
+//! record the phase duration), so increments use `fetch_add` rather than
+//! the single-writer load+store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: bucket `i` holds durations in `[2^i, 2^(i+1))`
+/// ns, with bucket 0 also catching sub-nanosecond readings and the last
+/// bucket catching everything ≥ 2^(BUCKETS−1) ns (~34 s).
+pub const BUCKETS: usize = 36;
+
+/// A thread-safe log₂-bucket histogram of durations in nanoseconds.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    samples: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            samples: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a duration of `ns` nanoseconds.
+#[inline]
+pub(crate) fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (63 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+impl AtomicHistogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one duration sample of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Adds one [`std::time::Duration`] sample.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Plain-value copy of the current state.
+    pub fn get(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (dst, src) in counts.iter_mut().zip(&self.counts) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            samples: self.samples.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of an [`AtomicHistogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `counts[i]` = samples with duration in `[2^i, 2^(i+1))` ns.
+    pub counts: [u64; BUCKETS],
+    /// Total number of samples.
+    pub samples: u64,
+    /// Sum of all sample durations (ns).
+    pub total_ns: u64,
+    /// Largest sample (ns).
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            samples: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean sample duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.samples as f64
+        }
+    }
+
+    /// Adds `other` into `self` bucket by bucket.
+    pub fn add(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.samples += other.samples;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// `self − other` bucket by bucket (saturating). `max_ns` keeps the
+    /// current maximum: a running max cannot be subtracted.
+    pub fn minus(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (i, dst) in counts.iter_mut().enumerate() {
+            *dst = self.counts[i].saturating_sub(other.counts[i]);
+        }
+        HistogramSnapshot {
+            counts,
+            samples: self.samples.saturating_sub(other.samples),
+            total_ns: self.total_ns.saturating_sub(other.total_ns),
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let h = AtomicHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.get();
+        assert_eq!(s.counts[0], 2); // 0 and 1
+        assert_eq!(s.counts[1], 2); // 2 and 3
+        assert_eq!(s.counts[10], 1); // 1024
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.max_ns, 1024);
+        assert!((s.mean_ns() - 1030.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_last_bucket() {
+        let h = AtomicHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.get().counts[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = AtomicHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.get().samples, 4000);
+    }
+
+    #[test]
+    fn add_and_minus_roundtrip() {
+        let h = AtomicHistogram::new();
+        h.record(5);
+        let before = h.get();
+        h.record(100);
+        h.record(7);
+        let after = h.get();
+        let delta = after.minus(&before);
+        assert_eq!(delta.samples, 2);
+        assert_eq!(delta.total_ns, 107);
+        let mut sum = before;
+        sum.add(&delta);
+        assert_eq!(sum.samples, after.samples);
+        assert_eq!(sum.total_ns, after.total_ns);
+        assert_eq!(sum.counts, after.counts);
+    }
+}

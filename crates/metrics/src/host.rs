@@ -1,0 +1,108 @@
+//! Host identification for benchmark records.
+//!
+//! Benchmark JSON files are committed and compared across runs; a number is
+//! only interpretable next to the machine that produced it. [`HostInfo`]
+//! captures the minimum that changes results: logical CPU count, kernel
+//! release, OS/arch, and whether the runtime could actually pin workers to
+//! cores (containers and some CI runners refuse `sched_setaffinity`).
+
+/// A description of the machine a benchmark ran on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Logical CPUs visible to this process.
+    pub cpus: usize,
+    /// Kernel release string (`/proc/sys/kernel/osrelease`), or "unknown".
+    pub kernel: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Whether worker threads could be pinned to cores.
+    pub pin_capable: bool,
+}
+
+impl HostInfo {
+    /// Captures the current host. `pin_capable` is supplied by the caller
+    /// (the runtime knows; probing here would invert the dependency).
+    pub fn capture(pin_capable: bool) -> HostInfo {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        HostInfo {
+            cpus,
+            kernel,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            pin_capable,
+        }
+    }
+
+    /// The `"host": {...}` JSON object fragment (no trailing comma).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cpus\": {}, \"kernel\": \"{}\", \"os\": \"{}\", \"arch\": \"{}\", \"pin_capable\": {}}}",
+            self.cpus,
+            escape(&self.kernel),
+            escape(&self.os),
+            escape(&self.arch),
+            self.pin_capable
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_plausible() {
+        let h = HostInfo::capture(true);
+        assert!(h.cpus >= 1);
+        assert!(!h.kernel.is_empty());
+        assert!(!h.os.is_empty());
+        assert!(!h.arch.is_empty());
+        assert!(h.pin_capable);
+    }
+
+    #[test]
+    fn json_fragment_is_wellformed() {
+        let h = HostInfo {
+            cpus: 8,
+            kernel: "6.1.0-test \"quoted\"".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            pin_capable: false,
+        };
+        let j = h.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cpus\": 8"));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"pin_capable\": false"));
+    }
+
+    #[test]
+    fn escaping_covers_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,76 @@
+//! Cache-line padding for per-worker shared state.
+//!
+//! A hot path that is one atomic operation per event degenerates the
+//! moment two workers' atomics share a cache line: every update ping-pongs
+//! that line between cores and "per-worker" state becomes central at the
+//! coherence level. [`CachePadded`] gives each value its own line(s).
+//! 128 bytes covers the common 64-byte line plus adjacent-line prefetchers
+//! (Intel) and 128-byte-line machines (Apple silicon, POWER) — the same
+//! constant crossbeam uses. No external dependency: the workspace builds
+//! fully offline.
+
+/// Pads and aligns `T` to 128 bytes so neighboring values in a `Vec` or
+/// struct never share a cache line.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value in its own cache line(s).
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the padding, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn layout_gives_each_slot_its_own_line() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 128);
+        let v: Vec<CachePadded<AtomicU64>> = (0..4).map(|_| CachePadded::default()).collect();
+        let a = &*v[0] as *const AtomicU64 as usize;
+        let b = &*v[1] as *const AtomicU64 as usize;
+        assert!(b - a >= 128, "adjacent slots {a:#x} and {b:#x} too close");
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let p = CachePadded::new(AtomicU64::new(7));
+        p.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(p.into_inner().into_inner(), 8);
+        let mut m = CachePadded::new(5u32);
+        *m += 1;
+        assert_eq!(*m, 6);
+        assert_eq!(*CachePadded::from(9u8), 9);
+    }
+}

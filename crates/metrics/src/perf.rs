@@ -1,0 +1,355 @@
+//! Hardware performance counters via raw `perf_event_open(2)`.
+//!
+//! The paper measures affinity as avoided *cache reloads*; with
+//! core-pinned workers that claim is physically checkable. This module
+//! opens three counting (not sampling) events per worker thread:
+//!
+//! * LLC read misses — the "non-local data" cost AFS exists to avoid;
+//! * dTLB read misses — the same story one level up;
+//! * cpu-migrations — how often the OS moved the worker (0 when pinned).
+//!
+//! The binding is a direct `extern "C"` declaration of the `syscall(2)`
+//! entry point with the per-arch `perf_event_open` number — no external
+//! crates, same style as the runtime's `sched_setaffinity` pinning. The
+//! attr struct is zeroed and sized to the newest layout we know; kernels
+//! older than that accept a larger zero-tailed attr, so no version probing
+//! is needed. Events count the calling *thread* (`pid == 0`), exclude
+//! kernel and hypervisor (so an unprivileged process under
+//! `perf_event_paranoid == 2` can still open them), and are read with
+//! plain `read(2)` — valid from any thread, which lets the coordinator
+//! collect all workers' counts at snapshot time.
+//!
+//! Everything degrades gracefully: on non-Linux targets, unknown
+//! architectures, or kernels that refuse (`perf_event_paranoid`, seccomp,
+//! missing PMU in VMs/containers), [`PerfGroup::open_for_current_thread`]
+//! returns an error string and the metrics layer carries on counters-only.
+
+/// One worker's hardware counter readings. Each value is `None` when that
+/// event could not be opened (e.g. no PMU in a VM: the software
+/// cpu-migrations event usually still works).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfSample {
+    /// Last-level-cache read misses.
+    pub llc_misses: Option<u64>,
+    /// Data-TLB read misses.
+    pub dtlb_misses: Option<u64>,
+    /// Times the OS migrated the thread to another CPU.
+    pub cpu_migrations: Option<u64>,
+}
+
+impl PerfSample {
+    /// `self − base` per event (saturating; `None` stays `None`).
+    pub fn minus(&self, base: &PerfSample) -> PerfSample {
+        let sub = |a: Option<u64>, b: Option<u64>| match (a, b) {
+            (Some(a), Some(b)) => Some(a.saturating_sub(b)),
+            (a, _) => a,
+        };
+        PerfSample {
+            llc_misses: sub(self.llc_misses, base.llc_misses),
+            dtlb_misses: sub(self.dtlb_misses, base.dtlb_misses),
+            cpu_migrations: sub(self.cpu_migrations, base.cpu_migrations),
+        }
+    }
+
+    /// Adds `other` into `self` per event (`None + x = x`).
+    pub fn add(&mut self, other: &PerfSample) {
+        let add = |a: &mut Option<u64>, b: Option<u64>| {
+            if let Some(b) = b {
+                *a = Some(a.unwrap_or(0) + b);
+            }
+        };
+        add(&mut self.llc_misses, other.llc_misses);
+        add(&mut self.dtlb_misses, other.dtlb_misses);
+        add(&mut self.cpu_migrations, other.cpu_migrations);
+    }
+}
+
+/// The three per-thread counters of one worker. Dropping the group closes
+/// the file descriptors.
+#[derive(Debug, Default)]
+pub struct PerfGroup {
+    llc: Option<PerfCounter>,
+    dtlb: Option<PerfCounter>,
+    migrations: Option<PerfCounter>,
+}
+
+impl PerfGroup {
+    /// Opens the event group for the **calling thread**. Each event is
+    /// best-effort; the call errs only when *no* event could be opened,
+    /// with a reason suitable for display (e.g. "perf_event_open:
+    /// permission denied (perf_event_paranoid?)").
+    pub fn open_for_current_thread() -> Result<PerfGroup, String> {
+        imp::open_group()
+    }
+
+    /// Reads all open counters. Valid from any thread (the events stay
+    /// attached to the thread that opened them; `read(2)` on the fd does
+    /// not care who calls it).
+    pub fn read(&self) -> PerfSample {
+        PerfSample {
+            llc_misses: self.llc.as_ref().and_then(PerfCounter::value),
+            dtlb_misses: self.dtlb.as_ref().and_then(PerfCounter::value),
+            cpu_migrations: self.migrations.as_ref().and_then(PerfCounter::value),
+        }
+    }
+
+    /// How many of the three events are actually open.
+    pub fn open_events(&self) -> usize {
+        [
+            self.llc.is_some(),
+            self.dtlb.is_some(),
+            self.migrations.is_some(),
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+/// Whether this process can open at least one perf event right now.
+pub fn available() -> bool {
+    PerfGroup::open_for_current_thread().is_ok()
+}
+
+/// One open counting event (a file descriptor). Closed on drop.
+#[derive(Debug)]
+struct PerfCounter {
+    #[cfg_attr(
+        not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )),
+        allow(dead_code)
+    )]
+    fd: i32,
+}
+
+impl PerfCounter {
+    fn value(&self) -> Option<u64> {
+        imp::read_counter(self)
+    }
+}
+
+impl Drop for PerfCounter {
+    fn drop(&mut self) {
+        imp::close_counter(self);
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::{PerfCounter, PerfGroup};
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: i64 = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: i64 = 241;
+
+    const PERF_TYPE_SOFTWARE: u32 = 1;
+    const PERF_TYPE_HW_CACHE: u32 = 3;
+    const PERF_COUNT_SW_CPU_MIGRATIONS: u64 = 4;
+    /// `cache_id | (op << 8) | (result << 16)` per perf_event_open(2),
+    /// with op READ = 0 kept visible in the formula.
+    #[allow(clippy::identity_op)]
+    const LLC_READ_MISS: u64 = 2 | (0 << 8) | (1 << 16);
+    #[allow(clippy::identity_op)]
+    const DTLB_READ_MISS: u64 = 3 | (0 << 8) | (1 << 16);
+    /// Attr flag bits: `exclude_kernel` (bit 5) + `exclude_hv` (bit 6) so
+    /// unprivileged processes under `perf_event_paranoid == 2` may open.
+    const FLAG_EXCLUDE_KERNEL_HV: u64 = (1 << 5) | (1 << 6);
+    const PERF_FLAG_FD_CLOEXEC: u64 = 8;
+
+    /// `struct perf_event_attr`, PERF_ATTR_SIZE_VER8 (136 bytes). Newer
+    /// fields than a running kernel knows are zero, which `perf_copy_attr`
+    /// explicitly accepts.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period_or_freq: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup: u32,
+        bp_type: u32,
+        config1: u64,
+        config2: u64,
+        branch_sample_type: u64,
+        sample_regs_user: u64,
+        sample_stack_user: u32,
+        clockid: i32,
+        sample_regs_intr: u64,
+        aux_watermark: u32,
+        sample_max_stack: u16,
+        reserved2: u16,
+        aux_sample_size: u32,
+        reserved3: u32,
+        sig_data: u64,
+        config3: u64,
+    }
+
+    extern "C" {
+        fn syscall(num: i64, ...) -> i64;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+        fn __errno_location() -> *mut i32;
+    }
+
+    fn errno_name(e: i32) -> String {
+        match e {
+            1 | 13 => "permission denied (perf_event_paranoid?)".into(),
+            2 => "event not supported by this kernel/PMU".into(),
+            19 => "no such device (no PMU, e.g. a VM)".into(),
+            22 => "invalid attributes".into(),
+            24 => "file descriptor limit reached".into(),
+            38 => "perf_event_open not implemented".into(),
+            95 => "operation not supported".into(),
+            other => format!("errno {other}"),
+        }
+    }
+
+    fn open_event(type_: u32, config: u64) -> Result<PerfCounter, String> {
+        // SAFETY: all-zero is a valid perf_event_attr; we then set the
+        // fields this counting use case needs.
+        let mut attr: PerfEventAttr = unsafe { std::mem::zeroed() };
+        attr.type_ = type_;
+        attr.size = std::mem::size_of::<PerfEventAttr>() as u32;
+        attr.config = config;
+        attr.flags = FLAG_EXCLUDE_KERNEL_HV;
+        // SAFETY: the attr pointer outlives the call; pid 0 / cpu -1 /
+        // group -1 is the "this thread, any CPU, standalone" form.
+        let fd = unsafe {
+            syscall(
+                SYS_PERF_EVENT_OPEN,
+                &attr as *const PerfEventAttr,
+                0i32,  // pid: calling thread
+                -1i32, // cpu: any
+                -1i32, // group_fd: standalone
+                PERF_FLAG_FD_CLOEXEC,
+            )
+        };
+        if fd < 0 {
+            // SAFETY: __errno_location is the glibc/musl thread-local errno.
+            let e = unsafe { *__errno_location() };
+            return Err(format!("perf_event_open: {}", errno_name(e)));
+        }
+        Ok(PerfCounter { fd: fd as i32 })
+    }
+
+    pub(super) fn open_group() -> Result<PerfGroup, String> {
+        let llc = open_event(PERF_TYPE_HW_CACHE, LLC_READ_MISS);
+        let dtlb = open_event(PERF_TYPE_HW_CACHE, DTLB_READ_MISS);
+        let migrations = open_event(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CPU_MIGRATIONS);
+        if llc.is_err() && dtlb.is_err() && migrations.is_err() {
+            return Err(llc.err().unwrap_or_else(|| "no event opened".into()));
+        }
+        Ok(PerfGroup {
+            llc: llc.ok(),
+            dtlb: dtlb.ok(),
+            migrations: migrations.ok(),
+        })
+    }
+
+    pub(super) fn read_counter(c: &PerfCounter) -> Option<u64> {
+        let mut buf = [0u8; 8];
+        // SAFETY: reading 8 bytes into an 8-byte buffer from an fd we own.
+        let n = unsafe { read(c.fd, buf.as_mut_ptr(), 8) };
+        (n == 8).then(|| u64::from_ne_bytes(buf))
+    }
+
+    pub(super) fn close_counter(c: &PerfCounter) {
+        // SAFETY: the fd was returned by perf_event_open and is closed
+        // exactly once (Drop).
+        unsafe { close(c.fd) };
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::{PerfCounter, PerfGroup};
+
+    pub(super) fn open_group() -> Result<PerfGroup, String> {
+        Err("perf events unsupported on this platform".into())
+    }
+
+    pub(super) fn read_counter(_c: &PerfCounter) -> Option<u64> {
+        None
+    }
+
+    pub(super) fn close_counter(_c: &PerfCounter) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unavailability_degrades_to_counters_only() {
+        // This must hold everywhere: perf_event_paranoid lockdowns,
+        // containers without a PMU, non-Linux targets. Either the group
+        // opens (and reads plain numbers) or it reports a human-readable
+        // reason — never a panic, never a partial failure that poisons the
+        // metrics layer.
+        match PerfGroup::open_for_current_thread() {
+            Ok(group) => {
+                assert!(group.open_events() >= 1);
+                let s = group.read();
+                // An open event must read; a closed one must stay None.
+                assert_eq!(s.llc_misses.is_some(), group.llc.is_some());
+                assert_eq!(s.dtlb_misses.is_some(), group.dtlb.is_some());
+                assert_eq!(s.cpu_migrations.is_some(), group.migrations.is_some());
+            }
+            Err(reason) => {
+                assert!(!reason.is_empty(), "refusal must carry a reason");
+                // Counters-only mode: a default (empty) sample is the
+                // degraded form the snapshot layer uses.
+                assert_eq!(PerfSample::default(), PerfSample::default());
+            }
+        }
+    }
+
+    #[test]
+    fn samples_delta_and_merge() {
+        let a = PerfSample {
+            llc_misses: Some(100),
+            dtlb_misses: None,
+            cpu_migrations: Some(5),
+        };
+        let b = PerfSample {
+            llc_misses: Some(40),
+            dtlb_misses: Some(7),
+            cpu_migrations: Some(5),
+        };
+        let d = a.minus(&b);
+        assert_eq!(d.llc_misses, Some(60));
+        assert_eq!(d.dtlb_misses, None, "unopened events stay unopened");
+        assert_eq!(d.cpu_migrations, Some(0));
+        let mut m = a;
+        m.add(&b);
+        assert_eq!(m.llc_misses, Some(140));
+        assert_eq!(m.dtlb_misses, Some(7));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn migration_counter_counts_this_thread_when_available() {
+        // When the kernel lets us open events at all, the software
+        // cpu-migrations counter virtually always opens and its value is a
+        // small plain number (not garbage).
+        if let Ok(group) = PerfGroup::open_for_current_thread() {
+            std::hint::black_box((0..100_000u64).sum::<u64>());
+            let s = group.read();
+            if let Some(m) = s.cpu_migrations {
+                assert!(m < 1_000_000, "implausible migration count {m}");
+            }
+        }
+    }
+}

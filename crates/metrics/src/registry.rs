@@ -1,0 +1,184 @@
+//! The per-pool metrics registry.
+//!
+//! One [`MetricsRegistry`] lives for the lifetime of a thread pool. Hot
+//! paths touch only their own worker's [`CachePadded`] counter block;
+//! everything shared (histograms) is recorded at phase granularity, not per
+//! grab, so the whole layer stays within the "always-on" overhead budget.
+
+use crate::counters::WorkerCounters;
+use crate::histogram::AtomicHistogram;
+use crate::pad::CachePadded;
+use crate::perf::PerfGroup;
+use crate::snapshot::{MetricsSnapshot, WorkerSnapshot};
+use std::sync::Mutex;
+
+/// Whether hardware perf events are feeding the registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PerfStatus {
+    /// Perf events were never requested (the default).
+    Disabled,
+    /// At least one worker has an open event group.
+    Active,
+    /// Perf events were requested but the kernel refused; the reason is
+    /// shown in exports so a silent all-zero column can't masquerade as a
+    /// perfect cache.
+    Unavailable(String),
+}
+
+impl PerfStatus {
+    /// Short form used in exports: `"disabled"`, `"active"`, or
+    /// `"unavailable: <reason>"`.
+    pub fn label(&self) -> String {
+        match self {
+            PerfStatus::Disabled => "disabled".to_string(),
+            PerfStatus::Active => "active".to_string(),
+            PerfStatus::Unavailable(reason) => format!("unavailable: {reason}"),
+        }
+    }
+}
+
+/// All metrics state for one pool: per-worker counters, shared duration
+/// histograms, and (optionally) per-worker hardware event groups.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    workers: Vec<CachePadded<WorkerCounters>>,
+    phase_ns: AtomicHistogram,
+    loop_ns: AtomicHistogram,
+    /// Per-worker perf groups. A `Mutex` (not an atomic) because install
+    /// and read are cold paths: once at spawn, once per snapshot.
+    perf: Vec<Mutex<Option<PerfGroup>>>,
+    perf_status: Mutex<PerfStatus>,
+}
+
+impl MetricsRegistry {
+    /// Registry for `p` workers, counters zeroed, perf disabled.
+    pub fn new(p: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            workers: (0..p).map(|_| CachePadded::default()).collect(),
+            phase_ns: AtomicHistogram::new(),
+            loop_ns: AtomicHistogram::new(),
+            perf: (0..p).map(|_| Mutex::new(None)).collect(),
+            perf_status: Mutex::new(PerfStatus::Disabled),
+        }
+    }
+
+    /// Number of workers this registry tracks.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker `w`'s counter block. Only the thread driving worker `w` may
+    /// *record* into it (the single-writer discipline); anyone may read.
+    pub fn worker(&self, w: usize) -> &WorkerCounters {
+        &self.workers[w]
+    }
+
+    /// The phase-duration histogram (one sample per barrier-to-barrier
+    /// phase).
+    pub fn phase_hist(&self) -> &AtomicHistogram {
+        &self.phase_ns
+    }
+
+    /// The region-makespan histogram (one sample per parallel loop/nest).
+    pub fn loop_hist(&self) -> &AtomicHistogram {
+        &self.loop_ns
+    }
+
+    /// Opens hardware perf events for the **calling thread** and installs
+    /// them as worker `w`'s group. Call from the worker thread itself
+    /// (events attach to the opening thread). Returns whether the group
+    /// opened; on failure the registry records the reason and the layer
+    /// continues counters-only.
+    pub fn enable_perf_on_current_thread(&self, w: usize) -> bool {
+        match PerfGroup::open_for_current_thread() {
+            Ok(group) => {
+                *self.perf[w].lock().unwrap() = Some(group);
+                *self.perf_status.lock().unwrap() = PerfStatus::Active;
+                true
+            }
+            Err(reason) => {
+                let mut status = self.perf_status.lock().unwrap();
+                if *status != PerfStatus::Active {
+                    *status = PerfStatus::Unavailable(reason);
+                }
+                false
+            }
+        }
+    }
+
+    /// Current perf availability.
+    pub fn perf_status(&self) -> PerfStatus {
+        self.perf_status.lock().unwrap().clone()
+    }
+
+    /// Aggregates everything into a plain-value [`MetricsSnapshot`]. Exact
+    /// at quiescent points (between loops); mid-run it may be slightly
+    /// stale, never torn per counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let workers = self
+            .workers
+            .iter()
+            .zip(&self.perf)
+            .map(|(counters, perf)| WorkerSnapshot {
+                counters: counters.get(),
+                perf: perf.lock().unwrap().as_ref().map(|g| g.read()),
+            })
+            .collect();
+        MetricsSnapshot {
+            workers,
+            phase_ns: self.phase_ns.get(),
+            loop_ns: self.loop_ns.get(),
+            perf_status: self.perf_status(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_core::policy::AccessKind;
+
+    #[test]
+    fn registry_tracks_per_worker_counters_independently() {
+        let reg = MetricsRegistry::new(4);
+        assert_eq!(reg.workers(), 4);
+        reg.worker(0).record_grab(AccessKind::Local, 10);
+        reg.worker(2).record_grab(AccessKind::Remote, 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.workers[0].counters.local_grabs, 1);
+        assert_eq!(snap.workers[1].counters.total_grabs(), 0);
+        assert_eq!(snap.workers[2].counters.remote_grabs, 1);
+        assert_eq!(snap.totals().iters, 15);
+    }
+
+    #[test]
+    fn perf_starts_disabled_and_degrades_gracefully() {
+        let reg = MetricsRegistry::new(2);
+        assert_eq!(reg.perf_status(), PerfStatus::Disabled);
+        let opened = reg.enable_perf_on_current_thread(0);
+        match reg.perf_status() {
+            PerfStatus::Active => assert!(opened),
+            PerfStatus::Unavailable(reason) => {
+                assert!(!opened);
+                assert!(!reason.is_empty());
+                // Counters still work in counters-only mode.
+                reg.worker(0).record_grab(AccessKind::Local, 1);
+                assert_eq!(reg.snapshot().totals().local_grabs, 1);
+            }
+            PerfStatus::Disabled => panic!("status must change after enable attempt"),
+        }
+    }
+
+    #[test]
+    fn histograms_feed_the_snapshot() {
+        let reg = MetricsRegistry::new(1);
+        reg.phase_hist().record(1000);
+        reg.phase_hist().record(3000);
+        reg.loop_hist().record(5000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.phase_ns.samples, 2);
+        assert_eq!(snap.phase_ns.total_ns, 4000);
+        assert_eq!(snap.loop_ns.samples, 1);
+        assert_eq!(snap.loop_ns.max_ns, 5000);
+    }
+}

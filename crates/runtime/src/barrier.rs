@@ -26,8 +26,9 @@
 //! sleeper's re-check sees the new sense; a wakeup cannot be lost.
 
 use crate::inject::YieldInject;
+use afs_metrics::{MetricsRegistry, WaitOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A reusable phase barrier for a fixed party of `p` workers.
 ///
@@ -49,6 +50,9 @@ pub struct SenseBarrier {
     spins: u32,
     yields: u32,
     inject: Option<YieldInject>,
+    /// Barrier-arrival accounting, fed via [`SenseBarrier::arrive_then_as`]
+    /// when the caller identifies which worker is arriving.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl SenseBarrier {
@@ -66,6 +70,7 @@ impl SenseBarrier {
             spins,
             yields,
             inject: None,
+            metrics: None,
         }
     }
 
@@ -75,6 +80,13 @@ impl SenseBarrier {
         let mut b = Self::new(p, spins, yields);
         b.inject = Some(YieldInject::new(seed));
         b
+    }
+
+    /// Attaches a metrics registry; [`SenseBarrier::arrive_then_as`] then
+    /// records each arrival's wait outcome (or turn) against its worker.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     #[inline]
@@ -94,6 +106,29 @@ impl SenseBarrier {
     /// released) before releasing the party. Returns once released; `turn`
     /// happens-before every return.
     pub fn arrive_then(&self, gen: u64, turn: impl FnOnce()) {
+        self.arrive_inner(gen, turn, None);
+    }
+
+    /// Like [`SenseBarrier::arrive_then`], identifying the arriver as
+    /// worker `worker` so an attached metrics registry can attribute the
+    /// arrival (wait outcome, or turn) to it. Identical synchronization.
+    pub fn arrive_then_as(&self, worker: usize, gen: u64, turn: impl FnOnce()) {
+        self.arrive_inner(gen, turn, Some(worker));
+    }
+
+    /// Records worker `worker`'s arrival, when both a registry and a
+    /// worker identity are present.
+    #[inline]
+    fn note_arrival(&self, worker: Option<usize>, outcome: Option<WaitOutcome>) {
+        if let (Some(m), Some(w)) = (&self.metrics, worker) {
+            match outcome {
+                Some(o) => m.worker(w).record_barrier_wait(o),
+                None => m.worker(w).record_barrier_turn(),
+            }
+        }
+    }
+
+    fn arrive_inner(&self, gen: u64, turn: impl FnOnce(), worker: Option<usize>) {
         let arrived = self.arrivals.fetch_add(1, Ordering::SeqCst) + 1;
         self.inject_point();
         if arrived == self.p {
@@ -102,6 +137,7 @@ impl SenseBarrier {
             // store, so the counter never counts across generations.
             self.arrivals.store(0, Ordering::SeqCst);
             turn();
+            self.note_arrival(worker, None);
             self.sense.store(gen, Ordering::SeqCst);
             // Eventcount publish side: the SeqCst sense store above is
             // ordered before this load, pairing with the waiter's
@@ -115,12 +151,14 @@ impl SenseBarrier {
         let released = |b: &Self| b.sense.load(Ordering::SeqCst) >= gen;
         for _ in 0..self.spins {
             if released(self) {
+                self.note_arrival(worker, Some(WaitOutcome::Spin));
                 return;
             }
             std::hint::spin_loop();
         }
         for _ in 0..self.yields {
             if released(self) {
+                self.note_arrival(worker, Some(WaitOutcome::Yield));
                 return;
             }
             self.inject_point();
@@ -134,6 +172,7 @@ impl SenseBarrier {
         }
         drop(guard);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.note_arrival(worker, Some(WaitOutcome::Park));
     }
 
     fn lock_park(&self) -> std::sync::MutexGuard<'_, ()> {
@@ -220,5 +259,37 @@ mod tests {
             let b = SenseBarrier::with_injection(4, 0, 4, seed);
             drive(&b, 4, 100);
         }
+    }
+
+    #[test]
+    fn metrics_account_every_identified_arrival() {
+        let p = 4;
+        let gens = 200u64;
+        let reg = Arc::new(MetricsRegistry::new(p));
+        let b = SenseBarrier::new(p, 64, 16).with_metrics(Arc::clone(&reg));
+        std::thread::scope(|s| {
+            for w in 0..p {
+                let b = &b;
+                s.spawn(move || {
+                    for gen in 1..=gens {
+                        b.arrive_then_as(w, gen, || {});
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let t = snap.totals();
+        assert_eq!(t.barrier_arrives, gens * p as u64);
+        // Exactly one turn-taker per generation; the rest waited.
+        assert_eq!(t.barrier_turns, gens);
+        assert_eq!(
+            t.barrier_spin + t.barrier_yield + t.barrier_park + t.barrier_turns,
+            t.barrier_arrives
+        );
+        // Anonymous arrivals must not be charged to anyone.
+        let before = reg.snapshot().totals().barrier_arrives;
+        let lone = SenseBarrier::new(1, 0, 0).with_metrics(Arc::clone(&reg));
+        lone.arrive(1);
+        assert_eq!(reg.snapshot().totals().barrier_arrives, before);
     }
 }

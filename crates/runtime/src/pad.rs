@@ -3,74 +3,22 @@
 //! The grab hot path is one atomic operation per chunk; if two workers'
 //! atomics share a cache line, every grab ping-pongs that line between
 //! cores and the "per-processor queue" degenerates into a central one at
-//! the coherence level. [`CachePadded`] gives each value its own line(s).
-//! 128 bytes covers the common 64-byte line plus adjacent-line prefetchers
-//! (Intel) and 128-byte-line machines (Apple silicon, POWER) — the same
-//! constant crossbeam uses. No external dependency: the workspace builds
-//! fully offline.
+//! the coherence level. The canonical [`CachePadded`] now lives in
+//! `afs-metrics` (the metrics layer needs the same discipline for its
+//! per-worker counter blocks and sits below the runtime in the dependency
+//! graph); this module re-exports it so existing `afs_runtime::pad` users
+//! keep working unchanged.
 
-/// Pads and aligns `T` to 128 bytes so neighboring values in a `Vec` or
-/// struct never share a cache line.
-#[derive(Clone, Copy, Debug, Default)]
-#[repr(align(128))]
-pub struct CachePadded<T> {
-    value: T,
-}
-
-impl<T> CachePadded<T> {
-    /// Wraps a value in its own cache line(s).
-    pub const fn new(value: T) -> Self {
-        Self { value }
-    }
-
-    /// Consumes the padding, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.value
-    }
-}
-
-impl<T> std::ops::Deref for CachePadded<T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.value
-    }
-}
-
-impl<T> std::ops::DerefMut for CachePadded<T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.value
-    }
-}
-
-impl<T> From<T> for CachePadded<T> {
-    fn from(value: T) -> Self {
-        Self::new(value)
-    }
-}
+pub use afs_metrics::pad::CachePadded;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::AtomicU64;
 
     #[test]
-    fn layout_gives_each_slot_its_own_line() {
+    fn reexport_keeps_the_layout_contract() {
         assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 128);
         assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 128);
-        let v: Vec<CachePadded<AtomicU64>> = (0..4).map(|_| CachePadded::default()).collect();
-        let a = &*v[0] as *const AtomicU64 as usize;
-        let b = &*v[1] as *const AtomicU64 as usize;
-        assert!(b - a >= 128, "adjacent slots {a:#x} and {b:#x} too close");
-    }
-
-    #[test]
-    fn deref_and_into_inner() {
-        let p = CachePadded::new(AtomicU64::new(7));
-        p.fetch_add(1, Ordering::Relaxed);
-        assert_eq!(p.into_inner().into_inner(), 8);
-        let mut m = CachePadded::new(5u32);
-        *m += 1;
-        assert_eq!(*m, 6);
-        assert_eq!(*CachePadded::from(9u8), 9);
     }
 }

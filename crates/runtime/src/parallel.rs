@@ -7,9 +7,12 @@ use crate::sync::Mutex;
 use afs_core::metrics::LoopMetrics;
 use afs_core::policy::{QueueTopology, Scheduler};
 use afs_core::schedulers::affinity::KParam;
+use afs_metrics::{MetricsRegistry, WorkerCounters};
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A scheduling policy usable by the runtime.
 ///
@@ -185,6 +188,7 @@ impl RuntimeScheduler {
         n: u64,
         p: usize,
         trace: Option<&Arc<TraceSink>>,
+        metrics: &Arc<MetricsRegistry>,
     ) -> Box<dyn WorkSource + '_> {
         match &self.kind {
             Kind::Locked(s) => {
@@ -196,7 +200,12 @@ impl RuntimeScheduler {
             }
             Kind::FetchAdd { chunk } => Box::new(FetchAddSource::new(n, *chunk)),
             Kind::Afs { k, ahead } => {
-                let src = AfsSource::new(n, p, k.resolve(p)).with_grab_ahead(*ahead);
+                // The only source with grab-path-private events (CAS
+                // retries, stash hits); grab counts themselves are
+                // recorded uniformly by `drain_phase`.
+                let src = AfsSource::new(n, p, k.resolve(p))
+                    .with_grab_ahead(*ahead)
+                    .with_metrics(Arc::clone(metrics));
                 Box::new(match trace {
                     Some(sink) => src.with_trace(Arc::clone(sink)),
                     None => src,
@@ -270,14 +279,18 @@ where
     }
 }
 
-/// Drains `source` on `worker`, recording grabs into `local` (and `sink`,
-/// when tracing). One phase of one worker — shared by both drivers.
+/// Drains `source` on `worker`, recording grabs into `local`, the worker's
+/// always-on `counters` (and `sink`, when tracing). One phase of one
+/// worker — shared by both drivers. The counter bump rides the same match
+/// arms tracing uses, so the untraced fast path still has no per-grab
+/// branch beyond the single-writer relaxed stores.
 #[inline]
 fn drain_phase<F: Fn(usize, u64) + Sync>(
     worker: usize,
     phase: usize,
     source: &dyn WorkSource,
     local: &mut LoopMetrics,
+    counters: &WorkerCounters,
     trace: Option<&Arc<TraceSink>>,
     body: &F,
 ) {
@@ -286,6 +299,7 @@ fn drain_phase<F: Fn(usize, u64) + Sync>(
             // Untraced fast path: not even a per-grab branch.
             while let Some(grab) = source.next(worker) {
                 local.record(worker, &grab);
+                counters.record_grab(grab.access, grab.range.len());
                 for i in grab.range.iter() {
                     body(phase, i);
                 }
@@ -303,6 +317,7 @@ fn drain_phase<F: Fn(usize, u64) + Sync>(
             };
             sink.record(worker, EventKind::of_grab(&grab));
             local.record(worker, &grab);
+            counters.record_grab(grab.access, grab.range.len());
             let (q, lo, hi) = (grab.queue as u32, grab.range.start, grab.range.end);
             sink.record(worker, EventKind::ChunkStart { queue: q, lo, hi });
             for i in grab.range.iter() {
@@ -328,17 +343,23 @@ where
 {
     let p = pool.workers();
     let trace = pool.trace();
+    let registry = Arc::clone(pool.metrics());
     let mut total = LoopMetrics::new(p, policy.queues(p));
+    let region_start = Instant::now();
     for phase in 0..phases {
-        let source = policy.make_source(len_of(phase), p, trace);
+        let source = policy.make_source(len_of(phase), p, trace, &registry);
         let phase_metrics = Mutex::new(LoopMetrics::new(p, policy.queues(p)));
+        let phase_start = Instant::now();
         pool.run(|worker| {
             let mut local = LoopMetrics::new(p, policy.queues(p));
-            drain_phase(worker, phase, &*source, &mut local, trace, body);
+            let counters = registry.worker(worker);
+            drain_phase(worker, phase, &*source, &mut local, counters, trace, body);
             phase_metrics.lock().merge(&local);
         });
+        registry.phase_hist().record_duration(phase_start.elapsed());
         total.merge(&phase_metrics.into_inner());
     }
+    registry.loop_hist().record_duration(region_start.elapsed());
     total
 }
 
@@ -371,6 +392,7 @@ where
 {
     let p = pool.workers();
     let trace = pool.trace();
+    let registry = Arc::clone(pool.metrics());
     let queues = policy.queues(p);
     let total = Mutex::new(LoopMetrics::new(p, queues));
     if phases == 0 {
@@ -380,25 +402,36 @@ where
         .map(|_| SourceSlot(UnsafeCell::new(None)))
         .collect();
     // SAFETY: no worker exists yet; the coordinator owns slot 0.
-    unsafe { *slots[0].0.get() = Some(policy.make_source(len_of(0), p, trace)) };
+    unsafe { *slots[0].0.get() = Some(policy.make_source(len_of(0), p, trace, &registry)) };
     let barrier = pool.phase_barrier();
+    // Phase boundaries happen inside barrier turn closures (exclusive, all
+    // workers arrived), so the turn-taker timestamps them: `prev_ns` holds
+    // the region-relative nanosecond of the last boundary, and each phase's
+    // duration is the distance between consecutive boundaries. The final
+    // phase ends at `pool.run` return, recorded by the coordinator.
+    let region_start = Instant::now();
+    let prev_ns = AtomicU64::new(0);
     pool.run(|worker| {
         let mut local = LoopMetrics::new(p, queues);
+        let counters = registry.worker(worker);
         for phase in 0..phases {
             // SAFETY: slot `phase` was written before this worker got here
             // (slot 0 before the pool ran; later slots inside the barrier
             // turn that released this worker) and no one writes it again.
             let source = unsafe { (*slots[phase].0.get()).as_deref().unwrap() };
-            drain_phase(worker, phase, source, &mut local, trace, body);
+            drain_phase(worker, phase, source, &mut local, counters, trace, body);
             if phase + 1 < phases {
-                barrier.arrive_then((phase + 1) as u64, || {
+                barrier.arrive_then_as(worker, (phase + 1) as u64, || {
                     // SAFETY: the turn closure runs on exactly one worker,
                     // after every worker arrived and before any is
                     // released — exclusive access to the next slot.
                     unsafe {
                         *slots[phase + 1].0.get() =
-                            Some(policy.make_source(len_of(phase + 1), p, trace));
+                            Some(policy.make_source(len_of(phase + 1), p, trace, &registry));
                     }
+                    let now = region_start.elapsed().as_nanos() as u64;
+                    let prev = prev_ns.swap(now, Ordering::Relaxed);
+                    registry.phase_hist().record(now - prev);
                 });
                 if let Some(sink) = trace {
                     sink.record(worker, EventKind::BarrierRelease);
@@ -407,6 +440,11 @@ where
         }
         total.lock().merge(&local);
     });
+    let end_ns = region_start.elapsed().as_nanos() as u64;
+    registry
+        .phase_hist()
+        .record(end_ns - prev_ns.load(Ordering::Relaxed));
+    registry.loop_hist().record(end_ns);
     total.into_inner()
 }
 

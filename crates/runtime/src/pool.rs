@@ -50,6 +50,7 @@
 use crate::affinity;
 use crate::inject::YieldInject;
 use crate::pad::CachePadded;
+use afs_metrics::{MetricsRegistry, WaitOutcome};
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -150,6 +151,9 @@ struct Shared {
     inject_seed: Option<u64>,
     /// Workers that successfully pinned themselves to a core.
     pinned: AtomicUsize,
+    /// Always-on runtime metrics (cheap relaxed counters; see
+    /// `afs_metrics` for the single-writer argument).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Shared {
@@ -171,6 +175,15 @@ impl Shared {
             .all(|a| a.load(Ordering::SeqCst) >= generation)
     }
 
+    /// Records how worker `idx`'s start-rendezvous wait resolved — but only
+    /// for real generations: the shutdown wakeup is not a barrier arrival.
+    #[inline]
+    fn note_start_wait(&self, idx: usize, r: &Option<u64>, outcome: WaitOutcome) {
+        if r.is_some() {
+            self.metrics.worker(idx).record_barrier_wait(outcome);
+        }
+    }
+
     /// Waits until the coordinator publishes a generation newer than
     /// `seen` into this worker's flag. Returns the new generation, or
     /// `None` on shutdown. Classic protocol: wait under the mutex.
@@ -189,21 +202,34 @@ impl Shared {
             // job. The coordinator publishes while holding the mutex, so
             // checking under it cannot miss a wakeup.
             let mut guard = self.lock_park();
+            let mut waited = false;
             loop {
                 if let Some(r) = check(self) {
+                    // Under the classic protocol "already published" is the
+                    // closest analogue of a spin resolution; an actual
+                    // condvar sleep is a park.
+                    let outcome = if waited {
+                        WaitOutcome::Park
+                    } else {
+                        WaitOutcome::Spin
+                    };
+                    self.note_start_wait(idx, &r, outcome);
                     return r;
                 }
+                waited = true;
                 guard = self.start_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
             }
         }
         for _ in 0..self.spins {
             if let Some(r) = check(self) {
+                self.note_start_wait(idx, &r, WaitOutcome::Spin);
                 return r;
             }
             std::hint::spin_loop();
         }
         for _ in 0..self.yields {
             if let Some(r) = check(self) {
+                self.note_start_wait(idx, &r, WaitOutcome::Yield);
                 return r;
             }
             self.inject_point();
@@ -224,6 +250,7 @@ impl Shared {
         };
         drop(guard);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.note_start_wait(idx, &r, WaitOutcome::Park);
         r
     }
 
@@ -281,6 +308,7 @@ pub struct PoolBuilder {
     p: usize,
     barrier: BarrierKind,
     pin: bool,
+    perf: bool,
     spins: u32,
     yields: u32,
     trace: Option<Arc<TraceSink>>,
@@ -298,6 +326,16 @@ impl PoolBuilder {
     /// off Linux). Default: off.
     pub fn pin_cores(mut self, on: bool) -> Self {
         self.pin = on;
+        self
+    }
+
+    /// Opens hardware perf events (LLC misses, dTLB misses,
+    /// cpu-migrations) on each worker thread at spawn, feeding the pool's
+    /// [`Pool::metrics`] registry. Best-effort: when the kernel refuses
+    /// (perf_event_paranoid, containers, non-Linux) the registry records
+    /// the reason and the pool runs counters-only. Default: off.
+    pub fn perf_events(mut self, on: bool) -> Self {
+        self.perf = on;
         self
     }
 
@@ -377,15 +415,17 @@ impl PoolBuilder {
             inject: self.inject_seed.map(YieldInject::new),
             inject_seed: self.inject_seed,
             pinned: AtomicUsize::new(0),
+            metrics: Arc::new(MetricsRegistry::new(p)),
         });
         let handles = (0..p)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
                 let sink = self.trace.clone();
                 let pin_to = self.pin.then_some(idx % cores);
+                let perf = self.perf;
                 std::thread::Builder::new()
                     .name(format!("afs-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, &shared, pin_to, sink))
+                    .spawn(move || worker_loop(idx, &shared, pin_to, perf, sink))
                     .expect("failed to spawn worker")
             })
             .collect();
@@ -413,6 +453,7 @@ impl Pool {
             p,
             barrier: BarrierKind::Spin,
             pin: false,
+            perf: false,
             spins: DEFAULT_SPINS,
             yields: DEFAULT_YIELDS,
             trace: None,
@@ -457,13 +498,20 @@ impl Pool {
         self.trace.as_ref()
     }
 
+    /// The pool's always-on metrics registry. Take a
+    /// [`afs_metrics::MetricsSnapshot`] before and after a region and
+    /// subtract (`delta_since`) to attribute activity to that region.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
     /// A [`crate::barrier::SenseBarrier`] for this pool's worker party,
     /// inheriting the pool's spin/yield budgets (and injection seed, when
     /// stressed). The loop drivers use it to chain phases worker-to-worker
     /// without a coordinator round-trip per phase.
     pub(crate) fn phase_barrier(&self) -> crate::barrier::SenseBarrier {
         let s = &self.shared;
-        match s.inject_seed {
+        let barrier = match s.inject_seed {
             // Derive a distinct stream so pool and barrier injection
             // decisions don't mirror each other.
             Some(seed) => crate::barrier::SenseBarrier::with_injection(
@@ -473,7 +521,8 @@ impl Pool {
                 seed ^ 0x5EB0_5EB0_5EB0_5EB0,
             ),
             None => crate::barrier::SenseBarrier::new(self.p, s.spins, s.yields),
-        }
+        };
+        barrier.with_metrics(Arc::clone(&s.metrics))
     }
 
     /// Runs `job(worker_index)` on every worker and waits for all to finish.
@@ -549,11 +598,22 @@ fn make_scoped_job<F: Fn(usize) + Send + Sync>(job: F) -> Job {
     Arc::from(boxed)
 }
 
-fn worker_loop(idx: usize, shared: &Shared, pin_to: Option<usize>, sink: Option<Arc<TraceSink>>) {
+fn worker_loop(
+    idx: usize,
+    shared: &Shared,
+    pin_to: Option<usize>,
+    perf: bool,
+    sink: Option<Arc<TraceSink>>,
+) {
     if let Some(cpu) = pin_to {
         if affinity::pin_current_to(cpu) {
             shared.pinned.fetch_add(1, Ordering::SeqCst);
         }
+    }
+    if perf {
+        // After pinning, so the migration counter measures the pinned run,
+        // not the spawn-time placement. Events attach to this thread.
+        shared.metrics.enable_perf_on_current_thread(idx);
     }
     let mut seen = 0u64;
     loop {

@@ -27,6 +27,7 @@ use afs_core::chunking::{
 };
 use afs_core::policy::{AccessKind, Grab, LoopState};
 use afs_core::range::IterRange;
+use afs_metrics::MetricsRegistry;
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -160,6 +161,8 @@ pub struct AfsSource {
     /// CAS; empty whenever `ahead == 1`).
     stash: Vec<CachePadded<Stash>>,
     trace: Option<Arc<TraceSink>>,
+    /// Always-on counters: CAS retries and stash hits, per worker.
+    metrics: Option<Arc<MetricsRegistry>>,
     inject: Option<YieldInject>,
     /// Last steal victim: where the linear-probe fallback starts.
     last_victim: CachePadded<AtomicUsize>,
@@ -192,6 +195,7 @@ impl AfsSource {
                 .map(|_| CachePadded::new(Stash(UnsafeCell::new(Vec::new()))))
                 .collect(),
             trace: None,
+            metrics: None,
             inject: None,
             last_victim: CachePadded::new(AtomicUsize::new(0)),
             scans: CachePadded::new(AtomicU64::new(0)),
@@ -202,6 +206,15 @@ impl AfsSource {
     /// the mutex path's `LockWait*` events).
     pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Counts CAS retries and grab-ahead stash hits into `metrics`. Grab
+    /// counts themselves are recorded by the loop drivers (uniformly for
+    /// every source kind); only the events private to this source's grab
+    /// paths are counted here.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -279,6 +292,9 @@ impl AfsSource {
                 },
             );
         }
+        if let Some(m) = &self.metrics {
+            m.worker(worker).record_cas_retry();
+        }
     }
 
     /// One local-grab attempt loop: claims the next (up to `ahead`)
@@ -291,6 +307,9 @@ impl AfsSource {
         // a time (see `Stash`), so this is effectively a thread-local.
         let stash = unsafe { &mut *self.stash[worker].0.get() };
         if let Some(g) = stash.pop() {
+            if let Some(m) = &self.metrics {
+                m.worker(worker).record_stash_hit();
+            }
             return Some(g);
         }
         loop {

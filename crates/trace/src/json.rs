@@ -40,6 +40,14 @@ impl Value {
         }
     }
 
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string contents, if this is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

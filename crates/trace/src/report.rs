@@ -125,6 +125,16 @@ impl GrabCounts {
     pub fn total(&self) -> u64 {
         self.central + self.local + self.remote + self.free
     }
+
+    /// Affinity hit ratio: the fraction of queue-based grabs served from
+    /// the worker's own queue, `local / (local + remote)` — the paper's
+    /// locality claim as one number (Tables 3–5 count the same grabs).
+    /// `None` when no queue-based grabs happened: central and free grabs
+    /// carry no locality signal either way.
+    pub fn affinity_hit_ratio(&self) -> Option<f64> {
+        let denom = self.local + self.remote;
+        (denom > 0).then(|| self.local as f64 / denom as f64)
+    }
 }
 
 impl TraceReport {
@@ -235,6 +245,15 @@ impl TraceReport {
             g.free,
             g.total()
         );
+        if let Some(ratio) = g.affinity_hit_ratio() {
+            let _ = writeln!(
+                out,
+                "affinity hit ratio: {:.1}% ({} of {} queue grabs served locally)",
+                100.0 * ratio,
+                g.local,
+                g.local + g.remote
+            );
+        }
         let _ = writeln!(
             out,
             "chunk latency: mean {:.1} µs, max {:.1} µs over {} chunks",
@@ -360,6 +379,27 @@ mod tests {
         let text = r.render();
         assert!(text.contains("steal matrix"));
         assert!(text.contains("grabs: 1 local, 1 remote, 1 central, 0 free (3 total)"));
+        assert!(text.contains("affinity hit ratio: 50.0% (1 of 2 queue grabs served locally)"));
+    }
+
+    #[test]
+    fn affinity_hit_ratio_exists_only_for_queue_grabs() {
+        let mut g = GrabCounts {
+            central: 7,
+            free: 3,
+            ..GrabCounts::default()
+        };
+        assert_eq!(g.affinity_hit_ratio(), None, "no locality signal");
+        g.local = 8;
+        g.remote = 2;
+        assert_eq!(g.affinity_hit_ratio(), Some(0.8));
+
+        // A central-only trace renders no ratio line at all.
+        let sink = TraceSink::new(1);
+        sink.record(0, K::GrabBegin);
+        sink.record(0, K::GrabCentral { lo: 0, hi: 4 });
+        let text = TraceReport::from_sink(&sink).render();
+        assert!(!text.contains("affinity hit ratio"));
     }
 
     #[test]

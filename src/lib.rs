@@ -16,7 +16,10 @@
 //!   workload models;
 //! * [`trace`] — low-overhead execution tracing for real runs:
 //!   per-worker ring buffers feeding the simulator's `Timeline` (ASCII
-//!   Gantt), a Chrome trace-event exporter, and aggregate reports.
+//!   Gantt), a Chrome trace-event exporter, and aggregate reports;
+//! * [`metrics`] — always-on per-worker counters, duration
+//!   histograms, optional hardware perf events (Linux), and Prometheus /
+//!   JSON exporters.
 //!
 //! See the repository README for a tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -25,6 +28,7 @@ pub mod apps;
 
 pub use afs_core as core;
 pub use afs_kernels as kernels;
+pub use afs_metrics as metrics;
 pub use afs_runtime as runtime;
 pub use afs_sim as sim;
 pub use afs_trace as trace;
@@ -34,6 +38,7 @@ pub use afs_trace as trace;
 pub mod prelude {
     pub use afs_core::prelude::*;
     pub use afs_kernels::prelude::*;
+    pub use afs_metrics::prelude::*;
     pub use afs_runtime::prelude::*;
     pub use afs_sim::prelude::*;
     pub use afs_trace::prelude::*;
