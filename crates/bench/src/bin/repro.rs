@@ -14,6 +14,9 @@
 //!                      # policies x barrier protocol x pinning, writes
 //!                      # BENCH_kernels.json (add --trace DIR for per-config
 //!                      # Chrome traces of the SOR runs)
+//! repro --bench-faults # fault-injection bench: delayed-start imbalance vs
+//!                      # the Theorem 3.2 bound plus a panic-containment
+//!                      # smoke, writes BENCH_faults.json
 //! repro --bench-kernels --metrics [FILE]
 //!                      # also export the always-on runtime metrics of the
 //!                      # bench run (counters, histograms, perf events where
@@ -134,6 +137,7 @@ fn main() {
     let mut quick = false;
     let mut bench_grabs = false;
     let mut bench_kernels = false;
+    let mut bench_faults = false;
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
@@ -188,6 +192,7 @@ fn main() {
             "--quick" | "-q" => quick = true,
             "--bench-grabs" => bench_grabs = true,
             "--bench-kernels" => bench_kernels = true,
+            "--bench-faults" => bench_faults = true,
             "--trace" => want_trace_dir = true,
             "--metrics" => {
                 metrics_path = Some(std::path::PathBuf::from("metrics.json"));
@@ -218,7 +223,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
-                     [--trace DIR] [--bench-grabs] [--bench-kernels] \
+                     [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-faults] \
                      [--metrics [FILE.json|FILE.prom]] \
                      [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
@@ -308,6 +313,22 @@ fn main() {
             }
         }
     }
+    if bench_faults {
+        let result = afs_bench::faults::run(quick);
+        print!("{}", result.render());
+        let path = std::path::Path::new("BENCH_faults.json");
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if !result.ok() {
+            eprintln!("bench-faults: a checked row violated its bound or a panic leaked");
+            std::process::exit(1);
+        }
+    }
     if let Some(path) = &metrics_path {
         match &bench_metrics {
             Some(snapshot) => export_metrics(snapshot, path),
@@ -316,7 +337,7 @@ fn main() {
             ),
         }
     }
-    if (bench_grabs || bench_kernels) && ids.is_empty() {
+    if (bench_grabs || bench_kernels || bench_faults) && ids.is_empty() {
         return;
     }
     enum Job {

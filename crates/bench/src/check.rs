@@ -29,6 +29,8 @@ pub enum BenchKind {
     Grabs,
     /// `BENCH_kernels.json` (`"bench": "kernels"`).
     Kernels,
+    /// `BENCH_faults.json` (`"bench": "faults"`).
+    Faults,
 }
 
 impl fmt::Display for BenchKind {
@@ -36,6 +38,7 @@ impl fmt::Display for BenchKind {
         f.write_str(match self {
             BenchKind::Grabs => "grab_latency",
             BenchKind::Kernels => "kernels",
+            BenchKind::Faults => "faults",
         })
     }
 }
@@ -167,6 +170,51 @@ fn validate_kernel_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
     }
 }
 
+fn validate_faults_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("samples[{i}].{field}");
+    if str_of(s, "policy").is_none() {
+        errs.push(format!("{}: must be a string", at("policy")));
+    }
+    // `k` is present on every row but null for STATIC; when numeric it
+    // must be a plausible divisor.
+    if let Some(k) = s.get("k") {
+        if !matches!(k, Value::Null) && k.as_f64().is_none_or(|k| k < 1.0) {
+            errs.push(format!("{}: must be null or a number >= 1", at("k")));
+        }
+    } else {
+        errs.push(format!("{}: must be present (null for STATIC)", at("k")));
+    }
+    for field in ["n", "p", "delay_ns", "makespan_ns", "baseline_makespan_ns"] {
+        if num_of(s, field).is_none_or(|v| v < 1.0) {
+            errs.push(format!("{}: must be a number >= 1", at(field)));
+        }
+    }
+    if num_of(s, "residual_iters").is_none_or(|v| v < 0.0) {
+        errs.push(format!("{}: must be a number >= 0", at("residual_iters")));
+    }
+    match s.get("bound_iters") {
+        Some(Value::Null) | None => {} // STATIC rows carry no bound
+        Some(b) if b.as_f64().is_some_and(|b| b >= 1.0) => {}
+        Some(_) => errs.push(format!("{}: must be null or >= 1", at("bound_iters"))),
+    }
+    let within = bool_of(s, "within");
+    let checked = bool_of(s, "checked");
+    if within.is_none() {
+        errs.push(format!("{}: must be a boolean", at("within")));
+    }
+    if checked.is_none() {
+        errs.push(format!("{}: must be a boolean", at("checked")));
+    }
+    // The Theorem 3.2 gate itself: a checked row outside its allowance is
+    // a validation failure, not just a regression.
+    if checked == Some(true) && within == Some(false) {
+        errs.push(format!(
+            "{}: checked row violates the Theorem 3.2 allowance (within=false)",
+            at("within")
+        ));
+    }
+}
+
 /// Validates one bench document structurally. Returns which bench it is,
 /// or every problem found (never just the first — a corrupted file should
 /// be diagnosable in one run).
@@ -175,6 +223,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
     let kind = match str_of(doc, "bench") {
         Some("grab_latency") => Some(BenchKind::Grabs),
         Some("kernels") => Some(BenchKind::Kernels),
+        Some("faults") => Some(BenchKind::Faults),
         Some(other) => {
             errs.push(format!("unknown bench tag {other:?}"));
             None
@@ -185,6 +234,15 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
         }
     };
     validate_envelope(doc, &mut errs);
+    if kind == Some(BenchKind::Faults) {
+        // Containment is pass/fail: a fault file claiming a leaked panic
+        // (or omitting the verdict) must never validate.
+        match bool_of(doc, "panic_containment") {
+            Some(true) => {}
+            Some(false) => errs.push("panic_containment is false: a panic leaked".into()),
+            None => errs.push("faults bench requires a panic_containment boolean".into()),
+        }
+    }
     match doc.get("samples").and_then(Value::as_array) {
         None => errs.push("samples must be an array".into()),
         Some([]) => errs.push("samples must not be empty".into()),
@@ -193,6 +251,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
                 match kind {
                     Some(BenchKind::Grabs) => validate_grab_sample(i, s, &mut errs),
                     Some(BenchKind::Kernels) => validate_kernel_sample(i, s, &mut errs),
+                    Some(BenchKind::Faults) => validate_faults_sample(i, s, &mut errs),
                     None => {}
                 }
             }
@@ -231,6 +290,16 @@ fn cell(kind: BenchKind, s: &Value) -> Option<(String, f64)> {
                 }
             );
             Some((key, num_of(s, "best_ns")?))
+        }
+        BenchKind::Faults => {
+            let k = match s.get("k").and_then(Value::as_f64) {
+                Some(k) => format!("k={k}"),
+                None => "k=-".into(),
+            };
+            let key = format!("{}/{k}/P={}", str_of(s, "policy")?, num_of(s, "p")?);
+            // The residual is gated absolutely by `within`; cross-run
+            // regressions are judged on the no-fault makespan.
+            Some((key, num_of(s, "baseline_makespan_ns")?))
         }
     }
 }
@@ -395,6 +464,55 @@ mod tests {
         assert!(c.ok());
         assert_eq!(c.compared, 0);
         assert!(c.warnings[0].contains("quick-vs-full"));
+    }
+
+    fn faults_doc(containment: bool, within: bool, base_ns: u64) -> String {
+        format!(
+            r#"{{"bench": "faults", "schema_version": 1,
+                 "host": {{"cpus": 8, "kernel": "6.1", "os": "linux", "arch": "x86_64", "pin_capable": true}},
+                 "quick": false, "p": 8, "n": 8192, "panic_containment": {containment},
+                 "samples": [
+                   {{"policy": "AFS(k=1)", "k": 1, "n": 8192, "p": 8, "delay_ns": 200000000,
+                     "residual_iters": 700, "bound_iters": 1025.1,
+                     "within": {within}, "checked": true,
+                     "makespan_ns": 220000000, "baseline_makespan_ns": {base_ns}}},
+                   {{"policy": "STATIC", "k": null, "n": 8192, "p": 8, "delay_ns": 200000000,
+                     "residual_iters": 1024, "bound_iters": null,
+                     "within": true, "checked": false,
+                     "makespan_ns": 230000000, "baseline_makespan_ns": {base_ns}}}
+                 ]}}"#
+        )
+    }
+
+    #[test]
+    fn faults_documents_validate_and_gate_on_the_bound() {
+        let good = parse(&faults_doc(true, true, 9_000_000)).unwrap();
+        assert_eq!(validate(&good), Ok(BenchKind::Faults));
+
+        // A checked row with within=false is a hard validation failure.
+        let violated = parse(&faults_doc(true, false, 9_000_000)).unwrap();
+        let errs = validate(&violated).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("Theorem 3.2")), "{errs:?}");
+
+        // So is a leaked (or missing) panic-containment verdict.
+        let leaked = parse(&faults_doc(false, true, 9_000_000)).unwrap();
+        let errs = validate(&leaked).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("panic leaked")), "{errs:?}");
+    }
+
+    #[test]
+    fn faults_documents_compare_on_clean_makespan() {
+        let base = parse(&faults_doc(true, true, 9_000_000)).unwrap();
+        let slow = parse(&faults_doc(true, true, 20_000_000)).unwrap();
+        let c = compare(&slow, &base, 0.30).unwrap();
+        assert!(!c.ok());
+        assert!(
+            c.regressions[0].contains("AFS(k=1)/k=1/P=8"),
+            "{:?}",
+            c.regressions
+        );
+        // STATIC matched too: two comparable cells.
+        assert_eq!(c.compared, 2);
     }
 
     #[test]

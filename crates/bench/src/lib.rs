@@ -9,6 +9,7 @@
 pub mod ablations;
 pub mod check;
 pub mod experiments;
+pub mod faults;
 pub mod grabs;
 pub mod kernels;
 pub mod microbench;

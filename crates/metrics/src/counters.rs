@@ -58,6 +58,14 @@ pub struct WorkerCounters {
     barrier_park: AtomicU64,
     /// Arrivals as the last worker: ran the barrier's turn closure.
     barrier_turns: AtomicU64,
+    /// Liveness heartbeats: bumped on every grab attempt. The stall
+    /// watchdog compares successive readings — a worker whose heartbeat is
+    /// frozen while it is not waiting at a rendezvous is stalled.
+    heartbeats: AtomicU64,
+    /// 1 while the worker is blocked at a rendezvous (pool start wait or
+    /// phase barrier), 0 while it is supposed to be making progress.
+    /// Transient state, not a counter: excluded from [`CounterSnapshot`].
+    waiting: AtomicU64,
 }
 
 /// Single-writer bump: a plain load + store (see the module docs for why
@@ -79,13 +87,52 @@ impl WorkerCounters {
     /// Records one grab of `access` kind covering `iters` iterations.
     #[inline]
     pub fn record_grab(&self, access: AccessKind, iters: u64) {
+        self.record_access(access);
+        self.record_iters(iters);
+    }
+
+    /// Records the synchronization side of one grab (no iterations yet):
+    /// the split form for callers that learn the executed count only after
+    /// the chunk ran.
+    #[inline]
+    pub fn record_access(&self, access: AccessKind) {
         match access {
             AccessKind::Local => bump(&self.local_grabs, 1),
             AccessKind::Remote => bump(&self.remote_grabs, 1),
             AccessKind::Central => bump(&self.central_grabs, 1),
             AccessKind::Free => bump(&self.free_grabs, 1),
         }
+    }
+
+    /// Credits `iters` executed iterations.
+    #[inline]
+    pub fn record_iters(&self, iters: u64) {
         bump(&self.iters, iters);
+    }
+
+    /// Bumps the liveness heartbeat (one per grab attempt).
+    #[inline]
+    pub fn record_heartbeat(&self) {
+        bump(&self.heartbeats, 1);
+    }
+
+    /// Current heartbeat reading (watchdog side).
+    #[inline]
+    pub fn heartbeat(&self) -> u64 {
+        self.heartbeats.load(Ordering::Relaxed)
+    }
+
+    /// Marks this worker as blocked at (or leaving) a rendezvous. Single
+    /// writer: only the worker's own thread flips it.
+    #[inline]
+    pub fn set_waiting(&self, waiting: bool) {
+        self.waiting.store(u64::from(waiting), Ordering::Relaxed);
+    }
+
+    /// Whether the worker is currently blocked at a rendezvous.
+    #[inline]
+    pub fn is_waiting(&self) -> bool {
+        self.waiting.load(Ordering::Relaxed) != 0
     }
 
     /// Records one contended CAS retry.
@@ -137,6 +184,7 @@ impl WorkerCounters {
             barrier_yield: r(&self.barrier_yield),
             barrier_park: r(&self.barrier_park),
             barrier_turns: r(&self.barrier_turns),
+            heartbeats: r(&self.heartbeats),
         }
     }
 }
@@ -168,6 +216,8 @@ pub struct CounterSnapshot {
     pub barrier_park: u64,
     /// Arrivals that ran the turn closure.
     pub barrier_turns: u64,
+    /// Liveness heartbeats (grab attempts).
+    pub heartbeats: u64,
 }
 
 impl CounterSnapshot {
@@ -190,6 +240,7 @@ impl CounterSnapshot {
         self.barrier_yield += other.barrier_yield;
         self.barrier_park += other.barrier_park;
         self.barrier_turns += other.barrier_turns;
+        self.heartbeats += other.heartbeats;
     }
 
     /// `self − other` field by field (saturating), for deltas between two
@@ -208,6 +259,7 @@ impl CounterSnapshot {
             barrier_yield: self.barrier_yield.saturating_sub(other.barrier_yield),
             barrier_park: self.barrier_park.saturating_sub(other.barrier_park),
             barrier_turns: self.barrier_turns.saturating_sub(other.barrier_turns),
+            heartbeats: self.heartbeats.saturating_sub(other.heartbeats),
         }
     }
 }
@@ -253,6 +305,33 @@ mod tests {
             s.barrier_spin + s.barrier_yield + s.barrier_park + s.barrier_turns,
             s.barrier_arrives
         );
+    }
+
+    #[test]
+    fn heartbeat_and_waiting_flag() {
+        let c = WorkerCounters::new();
+        assert_eq!(c.heartbeat(), 0);
+        assert!(!c.is_waiting());
+        c.record_heartbeat();
+        c.record_heartbeat();
+        assert_eq!(c.heartbeat(), 2);
+        c.set_waiting(true);
+        assert!(c.is_waiting());
+        c.set_waiting(false);
+        assert!(!c.is_waiting());
+        // The transient waiting flag never leaks into snapshots; the
+        // heartbeat does (it is a real monotone counter).
+        assert_eq!(c.get().heartbeats, 2);
+    }
+
+    #[test]
+    fn split_grab_recording_matches_combined() {
+        let a = WorkerCounters::new();
+        a.record_grab(AccessKind::Remote, 9);
+        let b = WorkerCounters::new();
+        b.record_access(AccessKind::Remote);
+        b.record_iters(9);
+        assert_eq!(a.get(), b.get());
     }
 
     #[test]

@@ -10,7 +10,15 @@ use crate::histogram::AtomicHistogram;
 use crate::pad::CachePadded;
 use crate::perf::PerfGroup;
 use crate::snapshot::{MetricsSnapshot, WorkerSnapshot};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Per-worker pin status encoding: unknown (never attempted).
+const PIN_UNKNOWN: u8 = 0;
+/// Pin was attempted and the kernel refused.
+const PIN_FAILED: u8 = 1;
+/// Worker is pinned to its core.
+const PIN_OK: u8 = 2;
 
 /// Whether hardware perf events are feeding the registry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +56,15 @@ pub struct MetricsRegistry {
     /// and read are cold paths: once at spawn, once per snapshot.
     perf: Vec<Mutex<Option<PerfGroup>>>,
     perf_status: Mutex<PerfStatus>,
+    /// Stalls flagged by the watchdog (heartbeat frozen while not waiting).
+    stalls: AtomicU64,
+    /// Phases that overran the configured per-phase deadline.
+    deadline_misses: AtomicU64,
+    /// Per-worker core-pin outcome (unknown / failed / pinned).
+    pins: Vec<AtomicU8>,
+    /// Workers that actually started. Equals `workers.len()` unless the
+    /// pool degraded at spawn time (thread creation failed).
+    effective_workers: AtomicUsize,
 }
 
 impl MetricsRegistry {
@@ -59,6 +76,10 @@ impl MetricsRegistry {
             loop_ns: AtomicHistogram::new(),
             perf: (0..p).map(|_| Mutex::new(None)).collect(),
             perf_status: Mutex::new(PerfStatus::Disabled),
+            stalls: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            pins: (0..p).map(|_| AtomicU8::new(PIN_UNKNOWN)).collect(),
+            effective_workers: AtomicUsize::new(p),
         }
     }
 
@@ -111,6 +132,52 @@ impl MetricsRegistry {
         self.perf_status.lock().unwrap().clone()
     }
 
+    /// Flags one stalled worker observation (watchdog side).
+    pub fn record_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stalls flagged so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Flags one phase that overran its deadline.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline misses flagged so far.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Records whether worker `w`'s core pin succeeded (called once per
+    /// worker at spawn when pinning was requested).
+    pub fn set_pin_status(&self, w: usize, pinned: bool) {
+        self.pins[w].store(if pinned { PIN_OK } else { PIN_FAILED }, Ordering::Relaxed);
+    }
+
+    /// Worker `w`'s pin outcome: `None` if pinning was never attempted.
+    pub fn pin_status(&self, w: usize) -> Option<bool> {
+        match self.pins[w].load(Ordering::Relaxed) {
+            PIN_OK => Some(true),
+            PIN_FAILED => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Records how many workers actually started (pool spawn degradation).
+    pub fn set_effective_workers(&self, n: usize) {
+        self.effective_workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Workers that actually started (= [`MetricsRegistry::workers`] unless
+    /// the pool degraded at spawn time).
+    pub fn effective_workers(&self) -> usize {
+        self.effective_workers.load(Ordering::Relaxed)
+    }
+
     /// Aggregates everything into a plain-value [`MetricsSnapshot`]. Exact
     /// at quiescent points (between loops); mid-run it may be slightly
     /// stale, never torn per counter.
@@ -119,9 +186,11 @@ impl MetricsRegistry {
             .workers
             .iter()
             .zip(&self.perf)
-            .map(|(counters, perf)| WorkerSnapshot {
+            .enumerate()
+            .map(|(w, (counters, perf))| WorkerSnapshot {
                 counters: counters.get(),
                 perf: perf.lock().unwrap().as_ref().map(|g| g.read()),
+                pinned: self.pin_status(w),
             })
             .collect();
         MetricsSnapshot {
@@ -129,6 +198,9 @@ impl MetricsRegistry {
             phase_ns: self.phase_ns.get(),
             loop_ns: self.loop_ns.get(),
             perf_status: self.perf_status(),
+            stalls_detected: self.stalls(),
+            deadline_misses: self.deadline_misses(),
+            effective_workers: self.effective_workers(),
         }
     }
 }

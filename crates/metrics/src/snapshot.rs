@@ -19,8 +19,11 @@ use crate::host::escape;
 use crate::perf::PerfSample;
 use crate::registry::PerfStatus;
 
-/// Schema version stamped into JSON exports.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped into JSON exports. Version 2 added the fault /
+/// robustness fields: per-worker `pinned` and `heartbeats`, and the
+/// registry-level `stalls_detected`, `deadline_misses` and
+/// `effective_workers`.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// One worker's slice of a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -29,6 +32,9 @@ pub struct WorkerSnapshot {
     pub counters: CounterSnapshot,
     /// Hardware readings, when a perf group is open for this worker.
     pub perf: Option<PerfSample>,
+    /// Core-pin outcome: `None` when pinning was never attempted,
+    /// otherwise whether `sched_setaffinity` succeeded for this worker.
+    pub pinned: Option<bool>,
 }
 
 /// A point-in-time aggregate of a [`crate::MetricsRegistry`].
@@ -42,6 +48,13 @@ pub struct MetricsSnapshot {
     pub loop_ns: HistogramSnapshot,
     /// Hardware event availability at snapshot time.
     pub perf_status: PerfStatus,
+    /// Stalls flagged by the watchdog (heartbeat frozen while not waiting).
+    pub stalls_detected: u64,
+    /// Phases that overran the configured per-phase deadline.
+    pub deadline_misses: u64,
+    /// Workers that actually started (< `workers.len()` only when the pool
+    /// degraded because thread spawning failed).
+    pub effective_workers: usize,
 }
 
 impl MetricsSnapshot {
@@ -52,6 +65,9 @@ impl MetricsSnapshot {
             phase_ns: HistogramSnapshot::default(),
             loop_ns: HistogramSnapshot::default(),
             perf_status: PerfStatus::Disabled,
+            stalls_detected: 0,
+            deadline_misses: 0,
+            effective_workers: p,
         }
     }
 
@@ -104,6 +120,7 @@ impl MetricsSnapshot {
                         (Some(cur), Some(old)) => Some(cur.minus(old)),
                         (cur, _) => *cur,
                     },
+                    pinned: w.pinned,
                 }
             })
             .collect();
@@ -112,6 +129,9 @@ impl MetricsSnapshot {
             phase_ns: self.phase_ns.minus(&base.phase_ns),
             loop_ns: self.loop_ns.minus(&base.loop_ns),
             perf_status: self.perf_status.clone(),
+            stalls_detected: self.stalls_detected.saturating_sub(base.stalls_detected),
+            deadline_misses: self.deadline_misses.saturating_sub(base.deadline_misses),
+            effective_workers: self.effective_workers,
         }
     }
 
@@ -130,9 +150,19 @@ impl MetricsSnapshot {
                     None => mine.perf = Some(*p),
                 }
             }
+            // A worker is pinned only if every merged snapshot that has an
+            // opinion says so.
+            mine.pinned = match (mine.pinned, theirs.pinned) {
+                (Some(a), Some(b)) => Some(a && b),
+                (None, b) => b,
+                (a, None) => a,
+            };
         }
         self.phase_ns.add(&other.phase_ns);
         self.loop_ns.add(&other.loop_ns);
+        self.stalls_detected += other.stalls_detected;
+        self.deadline_misses += other.deadline_misses;
+        self.effective_workers = self.effective_workers.min(other.effective_workers);
         if other.perf_status == PerfStatus::Active {
             self.perf_status = PerfStatus::Active;
         } else if self.perf_status == PerfStatus::Disabled {
@@ -151,6 +181,18 @@ impl MetricsSnapshot {
             "  \"perf_status\": \"{}\",\n",
             escape(&self.perf_status.label())
         ));
+        out.push_str(&format!(
+            "  \"stalls_detected\": {},\n",
+            self.stalls_detected
+        ));
+        out.push_str(&format!(
+            "  \"deadline_misses\": {},\n",
+            self.deadline_misses
+        ));
+        out.push_str(&format!(
+            "  \"effective_workers\": {},\n",
+            self.effective_workers
+        ));
         match self.affinity_hit_ratio() {
             Some(r) => out.push_str(&format!("  \"affinity_hit_ratio\": {r:.6},\n")),
             None => out.push_str("  \"affinity_hit_ratio\": null,\n"),
@@ -166,7 +208,11 @@ impl MetricsSnapshot {
         out.push_str("  \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"worker\": {i}, \"counters\": {}, \"perf\": {}}}{}\n",
+                "    {{\"worker\": {i}, \"pinned\": {}, \"counters\": {}, \"perf\": {}}}{}\n",
+                match w.pinned {
+                    Some(b) => b.to_string(),
+                    None => "null".to_string(),
+                },
                 counters_json(&w.counters),
                 match &w.perf {
                     Some(p) => perf_json(p),
@@ -282,6 +328,49 @@ impl MetricsSnapshot {
             }
         }
 
+        out.push_str("# HELP afs_heartbeats_total Liveness heartbeats recorded by workers.\n");
+        out.push_str("# TYPE afs_heartbeats_total counter\n");
+        for (w, ws) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "afs_heartbeats_total{{worker=\"{w}\"}} {}\n",
+                ws.counters.heartbeats
+            ));
+        }
+
+        out.push_str("# HELP afs_stalls_detected_total Worker stalls flagged by the watchdog.\n");
+        out.push_str("# TYPE afs_stalls_detected_total counter\n");
+        out.push_str(&format!(
+            "afs_stalls_detected_total {}\n",
+            self.stalls_detected
+        ));
+
+        out.push_str("# HELP afs_deadline_misses_total Phases that overran their deadline.\n");
+        out.push_str("# TYPE afs_deadline_misses_total counter\n");
+        out.push_str(&format!(
+            "afs_deadline_misses_total {}\n",
+            self.deadline_misses
+        ));
+
+        if self.workers.iter().any(|w| w.pinned.is_some()) {
+            out.push_str("# HELP afs_worker_pinned Whether the worker's core pin succeeded.\n");
+            out.push_str("# TYPE afs_worker_pinned gauge\n");
+            for (w, ws) in self.workers.iter().enumerate() {
+                if let Some(p) = ws.pinned {
+                    out.push_str(&format!(
+                        "afs_worker_pinned{{worker=\"{w}\"}} {}\n",
+                        u8::from(p)
+                    ));
+                }
+            }
+        }
+
+        out.push_str("# HELP afs_effective_workers Workers that actually started.\n");
+        out.push_str("# TYPE afs_effective_workers gauge\n");
+        out.push_str(&format!(
+            "afs_effective_workers {}\n",
+            self.effective_workers
+        ));
+
         out.push_str(
             "# HELP afs_affinity_hit_ratio Fraction of queue grabs served locally.\n\
              # TYPE afs_affinity_hit_ratio gauge\n",
@@ -330,7 +419,7 @@ fn counters_json(c: &CounterSnapshot) -> String {
         "{{\"local_grabs\": {}, \"remote_grabs\": {}, \"central_grabs\": {}, \
          \"free_grabs\": {}, \"iters\": {}, \"cas_retries\": {}, \"stash_hits\": {}, \
          \"barrier_arrives\": {}, \"barrier_spin\": {}, \"barrier_yield\": {}, \
-         \"barrier_park\": {}, \"barrier_turns\": {}}}",
+         \"barrier_park\": {}, \"barrier_turns\": {}, \"heartbeats\": {}}}",
         c.local_grabs,
         c.remote_grabs,
         c.central_grabs,
@@ -342,7 +431,8 @@ fn counters_json(c: &CounterSnapshot) -> String {
         c.barrier_spin,
         c.barrier_yield,
         c.barrier_park,
-        c.barrier_turns
+        c.barrier_turns,
+        c.heartbeats
     )
 }
 
@@ -427,11 +517,16 @@ mod tests {
     fn json_export_is_parseable_shape() {
         let s = sample_snapshot();
         let j = s.to_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"affinity_hit_ratio\": 0.888889"));
         assert!(j.contains("\"perf_status\": \"active\""));
         assert!(j.contains("\"llc_misses\": 1234"));
         assert!(j.contains("\"dtlb_misses\": null"));
+        assert!(j.contains("\"stalls_detected\": 0"));
+        assert!(j.contains("\"deadline_misses\": 0"));
+        assert!(j.contains("\"effective_workers\": 2"));
+        assert!(j.contains("\"pinned\": null"));
+        assert!(j.contains("\"heartbeats\": 0"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
@@ -454,6 +549,39 @@ mod tests {
         assert!(p.contains("afs_phase_duration_ns_bucket{le=\"+Inf\"} 2"));
         assert!(p.contains("afs_phase_duration_ns_sum 3000"));
         assert!(p.contains("afs_phase_duration_ns_count 2"));
+        assert!(p.contains("afs_stalls_detected_total 0"));
+        assert!(p.contains("afs_deadline_misses_total 0"));
+        assert!(p.contains("afs_effective_workers 2"));
+        assert!(
+            !p.contains("afs_worker_pinned"),
+            "pin family omitted when pinning never attempted"
+        );
+    }
+
+    #[test]
+    fn pin_status_round_trips_through_exports() {
+        let mut s = sample_snapshot();
+        s.workers[0].pinned = Some(true);
+        s.workers[1].pinned = Some(false);
+        s.stalls_detected = 3;
+        s.deadline_misses = 1;
+        s.effective_workers = 1;
+        let j = s.to_json();
+        assert!(j.contains("\"worker\": 0, \"pinned\": true"));
+        assert!(j.contains("\"worker\": 1, \"pinned\": false"));
+        assert!(j.contains("\"stalls_detected\": 3"));
+        let p = s.to_prometheus();
+        assert!(p.contains("afs_worker_pinned{worker=\"0\"} 1"));
+        assert!(p.contains("afs_worker_pinned{worker=\"1\"} 0"));
+        assert!(p.contains("afs_stalls_detected_total 3"));
+        assert!(p.contains("afs_deadline_misses_total 1"));
+        assert!(p.contains("afs_effective_workers 1"));
+        // Merge keeps the pessimistic view of pinning and effective P.
+        let mut m = MetricsSnapshot::empty(2);
+        m.merge(&s);
+        assert_eq!(m.workers[0].pinned, Some(true));
+        assert_eq!(m.workers[1].pinned, Some(false));
+        assert_eq!(m.effective_workers, 1);
     }
 
     #[test]

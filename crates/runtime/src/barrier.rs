@@ -128,6 +128,16 @@ impl SenseBarrier {
         }
     }
 
+    /// Marks worker `worker` as waiting (or not) at the barrier, so the
+    /// stall watchdog does not mistake a legitimately blocked worker —
+    /// whose heartbeat is frozen by design — for a stalled one.
+    #[inline]
+    fn set_waiting(&self, worker: Option<usize>, waiting: bool) {
+        if let (Some(m), Some(w)) = (&self.metrics, worker) {
+            m.worker(w).set_waiting(waiting);
+        }
+    }
+
     fn arrive_inner(&self, gen: u64, turn: impl FnOnce(), worker: Option<usize>) {
         let arrived = self.arrivals.fetch_add(1, Ordering::SeqCst) + 1;
         self.inject_point();
@@ -148,9 +158,11 @@ impl SenseBarrier {
             }
             return;
         }
+        self.set_waiting(worker, true);
         let released = |b: &Self| b.sense.load(Ordering::SeqCst) >= gen;
         for _ in 0..self.spins {
             if released(self) {
+                self.set_waiting(worker, false);
                 self.note_arrival(worker, Some(WaitOutcome::Spin));
                 return;
             }
@@ -158,6 +170,7 @@ impl SenseBarrier {
         }
         for _ in 0..self.yields {
             if released(self) {
+                self.set_waiting(worker, false);
                 self.note_arrival(worker, Some(WaitOutcome::Yield));
                 return;
             }
@@ -172,6 +185,7 @@ impl SenseBarrier {
         }
         drop(guard);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.set_waiting(worker, false);
         self.note_arrival(worker, Some(WaitOutcome::Park));
     }
 

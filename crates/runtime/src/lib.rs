@@ -39,6 +39,7 @@
 
 pub mod affinity;
 pub mod barrier;
+pub mod fault;
 mod inject;
 pub mod pad;
 pub mod parallel;
@@ -47,15 +48,24 @@ pub mod shared;
 pub mod source;
 pub mod source_le;
 pub mod sync;
+mod watchdog;
 
 pub use barrier::SenseBarrier;
-pub use parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
+pub use fault::{FaultPlan, PanicPolicy, PhaseError};
+pub use parallel::{
+    parallel_for, parallel_nest, parallel_phases, try_parallel_for, try_parallel_phases,
+    RuntimeScheduler,
+};
 pub use pool::{BarrierKind, Pool, PoolBuilder};
 pub use shared::RowMatrix;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::parallel::{parallel_for, parallel_nest, parallel_phases, RuntimeScheduler};
+    pub use crate::fault::{FaultPlan, PanicPolicy, PhaseError};
+    pub use crate::parallel::{
+        parallel_for, parallel_nest, parallel_phases, try_parallel_for, try_parallel_phases,
+        RuntimeScheduler,
+    };
     pub use crate::pool::{BarrierKind, Pool, PoolBuilder};
     pub use crate::shared::RowMatrix;
 }

@@ -1,16 +1,32 @@
 //! Parallel loop execution: `parallel_for` and multi-phase regions.
+//!
+//! # Panic safety
+//!
+//! Every loop body runs under `catch_unwind`: a panicking iteration marks
+//! the region failed (first panic wins) but never tears down the pool. The
+//! panicking worker itself survives — it resumes grabbing right after the
+//! poisoned iteration — and what happens to the *remaining* iterations is
+//! the pool's [`crate::fault::PanicPolicy`]: `Drain` (default) executes
+//! every non-panicking iteration exactly once; `SkipRemaining` stops
+//! grabbing new chunks and skips later phases. Either way every worker
+//! still arrives at every barrier generation, so the rendezvous can never
+//! deadlock, and the [`crate::fault::PhaseError`] — worker id, phase,
+//! payload — comes back from [`try_parallel_for`] / [`try_parallel_phases`]
+//! (the non-`try` forms re-raise it via `resume_unwind`).
 
+use crate::fault::{FaultPlan, PanicPolicy, PhaseError};
 use crate::pool::{BarrierKind, Pool};
 use crate::source::{AfsSource, FetchAddSource, LockedSource, StaticSource, WorkSource};
 use crate::source_le::{AfsLeSource, LeHistory};
 use crate::sync::Mutex;
 use afs_core::metrics::LoopMetrics;
-use afs_core::policy::{QueueTopology, Scheduler};
+use afs_core::policy::{Grab, QueueTopology, Scheduler};
 use afs_core::schedulers::affinity::KParam;
 use afs_metrics::{MetricsRegistry, WorkerCounters};
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -240,11 +256,34 @@ impl RuntimeScheduler {
 ///
 /// `body` must tolerate concurrent invocation for *distinct* iteration
 /// indices (each index is passed to exactly one invocation).
+///
+/// A panicking iteration is re-raised here via `resume_unwind` after the
+/// loop winds down cleanly; use [`try_parallel_for`] to receive it as a
+/// [`PhaseError`] instead.
 pub fn parallel_for<F>(pool: &Pool, n: u64, policy: &RuntimeScheduler, body: F) -> LoopMetrics
 where
     F: Fn(u64) + Sync,
 {
-    parallel_phases(pool, 1, |_| n, policy, |_, i| body(i))
+    match try_parallel_for(pool, n, policy, body) {
+        Ok(m) => m,
+        Err(e) => std::panic::resume_unwind(e.into_payload()),
+    }
+}
+
+/// Like [`parallel_for`], but a panicking iteration is returned as
+/// `Err(PhaseError)` (worker id + payload) instead of propagating. The
+/// pool's [`PanicPolicy`] decides what survivors do with the remaining
+/// iterations; the pool remains fully usable either way.
+pub fn try_parallel_for<F>(
+    pool: &Pool,
+    n: u64,
+    policy: &RuntimeScheduler,
+    body: F,
+) -> Result<LoopMetrics, PhaseError>
+where
+    F: Fn(u64) + Sync,
+{
+    try_parallel_phases(pool, 1, |_| n, policy, |_, i| body(i))
 }
 
 /// Executes a sequence of parallel-loop phases with a barrier between
@@ -273,18 +312,145 @@ where
     F: Fn(usize, u64) + Sync,
     L: Fn(usize) -> u64 + Sync,
 {
+    match try_parallel_phases(pool, phases, len_of, policy, body) {
+        Ok(m) => m,
+        Err(e) => std::panic::resume_unwind(e.into_payload()),
+    }
+}
+
+/// Like [`parallel_phases`], but a panicking phase is returned as
+/// `Err(PhaseError)` — carrying the worker id, phase index and panic
+/// payload — instead of propagating. See the module docs for the
+/// containment protocol.
+pub fn try_parallel_phases<F, L>(
+    pool: &Pool,
+    phases: usize,
+    len_of: L,
+    policy: &RuntimeScheduler,
+    body: F,
+) -> Result<LoopMetrics, PhaseError>
+where
+    F: Fn(usize, u64) + Sync,
+    L: Fn(usize) -> u64 + Sync,
+{
     match pool.barrier_kind() {
         BarrierKind::Spin => fused_phases(pool, phases, &len_of, policy, &body),
         BarrierKind::Condvar => per_phase_rendezvous(pool, phases, &len_of, policy, &body),
     }
 }
 
+/// Shared failure state of one parallel region: the first [`PhaseError`]
+/// and whether survivors should stop grabbing (`SkipRemaining`, or a
+/// driver-internal failure that makes later phases unrunnable).
+struct RegionFailure {
+    halt: AtomicBool,
+    skip_on_panic: bool,
+    slot: Mutex<Option<PhaseError>>,
+}
+
+impl RegionFailure {
+    fn new(policy: PanicPolicy) -> RegionFailure {
+        RegionFailure {
+            halt: AtomicBool::new(false),
+            skip_on_panic: policy == PanicPolicy::SkipRemaining,
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Records a body panic (first wins); halts the region only under
+    /// [`PanicPolicy::SkipRemaining`].
+    fn record(&self, worker: usize, phase: usize, payload: Box<dyn std::any::Any + Send>) {
+        {
+            let mut slot = self.slot.lock();
+            if slot.is_none() {
+                *slot = Some(PhaseError::new(worker, phase, payload));
+            }
+        }
+        if self.skip_on_panic {
+            self.halt.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Records a driver-internal failure (the next phase's source cannot be
+    /// built); always halts — there is nothing left to schedule.
+    fn record_fatal(&self, worker: usize, phase: usize, payload: Box<dyn std::any::Any + Send>) {
+        {
+            let mut slot = self.slot.lock();
+            if slot.is_none() {
+                *slot = Some(PhaseError::new(worker, phase, payload));
+            }
+        }
+        self.halt.store(true, Ordering::SeqCst);
+    }
+
+    fn halted(&self) -> bool {
+        self.halt.load(Ordering::Relaxed)
+    }
+
+    fn take(self) -> Option<PhaseError> {
+        self.slot.into_inner()
+    }
+}
+
+/// Executes one grabbed chunk under `catch_unwind`, returning how many
+/// iterations actually ran. On a panic the worker itself survives: the
+/// poisoned iteration is recorded into `region` and, under
+/// [`PanicPolicy::Drain`], execution resumes at the *next* iteration of the
+/// same chunk — so every non-panicking iteration still runs exactly once.
+fn run_chunk_guarded<F: Fn(usize, u64) + Sync>(
+    worker: usize,
+    phase: usize,
+    grab: &Grab,
+    faults: Option<&FaultPlan>,
+    region: &RegionFailure,
+    body: &F,
+) -> u64 {
+    let mut lo = grab.range.start;
+    let hi = grab.range.end;
+    let mut executed = 0u64;
+    while lo < hi {
+        let mut done = 0u64;
+        let caught = {
+            let done = &mut done;
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut i = lo;
+                while i < hi {
+                    if let Some(f) = faults {
+                        f.maybe_panic(worker, phase, i);
+                    }
+                    body(phase, i);
+                    *done += 1;
+                    i += 1;
+                }
+            }))
+        };
+        executed += done;
+        match caught {
+            Ok(()) => break,
+            Err(payload) => {
+                region.record(worker, phase, payload);
+                if region.halted() {
+                    // SkipRemaining: the chunk tail is abandoned with the
+                    // rest of the region.
+                    break;
+                }
+                // Drain: skip only the iteration that panicked.
+                lo = lo + done + 1;
+            }
+        }
+    }
+    executed
+}
+
 /// Drains `source` on `worker`, recording grabs into `local`, the worker's
 /// always-on `counters` (and `sink`, when tracing). One phase of one
-/// worker — shared by both drivers. The counter bump rides the same match
-/// arms tracing uses, so the untraced fast path still has no per-grab
-/// branch beyond the single-writer relaxed stores.
+/// worker — shared by both drivers. Each grab attempt bumps the worker's
+/// heartbeat (the watchdog's liveness signal) and runs the fault hooks when
+/// a plan is attached; each chunk executes under [`run_chunk_guarded`], so
+/// a body panic is contained here and the worker keeps draining (or stops,
+/// per the region's policy) — it always reaches the barrier.
 #[inline]
+#[allow(clippy::too_many_arguments)] // one call frame per worker-phase; grouping would just rename the list
 fn drain_phase<F: Fn(usize, u64) + Sync>(
     worker: usize,
     phase: usize,
@@ -292,20 +458,46 @@ fn drain_phase<F: Fn(usize, u64) + Sync>(
     local: &mut LoopMetrics,
     counters: &WorkerCounters,
     trace: Option<&Arc<TraceSink>>,
+    faults: Option<&FaultPlan>,
+    region: &RegionFailure,
     body: &F,
 ) {
+    let mut grabs = 0u64;
     match trace {
         None => {
-            // Untraced fast path: not even a per-grab branch.
-            while let Some(grab) = source.next(worker) {
-                local.record(worker, &grab);
-                counters.record_grab(grab.access, grab.range.len());
-                for i in grab.range.iter() {
-                    body(phase, i);
+            // Untraced fast path: no per-grab branches beyond the halt
+            // check and the `None` fault plan.
+            loop {
+                if region.halted() {
+                    break;
                 }
+                counters.record_heartbeat();
+                if let Some(f) = faults {
+                    f.on_grab(worker, phase, grabs);
+                }
+                grabs += 1;
+                let Some(grab) = source.next(worker) else {
+                    break;
+                };
+                local.record_sync(worker, &grab);
+                counters.record_access(grab.access);
+                let executed = run_chunk_guarded(worker, phase, &grab, faults, region, body);
+                local.record_executed(worker, executed);
+                counters.record_iters(executed);
             }
         }
         Some(sink) => loop {
+            if region.halted() {
+                // The region is over for this worker; it heads straight to
+                // the barrier, so mark the arrival for span accounting.
+                sink.record(worker, EventKind::BarrierArrive);
+                break;
+            }
+            counters.record_heartbeat();
+            if let Some(f) = faults {
+                f.on_grab(worker, phase, grabs);
+            }
+            grabs += 1;
             sink.record(worker, EventKind::GrabBegin);
             let Some(grab) = source.next(worker) else {
                 // The failed final grab is not a Grab* event, so event
@@ -316,13 +508,13 @@ fn drain_phase<F: Fn(usize, u64) + Sync>(
                 break;
             };
             sink.record(worker, EventKind::of_grab(&grab));
-            local.record(worker, &grab);
-            counters.record_grab(grab.access, grab.range.len());
+            local.record_sync(worker, &grab);
+            counters.record_access(grab.access);
             let (q, lo, hi) = (grab.queue as u32, grab.range.start, grab.range.end);
             sink.record(worker, EventKind::ChunkStart { queue: q, lo, hi });
-            for i in grab.range.iter() {
-                body(phase, i);
-            }
+            let executed = run_chunk_guarded(worker, phase, &grab, faults, region, body);
+            local.record_executed(worker, executed);
+            counters.record_iters(executed);
             sink.record(worker, EventKind::ChunkEnd);
         },
     }
@@ -336,7 +528,7 @@ fn per_phase_rendezvous<F, L>(
     len_of: &L,
     policy: &RuntimeScheduler,
     body: &F,
-) -> LoopMetrics
+) -> Result<LoopMetrics, PhaseError>
 where
     F: Fn(usize, u64) + Sync,
     L: Fn(usize) -> u64 + Sync,
@@ -344,23 +536,54 @@ where
     let p = pool.workers();
     let trace = pool.trace();
     let registry = Arc::clone(pool.metrics());
+    let faults = pool.fault_plan().cloned();
+    let region = RegionFailure::new(pool.panic_policy());
+    let deadline = pool.phase_deadline();
     let mut total = LoopMetrics::new(p, policy.queues(p));
     let region_start = Instant::now();
     for phase in 0..phases {
+        if region.halted() {
+            break;
+        }
         let source = policy.make_source(len_of(phase), p, trace, &registry);
         let phase_metrics = Mutex::new(LoopMetrics::new(p, policy.queues(p)));
         let phase_start = Instant::now();
-        pool.run(|worker| {
+        let ran = pool.try_run(|worker| {
+            if phase == 0 {
+                if let Some(f) = &faults {
+                    f.on_region_start(worker);
+                }
+            }
             let mut local = LoopMetrics::new(p, policy.queues(p));
             let counters = registry.worker(worker);
-            drain_phase(worker, phase, &*source, &mut local, counters, trace, body);
+            drain_phase(
+                worker,
+                phase,
+                &*source,
+                &mut local,
+                counters,
+                trace,
+                faults.as_deref(),
+                &region,
+                body,
+            );
             phase_metrics.lock().merge(&local);
         });
-        registry.phase_hist().record_duration(phase_start.elapsed());
+        let took = phase_start.elapsed();
+        registry.phase_hist().record_duration(took);
+        if deadline.is_some_and(|d| took > d) {
+            registry.record_deadline_miss();
+        }
         total.merge(&phase_metrics.into_inner());
+        // Body panics are contained inside drain_phase; an Err here means a
+        // panic in the driver itself and leaves nothing sound to continue.
+        ran?;
     }
     registry.loop_hist().record_duration(region_start.elapsed());
-    total
+    match region.take() {
+        Some(e) => Err(e),
+        None => Ok(total),
+    }
 }
 
 /// A per-phase work-source slot for the fused driver. Plain memory,
@@ -385,7 +608,7 @@ fn fused_phases<F, L>(
     len_of: &L,
     policy: &RuntimeScheduler,
     body: &F,
-) -> LoopMetrics
+) -> Result<LoopMetrics, PhaseError>
 where
     F: Fn(usize, u64) + Sync,
     L: Fn(usize) -> u64 + Sync,
@@ -393,10 +616,13 @@ where
     let p = pool.workers();
     let trace = pool.trace();
     let registry = Arc::clone(pool.metrics());
+    let faults = pool.fault_plan().cloned();
+    let region = RegionFailure::new(pool.panic_policy());
+    let deadline_ns = pool.phase_deadline().map(|d| d.as_nanos() as u64);
     let queues = policy.queues(p);
     let total = Mutex::new(LoopMetrics::new(p, queues));
     if phases == 0 {
-        return total.into_inner();
+        return Ok(total.into_inner());
     }
     let slots: Vec<SourceSlot> = (0..phases)
         .map(|_| SourceSlot(UnsafeCell::new(None)))
@@ -411,27 +637,56 @@ where
     // phase ends at `pool.run` return, recorded by the coordinator.
     let region_start = Instant::now();
     let prev_ns = AtomicU64::new(0);
-    pool.run(|worker| {
+    let ran = pool.try_run(|worker| {
+        if let Some(f) = &faults {
+            f.on_region_start(worker);
+        }
         let mut local = LoopMetrics::new(p, queues);
         let counters = registry.worker(worker);
         for phase in 0..phases {
             // SAFETY: slot `phase` was written before this worker got here
             // (slot 0 before the pool ran; later slots inside the barrier
             // turn that released this worker) and no one writes it again.
-            let source = unsafe { (*slots[phase].0.get()).as_deref().unwrap() };
-            drain_phase(worker, phase, source, &mut local, counters, trace, body);
+            // `None` only when the region halted before the slot was built
+            // — the phase is skipped, but the worker still takes every
+            // barrier below, so the party never loses a member.
+            let source = unsafe { (*slots[phase].0.get()).as_deref() };
+            if let Some(source) = source {
+                drain_phase(
+                    worker,
+                    phase,
+                    source,
+                    &mut local,
+                    counters,
+                    trace,
+                    faults.as_deref(),
+                    &region,
+                    body,
+                );
+            }
             if phase + 1 < phases {
                 barrier.arrive_then_as(worker, (phase + 1) as u64, || {
-                    // SAFETY: the turn closure runs on exactly one worker,
-                    // after every worker arrived and before any is
-                    // released — exclusive access to the next slot.
-                    unsafe {
-                        *slots[phase + 1].0.get() =
-                            Some(policy.make_source(len_of(phase + 1), p, trace, &registry));
-                    }
                     let now = region_start.elapsed().as_nanos() as u64;
                     let prev = prev_ns.swap(now, Ordering::Relaxed);
                     registry.phase_hist().record(now - prev);
+                    if deadline_ns.is_some_and(|d| now - prev > d) {
+                        registry.record_deadline_miss();
+                    }
+                    if !region.halted() {
+                        // SAFETY: the turn closure runs on exactly one
+                        // worker, after every worker arrived and before any
+                        // is released — exclusive access to the next slot.
+                        // Guarded so a panicking scheduler cannot unwind
+                        // into the barrier: the error is recorded, the slot
+                        // stays `None`, and the release proceeds.
+                        let built = catch_unwind(AssertUnwindSafe(|| {
+                            policy.make_source(len_of(phase + 1), p, trace, &registry)
+                        }));
+                        match built {
+                            Ok(src) => unsafe { *slots[phase + 1].0.get() = Some(src) },
+                            Err(payload) => region.record_fatal(worker, phase + 1, payload),
+                        }
+                    }
                 });
                 if let Some(sink) = trace {
                     sink.record(worker, EventKind::BarrierRelease);
@@ -441,11 +696,19 @@ where
         total.lock().merge(&local);
     });
     let end_ns = region_start.elapsed().as_nanos() as u64;
-    registry
-        .phase_hist()
-        .record(end_ns - prev_ns.load(Ordering::Relaxed));
+    let last_phase_ns = end_ns - prev_ns.load(Ordering::Relaxed);
+    registry.phase_hist().record(last_phase_ns);
+    if deadline_ns.is_some_and(|d| last_phase_ns > d) {
+        registry.record_deadline_miss();
+    }
     registry.loop_hist().record(end_ns);
-    total.into_inner()
+    // Body panics are contained inside drain_phase; an Err here means a
+    // panic in the driver itself.
+    ran?;
+    match region.take() {
+        Some(e) => Err(e),
+        None => Ok(total.into_inner()),
+    }
 }
 
 /// Executes a coalesced loop nest: `body` receives the multi-index of each

@@ -48,14 +48,17 @@
 //! runs out of work. Without a sink, tracing costs nothing.
 
 use crate::affinity;
+use crate::fault::{FaultPlan, PanicPolicy, PhaseError};
 use crate::inject::YieldInject;
 use crate::pad::CachePadded;
+use crate::watchdog::Watchdog;
 use afs_metrics::{MetricsRegistry, WaitOutcome};
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
 
@@ -154,6 +157,18 @@ struct Shared {
     /// Always-on runtime metrics (cheap relaxed counters; see
     /// `afs_metrics` for the single-writer argument).
     metrics: Arc<MetricsRegistry>,
+    /// First panic that escaped a job closure, taken by the coordinator
+    /// once every ack is in. Loop-body panics never reach this slot — the
+    /// drivers in [`crate::parallel`] contain them per chunk; this is the
+    /// backstop for panics in raw [`Pool::run`] closures.
+    failure: Mutex<Option<PhaseError>>,
+    /// Workers actually spawned. Equals `starts.len()` unless thread
+    /// creation failed partway and the pool degraded; indices `live..p`
+    /// never started and are excluded from the rendezvous.
+    live: AtomicUsize,
+    /// Whether a job is currently in flight (arms the stall watchdog; an
+    /// idle pool's frozen heartbeats are not stalls).
+    running: Arc<AtomicBool>,
 }
 
 impl Shared {
@@ -168,11 +183,21 @@ impl Shared {
         }
     }
 
-    /// Whether every worker has finished generation `generation`.
+    /// Whether every live worker has finished generation `generation`.
     fn all_acked(&self, generation: u64) -> bool {
-        self.acks
+        let live = self.live.load(Ordering::Relaxed);
+        self.acks[..live]
             .iter()
             .all(|a| a.load(Ordering::SeqCst) >= generation)
+    }
+
+    /// Records the first panic that escaped a job closure (first wins when
+    /// several workers race).
+    fn record_failure(&self, worker: usize, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.failure.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(PhaseError::new(worker, 0, payload));
+        }
     }
 
     /// Records how worker `idx`'s start-rendezvous wait resolved — but only
@@ -189,6 +214,17 @@ impl Shared {
     /// `None` on shutdown. Classic protocol: wait under the mutex.
     /// Spin protocol: spin → yield → park.
     fn wait_start(&self, idx: usize, seen: u64) -> Option<u64> {
+        // Waiting for the next publish is legitimate idleness: flag it so
+        // the stall watchdog does not mistake this worker's frozen
+        // heartbeat for a stall (e.g. while a slow sibling holds the
+        // current generation open).
+        self.metrics.worker(idx).set_waiting(true);
+        let r = self.wait_start_inner(idx, seen);
+        self.metrics.worker(idx).set_waiting(false);
+        r
+    }
+
+    fn wait_start_inner(&self, idx: usize, seen: u64) -> Option<u64> {
         let check = |shared: &Shared| -> Option<Option<u64>> {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Some(None);
@@ -292,6 +328,10 @@ pub struct Pool {
     p: usize,
     barrier: BarrierKind,
     trace: Option<Arc<TraceSink>>,
+    faults: Option<Arc<FaultPlan>>,
+    policy: PanicPolicy,
+    deadline: Option<Duration>,
+    watchdog: Option<Watchdog>,
 }
 
 /// Configures and builds a [`Pool`].
@@ -313,6 +353,11 @@ pub struct PoolBuilder {
     yields: u32,
     trace: Option<Arc<TraceSink>>,
     inject_seed: Option<u64>,
+    faults: Option<Arc<FaultPlan>>,
+    policy: PanicPolicy,
+    watchdog: Option<Duration>,
+    deadline: Option<Duration>,
+    fail_spawn_after: Option<usize>,
 }
 
 impl PoolBuilder {
@@ -361,6 +406,49 @@ impl PoolBuilder {
     #[doc(hidden)]
     pub fn yield_injection(mut self, seed: u64) -> Self {
         self.inject_seed = Some(seed);
+        self
+    }
+
+    /// Attaches a seeded, replayable [`FaultPlan`]: delayed starts,
+    /// mid-phase stalls, random preemption slices and panic triggers, all
+    /// applied by the loop drivers in [`crate::parallel`]. Zero-cost when
+    /// absent (the hot paths check one `Option` that is `None`).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// What surviving workers do with remaining iterations after a loop
+    /// body panics (default: [`PanicPolicy::Drain`]).
+    pub fn panic_policy(mut self, policy: PanicPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Starts a stall watchdog that samples every worker's heartbeat
+    /// counter at `interval`: a worker whose heartbeat is frozen across an
+    /// interval while a job is running — and which is not waiting at a
+    /// barrier — is flagged via `MetricsRegistry::record_stall` and (when
+    /// the pool's trace sink has a spare lane beyond the workers') a
+    /// `StallDetected` trace event. Detection only; nothing is killed.
+    pub fn watchdog(mut self, interval: Duration) -> Self {
+        self.watchdog = Some(interval);
+        self
+    }
+
+    /// Flags phases that take longer than `dur` (fused driver: measured
+    /// barrier-to-barrier; rendezvous driver: per `Pool::run`) by bumping
+    /// the registry's deadline-miss counter. Detection only.
+    pub fn phase_deadline(mut self, dur: Duration) -> Self {
+        self.deadline = Some(dur);
+        self
+    }
+
+    /// Simulates thread-spawn failure for workers `n..p` (degradation
+    /// tests only — real spawn failures take the same path).
+    #[doc(hidden)]
+    pub fn fail_spawn_after(mut self, n: usize) -> Self {
+        self.fail_spawn_after = Some(n);
         self
     }
 
@@ -416,31 +504,74 @@ impl PoolBuilder {
             inject_seed: self.inject_seed,
             pinned: AtomicUsize::new(0),
             metrics: Arc::new(MetricsRegistry::new(p)),
+            failure: Mutex::new(None),
+            live: AtomicUsize::new(p),
+            running: Arc::new(AtomicBool::new(false)),
         });
-        let handles = (0..p)
-            .map(|idx| {
-                let shared = Arc::clone(&shared);
-                let sink = self.trace.clone();
-                let pin_to = self.pin.then_some(idx % cores);
-                let perf = self.perf;
+        let mut handles = Vec::with_capacity(p);
+        for idx in 0..p {
+            let worker_shared = Arc::clone(&shared);
+            let sink = self.trace.clone();
+            let pin_to = self.pin.then_some(idx % cores);
+            let perf = self.perf;
+            let spawned = if self.fail_spawn_after.is_some_and(|n| idx >= n) {
+                Err(std::io::Error::other("simulated spawn failure"))
+            } else {
                 std::thread::Builder::new()
                     .name(format!("afs-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, &shared, pin_to, perf, sink))
-                    .expect("failed to spawn worker")
-            })
-            .collect();
-        let pool = Pool {
+                    .spawn(move || worker_loop(idx, &worker_shared, pin_to, perf, sink))
+            };
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Graceful degradation: run with the workers that did
+                    // start rather than panicking with some already live.
+                    eprintln!("afs-runtime: could not spawn worker {idx}: {e}");
+                    break;
+                }
+            }
+        }
+        let live = handles.len();
+        assert!(live >= 1, "failed to spawn any worker");
+        shared.live.store(live, Ordering::Relaxed);
+        shared.metrics.set_effective_workers(live);
+        if live < p {
+            eprintln!("afs-runtime: pool degraded to {live} of {p} requested workers");
+        }
+        let mut pool = Pool {
             shared,
             handles,
             generation: Mutex::new(0),
-            p,
+            p: live,
             barrier: self.barrier,
             trace: self.trace,
+            faults: self.faults,
+            policy: self.policy,
+            deadline: self.deadline,
+            watchdog: None,
         };
         if self.pin {
             // One sync round so every worker has started (and pinned)
             // before the first real phase — `pinned_workers` is then exact.
             pool.run(|_| {});
+            if pool.pinned_workers() < pool.workers() {
+                // Once per pool: per-worker detail is in the metrics
+                // snapshot (`WorkerSnapshot::pinned`).
+                eprintln!(
+                    "afs-runtime: pinned only {} of {} workers; affinity is advisory on this host",
+                    pool.pinned_workers(),
+                    pool.workers()
+                );
+            }
+        }
+        if let Some(interval) = self.watchdog {
+            pool.watchdog = Some(Watchdog::spawn(
+                interval,
+                Arc::clone(&pool.shared.metrics),
+                Arc::clone(&pool.shared.running),
+                pool.trace.clone(),
+                live,
+            ));
         }
         pool
     }
@@ -458,6 +589,11 @@ impl Pool {
             yields: DEFAULT_YIELDS,
             trace: None,
             inject_seed: None,
+            faults: None,
+            policy: PanicPolicy::default(),
+            watchdog: None,
+            deadline: None,
+            fail_spawn_after: None,
         }
     }
 
@@ -505,6 +641,21 @@ impl Pool {
         &self.shared.metrics
     }
 
+    /// The fault plan attached at construction, if any.
+    pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// What survivors do with remaining iterations after a body panic.
+    pub(crate) fn panic_policy(&self) -> PanicPolicy {
+        self.policy
+    }
+
+    /// The per-phase deadline, if one was configured.
+    pub(crate) fn phase_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
     /// A [`crate::barrier::SenseBarrier`] for this pool's worker party,
     /// inheriting the pool's spin/yield budgets (and injection seed, when
     /// stressed). The loop drivers use it to chain phases worker-to-worker
@@ -527,20 +678,32 @@ impl Pool {
 
     /// Runs `job(worker_index)` on every worker and waits for all to finish.
     ///
-    /// Panics in a worker abort the process (a panicking parallel body has
-    /// broken the loop's invariants; there is nothing sound to resume).
+    /// A panic in `job` is caught on the worker (the rendezvous still
+    /// completes — no deadlock, no abort) and re-raised here on the caller
+    /// via [`std::panic::resume_unwind`]. Use [`Pool::try_run`] to receive
+    /// it as a [`PhaseError`] instead.
     pub fn run(&self, job: impl Fn(usize) + Send + Sync) {
-        // SAFETY-free trick avoided: we genuinely require 'static here via
-        // Arc; short-lived closures are wrapped through a scoped shim below.
-        self.run_arc(make_scoped_job(job));
+        if let Err(e) = self.try_run(job) {
+            std::panic::resume_unwind(e.into_payload());
+        }
     }
 
-    fn run_arc(&self, job: Job) {
+    /// Like [`Pool::run`], but a panic in `job` is returned as
+    /// `Err(PhaseError)` — carrying the worker id and panic payload —
+    /// instead of propagating. The pool remains fully usable afterward.
+    pub fn try_run(&self, job: impl Fn(usize) + Send + Sync) -> Result<(), PhaseError> {
+        // SAFETY-free trick avoided: we genuinely require 'static here via
+        // Arc; short-lived closures are wrapped through a scoped shim below.
+        self.run_arc(make_scoped_job(job))
+    }
+
+    fn run_arc(&self, job: Job) -> Result<(), PhaseError> {
         // The generation lock serializes concurrent callers: the previous
         // job was fully acked (and the job cell cleared) before the lock
         // was last released, so the cell is exclusively ours now.
         let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
         let gen = *generation + 1;
+        self.shared.running.store(true, Ordering::SeqCst);
         // SAFETY: no worker reads the cell until it observes `gen` in its
         // start flag (stored below), and all acks of `gen - 1` were
         // collected before the previous coordinator released the lock.
@@ -551,7 +714,7 @@ impl Pool {
             // acquisitions once we sleep on `done_cv`, so the last ack's
             // notify cannot slip between our check and our sleep.
             let mut guard = self.shared.lock_park();
-            for flag in &self.shared.starts {
+            for flag in &self.shared.starts[..self.p] {
                 flag.store(gen, Ordering::SeqCst);
             }
             self.shared.start_cv.notify_all();
@@ -564,7 +727,7 @@ impl Pool {
             }
             drop(guard);
         } else {
-            for flag in &self.shared.starts {
+            for flag in &self.shared.starts[..self.p] {
                 flag.store(gen, Ordering::SeqCst);
                 self.shared.inject_point();
             }
@@ -582,7 +745,21 @@ impl Pool {
         // worker's clone of the job; dropping the cell contents is ordered
         // after all uses.
         unsafe { *self.shared.job.0.get() = None };
+        self.shared.running.store(false, Ordering::SeqCst);
         *generation = gen;
+        // Each worker records its failure strictly before its ack store, so
+        // after the acks this read is race-free; take() leaves the slot
+        // clean for the next generation.
+        let failed = self
+            .shared
+            .failure
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -606,9 +783,11 @@ fn worker_loop(
     sink: Option<Arc<TraceSink>>,
 ) {
     if let Some(cpu) = pin_to {
-        if affinity::pin_current_to(cpu) {
+        let ok = affinity::pin_current_to(cpu);
+        if ok {
             shared.pinned.fetch_add(1, Ordering::SeqCst);
         }
+        shared.metrics.set_pin_status(idx, ok);
     }
     if perf {
         // After pinning, so the migration counter measures the pinned run,
@@ -632,10 +811,13 @@ fn worker_loop(
             // pool's life has no arrive; consumers ignore it).
             sink.record(idx, EventKind::BarrierRelease);
         }
-        // Abort on panic: unwinding past the barrier would deadlock `run`.
-        let guard = AbortOnPanic;
-        job(idx);
-        std::mem::forget(guard);
+        // Contain panics: the ack below must happen no matter what the job
+        // did, or `run` would wait forever. The payload travels back to the
+        // coordinator through the failure slot (recorded strictly before
+        // the ack store, so the coordinator's post-ack read is race-free).
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(idx))) {
+            shared.record_failure(idx, payload);
+        }
 
         // Publish completion in this worker's own padded slot. SeqCst makes
         // the ack stores, the waiter-count loads and the coordinator's scan
@@ -658,16 +840,13 @@ fn worker_loop(
     }
 }
 
-struct AbortOnPanic;
-impl Drop for AbortOnPanic {
-    fn drop(&mut self) {
-        eprintln!("afs-runtime: worker panicked inside a parallel loop; aborting");
-        std::process::abort();
-    }
-}
-
 impl Drop for Pool {
     fn drop(&mut self) {
+        // Stop the watchdog first: once shutdown wakes the workers their
+        // heartbeats freeze legitimately.
+        if let Some(w) = self.watchdog.take() {
+            w.stop();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
             let _guard = self.shared.lock_park();
@@ -832,5 +1011,85 @@ mod tests {
     fn with_trace_rejects_undersized_sink() {
         let sink = Arc::new(TraceSink::new(1));
         let _ = Pool::with_trace(4, sink);
+    }
+
+    #[test]
+    fn job_panic_is_contained_and_pool_survives() {
+        for kind in both_kinds() {
+            let pool = Pool::builder(3).barrier(kind).build();
+            let err = pool
+                .try_run(|w| {
+                    if w == 1 {
+                        panic!("job blew up");
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err.worker(), 1, "{kind:?}");
+            assert_eq!(err.message(), Some("job blew up"), "{kind:?}");
+            // The rendezvous completed and the pool is still usable.
+            let counter = AtomicU64::new(0);
+            pool.try_run(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "job blew up")]
+    fn run_reraises_the_worker_panic() {
+        let pool = Pool::new(2);
+        pool.run(|w| {
+            if w == 0 {
+                panic!("job blew up");
+            }
+        });
+    }
+
+    #[test]
+    fn first_failure_wins_when_all_workers_panic() {
+        let pool = Pool::new(4);
+        let err = pool.try_run(|_| panic!("everyone")).unwrap_err();
+        assert!(err.worker() < 4);
+        assert_eq!(err.message(), Some("everyone"));
+        pool.try_run(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn spawn_failure_degrades_to_started_workers() {
+        for kind in both_kinds() {
+            let pool = Pool::builder(4).barrier(kind).fail_spawn_after(2).build();
+            assert_eq!(pool.workers(), 2, "{kind:?}");
+            assert_eq!(pool.metrics().effective_workers(), 2, "{kind:?}");
+            assert_eq!(pool.metrics().workers(), 4, "registry keeps requested P");
+            let counter = AtomicU64::new(0);
+            for _ in 0..5 {
+                pool.run(|w| {
+                    assert!(w < 2);
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 10, "{kind:?}");
+            assert_eq!(pool.metrics().snapshot().effective_workers, 2);
+        }
+    }
+
+    #[test]
+    fn pin_status_lands_in_snapshot() {
+        let pool = Pool::builder(2).pin_cores(true).build();
+        let snap = pool.metrics().snapshot();
+        if cfg!(target_os = "linux") {
+            assert!(snap.workers.iter().all(|w| w.pinned == Some(true)));
+        }
+        // Unpinned pools never report a pin opinion.
+        let plain = Pool::new(2);
+        plain.run(|_| {});
+        assert!(plain
+            .metrics()
+            .snapshot()
+            .workers
+            .iter()
+            .all(|w| w.pinned.is_none()));
     }
 }

@@ -1,11 +1,14 @@
 //! Small synchronization helpers over `std::sync`.
 //!
-//! The runtime treats lock poisoning as unreachable: a worker panic aborts
-//! the process (see [`crate::pool`]), so a poisoned lock can only be
-//! observed from a test harness thread that already failed. The wrapper
-//! recovers the guard in that case, keeping call sites free of `unwrap`
-//! noise — and gives the tracing hook one place to time contended
-//! acquisitions.
+//! The runtime treats lock poisoning as recoverable by construction: a
+//! panicking loop body is contained per chunk (see [`crate::parallel`]),
+//! the panic is recorded into the region's failure slot, and the worker
+//! releases every protocol lock on the normal path — so a poisoned guard
+//! can only mean the panic fired *between* a `lock()` and its drop, where
+//! the protected state is still a valid snapshot (queue heads and counters
+//! are updated with the invariant already restored). The wrapper recovers
+//! the guard in that case, keeping call sites free of `unwrap` noise — and
+//! gives the tracing hook one place to time contended acquisitions.
 
 use afs_trace::{EventKind, TraceSink};
 

@@ -354,6 +354,63 @@ fn barrier_kinds_are_differential_twins_on_all_policies() {
     }
 }
 
+/// Lost-wakeup regression under injected stalls: zero spin/yield budgets
+/// force every rendezvous wait through the eventcount/park branch, seeded
+/// yield injection widens the register-vs-publish race window, and a
+/// stalled worker stretches each phase so its siblings genuinely park
+/// (rather than catching the flag mid-spin). A lost wakeup parks a worker
+/// forever and hangs the test; completion plus exact coverage is the
+/// assertion. Runs both protocols — the spin barrier's eventcount and the
+/// classic condvar rendezvous park on different code paths.
+#[test]
+fn park_branch_survives_injected_stalls_on_all_barrier_kinds() {
+    use std::time::Duration;
+    let p = 4usize;
+    let phases = 6usize;
+    let n = 256u64;
+    for kind in [BarrierKind::Spin, BarrierKind::Condvar] {
+        for seed in 0..6u64 {
+            let pool = Pool::builder(p)
+                .barrier(kind)
+                .spin_budget(0, 0)
+                .yield_injection(seed)
+                .faults(
+                    FaultPlan::new(seed)
+                        .with_delayed_start(1, Duration::from_millis(2))
+                        .with_stall(
+                            0,
+                            (seed % phases as u64) as usize,
+                            0,
+                            Duration::from_millis(3),
+                        ),
+                )
+                .build();
+            let counts: Vec<AtomicU32> =
+                (0..n * phases as u64).map(|_| AtomicU32::new(0)).collect();
+            let m = parallel_phases(
+                &pool,
+                phases,
+                |_| n,
+                &RuntimeScheduler::afs_k_equals_p(),
+                |ph, i| {
+                    let prev = counts[ph * n as usize + i as usize].fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(prev, 0, "{kind:?} seed {seed}: ({ph}, {i}) duplicated");
+                },
+            );
+            assert_eq!(m.total_iters(), n * phases as u64, "{kind:?} seed {seed}");
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+                "{kind:?} seed {seed}: incomplete coverage"
+            );
+            let t = pool.metrics().snapshot().totals();
+            assert!(
+                t.barrier_park > 0,
+                "{kind:?} seed {seed}: the park branch was never exercised"
+            );
+        }
+    }
+}
+
 /// `parallel_phases` covers every (phase, iteration) exactly once for
 /// arbitrary phase-length vectors.
 #[test]

@@ -215,6 +215,19 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                     );
                     barrier_start = Some(ev.t);
                 }
+                EventKind::StallDetected { worker } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"stall detected\",\"cat\":\"fault\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"worker\":{worker}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
                 EventKind::BarrierRelease => {
                     // The first release of a pool's life has no arrive;
                     // draw a span only for matched pairs.
@@ -316,6 +329,15 @@ mod tests {
         assert!(json.contains("barrier wait"));
         assert_eq!(json.matches("\"barrier wait\"").count(), 1);
         assert!(json.contains("\"name\":\"barrier\""));
+    }
+
+    #[test]
+    fn stall_detected_emits_instant() {
+        let sink = TraceSink::new(2);
+        sink.record(1, K::StallDetected { worker: 0 });
+        let json = chrome_trace(&sink, "t");
+        assert!(json.contains("stall detected"));
+        assert!(json.contains("\"args\":{\"worker\":0}"));
     }
 
     #[test]

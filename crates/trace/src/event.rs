@@ -85,6 +85,14 @@ pub enum EventKind {
     /// job. The first release of a pool's life has no preceding arrive;
     /// consumers ignore unmatched releases.
     BarrierRelease,
+    /// The stall watchdog observed worker `worker`'s heartbeat frozen while
+    /// the worker was not waiting at a barrier — it is stalled (preempted,
+    /// stuck, or in a very long iteration). Recorded on the watchdog's own
+    /// lane, not the stalled worker's, preserving the single-writer rule.
+    StallDetected {
+        /// The worker that appears stalled.
+        worker: u32,
+    },
 }
 
 impl EventKind {
@@ -171,5 +179,6 @@ mod tests {
         assert_eq!(EventKind::BarrierWait.grab_access(), None);
         assert_eq!(EventKind::BarrierArrive.grab_access(), None);
         assert_eq!(EventKind::BarrierRelease.grab_access(), None);
+        assert_eq!(EventKind::StallDetected { worker: 3 }.grab_access(), None);
     }
 }

@@ -101,6 +101,9 @@ pub struct TraceReport {
     /// Contended compare-and-swap retries on lock-free queue words, summed
     /// over all workers. Zero for lock-based sources and uncontended runs.
     pub cas_retries: u64,
+    /// Stalls flagged by the runtime's watchdog (`StallDetected` events).
+    /// Zero for healthy runs.
+    pub stalls: u64,
     /// Events lost to ring overflow, per worker.
     pub dropped: Vec<u64>,
     /// Run span: latest event timestamp (ns since sink origin).
@@ -176,6 +179,7 @@ impl TraceReport {
                         }
                     }
                     EventKind::CasRetry { .. } => report.cas_retries += 1,
+                    EventKind::StallDetected { .. } => report.stalls += 1,
                     _ => {
                         if let Some(access) = ev.kind.grab_access() {
                             if let Some(s) = grab_start.take() {
@@ -274,6 +278,9 @@ impl TraceReport {
                 "cas retries: {} (lock-free contention)",
                 self.cas_retries
             );
+        }
+        if self.stalls > 0 {
+            let _ = writeln!(out, "stalls detected: {} (watchdog)", self.stalls);
         }
         if self.grabs.remote > 0 {
             let _ = writeln!(out, "steal matrix (thief row → victim column):");
@@ -429,6 +436,21 @@ mod tests {
         assert!(!TraceReport::from_sink(&quiet)
             .render()
             .contains("cas retries"));
+    }
+
+    #[test]
+    fn report_counts_stall_events() {
+        let sink = TraceSink::new(2);
+        sink.record(1, K::StallDetected { worker: 0 });
+        sink.record(1, K::StallDetected { worker: 0 });
+        let r = TraceReport::from_sink(&sink);
+        assert_eq!(r.stalls, 2);
+        assert!(r.render().contains("stalls detected: 2"));
+        // A stall-free trace renders no stall line at all.
+        let quiet = TraceSink::new(1);
+        quiet.record(0, K::GrabBegin);
+        quiet.record(0, K::GrabCentral { lo: 0, hi: 1 });
+        assert!(!TraceReport::from_sink(&quiet).render().contains("stalls"));
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                 // Leaving the rendezvous opens no segment: the gap between
                 // arrive and release is idle on the timeline.
                 EventKind::BarrierRelease => {}
+                // Watchdog observations mark faults, not lane activity.
+                EventKind::StallDetected { .. } => {}
             }
         }
     }
