@@ -17,6 +17,10 @@
 //! repro --bench-faults # fault-injection bench: delayed-start imbalance vs
 //!                      # the Theorem 3.2 bound plus a panic-containment
 //!                      # smoke, writes BENCH_faults.json
+//! repro --bench-serve  # request-serving frontend bench: dispatch
+//!                      # disciplines x open-loop/saturating load, tail
+//!                      # latencies, shed rates and the batching-vs-FCFS
+//!                      # speedup gate, writes BENCH_serve.json
 //! repro --bench-kernels --metrics [FILE]
 //!                      # also export the always-on runtime metrics of the
 //!                      # bench run (counters, histograms, perf events where
@@ -138,6 +142,7 @@ fn main() {
     let mut bench_grabs = false;
     let mut bench_kernels = false;
     let mut bench_faults = false;
+    let mut bench_serve = false;
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
@@ -193,6 +198,7 @@ fn main() {
             "--bench-grabs" => bench_grabs = true,
             "--bench-kernels" => bench_kernels = true,
             "--bench-faults" => bench_faults = true,
+            "--bench-serve" => bench_serve = true,
             "--trace" => want_trace_dir = true,
             "--metrics" => {
                 metrics_path = Some(std::path::PathBuf::from("metrics.json"));
@@ -224,7 +230,7 @@ fn main() {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
                      [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-faults] \
-                     [--metrics [FILE.json|FILE.prom]] \
+                     [--bench-serve] [--metrics [FILE.json|FILE.prom]] \
                      [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
                 );
@@ -329,6 +335,22 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if bench_serve {
+        let result = afs_bench::serve::run(quick);
+        print!("{}", result.render());
+        let path = std::path::Path::new("BENCH_serve.json");
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if !result.ok() {
+            eprintln!("bench-serve: batching lost to per-request FCFS on a checked run");
+            std::process::exit(1);
+        }
+    }
     if let Some(path) = &metrics_path {
         match &bench_metrics {
             Some(snapshot) => export_metrics(snapshot, path),
@@ -337,7 +359,7 @@ fn main() {
             ),
         }
     }
-    if (bench_grabs || bench_kernels || bench_faults) && ids.is_empty() {
+    if (bench_grabs || bench_kernels || bench_faults || bench_serve) && ids.is_empty() {
         return;
     }
     enum Job {

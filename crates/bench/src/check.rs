@@ -31,6 +31,8 @@ pub enum BenchKind {
     Kernels,
     /// `BENCH_faults.json` (`"bench": "faults"`).
     Faults,
+    /// `BENCH_serve.json` (`"bench": "serve"`).
+    Serve,
 }
 
 impl fmt::Display for BenchKind {
@@ -39,6 +41,7 @@ impl fmt::Display for BenchKind {
             BenchKind::Grabs => "grab_latency",
             BenchKind::Kernels => "kernels",
             BenchKind::Faults => "faults",
+            BenchKind::Serve => "serve",
         })
     }
 }
@@ -215,6 +218,125 @@ fn validate_faults_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
     }
 }
 
+fn validate_serve_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("samples[{i}].{field}");
+    match str_of(s, "discipline") {
+        Some("fcfs") | Some("drr") | Some("batch") => {}
+        _ => errs.push(format!("{}: must be fcfs|drr|batch", at("discipline"))),
+    }
+    match str_of(s, "mode") {
+        Some("open") | Some("saturate") => {}
+        _ => errs.push(format!("{}: must be open|saturate", at("mode"))),
+    }
+    if num_of(s, "rate_factor").is_none_or(|r| r < 0.0) {
+        errs.push(format!("{}: must be a number >= 0", at("rate_factor")));
+    }
+    for field in ["offered", "wall_ns"] {
+        if num_of(s, field).is_none_or(|v| v < 1.0) {
+            errs.push(format!("{}: must be a number >= 1", at(field)));
+        }
+    }
+    for field in ["shed", "dispatches", "batched_requests", "queue_p50_ns"] {
+        if num_of(s, field).is_none_or(|v| v < 0.0) {
+            errs.push(format!("{}: must be a number >= 0", at(field)));
+        }
+    }
+    match (num_of(s, "completed"), num_of(s, "offered")) {
+        (Some(done), Some(offered)) if done >= 0.0 && done <= offered => {
+            // A cell that completed work must have measured dispatches and
+            // a positive throughput — zeros there mean a corrupted row.
+            if done >= 1.0 {
+                if num_of(s, "throughput_rps").is_none_or(|t| t <= 0.0) {
+                    errs.push(format!(
+                        "{}: must be positive when requests completed",
+                        at("throughput_rps")
+                    ));
+                }
+                if num_of(s, "dispatches").is_some_and(|d| d < 1.0) {
+                    errs.push(format!(
+                        "{}: completed requests imply at least one dispatch",
+                        at("dispatches")
+                    ));
+                }
+            }
+        }
+        (Some(_), Some(_)) => errs.push(format!(
+            "{}: must satisfy 0 <= completed <= offered",
+            at("completed")
+        )),
+        _ => errs.push(format!("{}/offered: must be numbers", at("completed"))),
+    }
+    if num_of(s, "shed_rate").is_none_or(|r| !(0.0..=1.0).contains(&r)) {
+        errs.push(format!("{}: must be a number in [0, 1]", at("shed_rate")));
+    }
+    match (
+        num_of(s, "p50_ns"),
+        num_of(s, "p99_ns"),
+        num_of(s, "p999_ns"),
+    ) {
+        (Some(p50), Some(p99), Some(p999)) if p50 >= 0.0 && p50 <= p99 && p99 <= p999 => {}
+        (Some(_), Some(_), Some(_)) => errs.push(format!(
+            "{}: quantiles must be ordered 0 <= p50 <= p99 <= p999",
+            at("p50_ns")
+        )),
+        _ => errs.push(format!("{}/p99_ns/p999_ns: must be numbers", at("p50_ns"))),
+    }
+    match s.get("affinity_hit_ratio") {
+        Some(Value::Null) | None => {}
+        Some(r) if r.as_f64().is_some_and(|r| (0.0..=1.0).contains(&r)) => {}
+        Some(_) => errs.push(format!(
+            "{}: must be null or a number in [0, 1]",
+            at("affinity_hit_ratio")
+        )),
+    }
+    match s.get("tenants").and_then(Value::as_array) {
+        None | Some([]) => errs.push(format!("{}: must be a non-empty array", at("tenants"))),
+        Some(tenants) => {
+            for (j, t) in tenants.iter().enumerate() {
+                if str_of(t, "name").is_none() {
+                    errs.push(format!("{}[{j}].name: must be a string", at("tenants")));
+                }
+                for field in ["admitted", "completed", "shed"] {
+                    if num_of(t, field).is_none_or(|v| v < 0.0) {
+                        errs.push(format!(
+                            "{}[{j}].{field}: must be a number >= 0",
+                            at("tenants")
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The serve bench's headline gate lives in the envelope, not a row: the
+/// batching discipline must hold its saturation-throughput win over
+/// per-request FCFS on checked (full) runs, and full runs are never
+/// allowed to opt out of the check.
+fn validate_serve_envelope(doc: &Value, errs: &mut Vec<String>) {
+    if num_of(doc, "total_completed").is_none_or(|t| t < 1.0) {
+        errs.push("serve bench requires total_completed >= 1".into());
+    }
+    let speedup = num_of(doc, "batch_over_fcfs");
+    if speedup.is_none_or(|s| s <= 0.0) {
+        errs.push("batch_over_fcfs must be a positive number".into());
+    }
+    let checked = bool_of(doc, "checked");
+    if checked.is_none() {
+        errs.push("serve bench requires a checked boolean".into());
+    }
+    if bool_of(doc, "quick") == Some(false) && checked == Some(false) {
+        errs.push("full serve runs must gate the batching speedup (checked=false)".into());
+    }
+    if checked == Some(true) && speedup.is_some_and(|s| s < 1.0) {
+        errs.push(format!(
+            "checked serve run: batching lost to per-request FCFS \
+             (batch_over_fcfs = {:.3} < 1)",
+            speedup.unwrap_or(0.0)
+        ));
+    }
+}
+
 /// Validates one bench document structurally. Returns which bench it is,
 /// or every problem found (never just the first — a corrupted file should
 /// be diagnosable in one run).
@@ -224,6 +346,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
         Some("grab_latency") => Some(BenchKind::Grabs),
         Some("kernels") => Some(BenchKind::Kernels),
         Some("faults") => Some(BenchKind::Faults),
+        Some("serve") => Some(BenchKind::Serve),
         Some(other) => {
             errs.push(format!("unknown bench tag {other:?}"));
             None
@@ -243,6 +366,9 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
             None => errs.push("faults bench requires a panic_containment boolean".into()),
         }
     }
+    if kind == Some(BenchKind::Serve) {
+        validate_serve_envelope(doc, &mut errs);
+    }
     match doc.get("samples").and_then(Value::as_array) {
         None => errs.push("samples must be an array".into()),
         Some([]) => errs.push("samples must not be empty".into()),
@@ -252,6 +378,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
                     Some(BenchKind::Grabs) => validate_grab_sample(i, s, &mut errs),
                     Some(BenchKind::Kernels) => validate_kernel_sample(i, s, &mut errs),
                     Some(BenchKind::Faults) => validate_faults_sample(i, s, &mut errs),
+                    Some(BenchKind::Serve) => validate_serve_sample(i, s, &mut errs),
                     None => {}
                 }
             }
@@ -300,6 +427,23 @@ fn cell(kind: BenchKind, s: &Value) -> Option<(String, f64)> {
             // The residual is gated absolutely by `within`; cross-run
             // regressions are judged on the no-fault makespan.
             Some((key, num_of(s, "baseline_makespan_ns")?))
+        }
+        BenchKind::Serve => {
+            let key = format!(
+                "{}/{}/x{}",
+                str_of(s, "discipline")?,
+                str_of(s, "mode")?,
+                num_of(s, "rate_factor")?
+            );
+            // One lower-is-better number that is meaningful at every load
+            // point: wall nanoseconds per completed request (inverse
+            // throughput). Tail quantiles are reported but backlog-shaped,
+            // so they make a noisy regression metric.
+            let done = num_of(s, "completed")?;
+            if done < 1.0 {
+                return None;
+            }
+            Some((key, num_of(s, "wall_ns")? / done))
         }
     }
 }
@@ -512,6 +656,78 @@ mod tests {
             c.regressions
         );
         // STATIC matched too: two comparable cells.
+        assert_eq!(c.compared, 2);
+    }
+
+    fn serve_doc(quick: bool, checked: bool, speedup: f64, wall_ns: u64) -> String {
+        format!(
+            r#"{{"bench": "serve", "schema_version": 1,
+                 "host": {{"cpus": 8, "kernel": "6.1", "os": "linux", "arch": "x86_64", "pin_capable": true}},
+                 "quick": {quick}, "p": 4, "calibrated_rps": 100000.0,
+                 "total_completed": 19000, "batch_over_fcfs": {speedup}, "checked": {checked},
+                 "samples": [
+                   {{"discipline": "fcfs", "mode": "open", "rate_factor": 1.25,
+                     "offered": 10000, "completed": 9000, "shed": 1000, "shed_rate": 0.1,
+                     "wall_ns": {wall_ns}, "throughput_rps": 9000.0, "queue_p50_ns": 4000.0,
+                     "p50_ns": 20000.0, "p99_ns": 300000.0, "p999_ns": 900000.0,
+                     "affinity_hit_ratio": 0.92, "dispatches": 9000, "batched_requests": 0,
+                     "tenants": [{{"name": "small", "admitted": 9000, "completed": 9000,
+                                   "shed": 1000, "p50_ns": 1.0, "p99_ns": 2.0, "p999_ns": 3.0}}]}},
+                   {{"discipline": "batch", "mode": "saturate", "rate_factor": 0,
+                     "offered": 10000, "completed": 10000, "shed": 40000, "shed_rate": 0.8,
+                     "wall_ns": {wall_ns}, "throughput_rps": 10000.0, "queue_p50_ns": 9000.0,
+                     "p50_ns": 50000.0, "p99_ns": 700000.0, "p999_ns": 1500000.0,
+                     "affinity_hit_ratio": null, "dispatches": 700, "batched_requests": 9900,
+                     "tenants": [{{"name": "small", "admitted": 10000, "completed": 10000,
+                                   "shed": 40000, "p50_ns": 1.0, "p99_ns": 2.0, "p999_ns": 3.0}}]}}
+                 ]}}"#
+        )
+    }
+
+    #[test]
+    fn serve_documents_validate_and_gate_the_speedup() {
+        let good = parse(&serve_doc(false, true, 1.4, 1_000_000_000)).unwrap();
+        assert_eq!(validate(&good), Ok(BenchKind::Serve));
+
+        // A checked run where batching lost to FCFS is a hard failure.
+        let lost = parse(&serve_doc(false, true, 0.9, 1_000_000_000)).unwrap();
+        let errs = validate(&lost).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("batching lost")), "{errs:?}");
+
+        // A full run cannot dodge the gate by flipping checked off.
+        let dodge = parse(&serve_doc(false, false, 0.9, 1_000_000_000)).unwrap();
+        let errs = validate(&dodge).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("must gate")), "{errs:?}");
+
+        // Quick smoke runs report without gating.
+        let quick = parse(&serve_doc(true, false, 0.9, 1_000_000_000)).unwrap();
+        assert_eq!(validate(&quick), Ok(BenchKind::Serve));
+    }
+
+    #[test]
+    fn serve_rejects_corrupted_rows_with_every_error() {
+        let mut doc = serve_doc(false, true, 1.4, 1_000_000_000);
+        doc = doc.replace("\"fcfs\"", "\"lifo\"");
+        doc = doc.replace("\"completed\": 9000,", "\"completed\": 90000,");
+        doc = doc.replace("\"p999_ns\": 900000.0", "\"p999_ns\": 9.0");
+        let errs = validate(&parse(&doc).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("discipline")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("completed")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("quantiles")), "{errs:?}");
+        assert!(errs.len() >= 3, "all problems in one run: {errs:?}");
+    }
+
+    #[test]
+    fn serve_documents_compare_on_ns_per_completed_request() {
+        let base = parse(&serve_doc(false, true, 1.4, 1_000_000_000)).unwrap();
+        let slow = parse(&serve_doc(false, true, 1.4, 2_000_000_000)).unwrap();
+        let c = compare(&slow, &base, 0.30).unwrap();
+        assert!(!c.ok());
+        assert!(
+            c.regressions.iter().any(|r| r.contains("fcfs/open/x1.25")),
+            "{:?}",
+            c.regressions
+        );
         assert_eq!(c.compared, 2);
     }
 

@@ -14,6 +14,7 @@ pub mod grabs;
 pub mod kernels;
 pub mod microbench;
 pub mod report;
+pub mod serve;
 pub mod tracing;
 
 pub use experiments::{Experiment, ExperimentResult};

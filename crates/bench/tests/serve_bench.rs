@@ -1,0 +1,88 @@
+//! End-to-end check of the serving benchmark at quick sizes, and the
+//! validation round trip: the JSON `--bench-serve` emits must pass
+//! `--check-bench`, and corrupted copies of it must not.
+
+use afs_bench::check::{self, BenchKind};
+use afs_bench::serve;
+use afs_trace::json::parse;
+
+#[test]
+fn quick_serve_bench_runs_and_validates() {
+    let result = serve::run(true);
+
+    assert!(result.quick);
+    assert!(!result.checked, "quick runs must not gate the speedup");
+    assert!(result.ok(), "unchecked runs always report ok");
+    assert_eq!(result.samples.len(), 9, "3 disciplines x 3 load points");
+    assert!(result.calibrated_rps > 0.0);
+    assert!(result.total_completed > 0);
+
+    for s in &result.samples {
+        assert!(
+            ["fcfs", "drr", "batch"].contains(&s.discipline.as_str()),
+            "unexpected discipline {}",
+            s.discipline
+        );
+        assert!(
+            s.completed <= s.offered,
+            "{}: completed > offered",
+            s.discipline
+        );
+        if s.mode == "saturate" {
+            // Closed-loop clients retry until admitted: everything offered
+            // must eventually complete.
+            assert_eq!(
+                s.completed, s.offered,
+                "{}: saturation cell lost requests",
+                s.discipline
+            );
+        }
+        assert!(
+            s.completed > 0,
+            "{}/{}: nothing completed",
+            s.discipline,
+            s.mode
+        );
+        assert!(s.dispatches > 0);
+        assert!(s.throughput_rps > 0.0);
+        assert!(
+            s.p50_ns <= s.p99_ns && s.p99_ns <= s.p999_ns,
+            "{}/{}: quantiles out of order",
+            s.discipline,
+            s.mode
+        );
+        assert_eq!(s.tenants.len(), 2);
+        let done: u64 = s.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(done, s.completed, "tenant ledgers must sum to the cell");
+        if s.discipline == "batch" {
+            assert!(
+                s.batched_requests > 0,
+                "batch cells must actually fuse requests"
+            );
+        }
+    }
+
+    // The emitted document round-trips through the --check-bench gate.
+    let doc = parse(&result.to_json()).expect("bench emits valid JSON");
+    assert_eq!(check::validate(&doc), Ok(BenchKind::Serve));
+
+    // Corrupted copies are rejected: a flipped bench tag, a checked run
+    // that lost the speedup race, and a mangled sample row.
+    let json = result.to_json();
+    let wrong_tag = json.replace("\"bench\": \"serve\"", "\"bench\": \"swerve\"");
+    assert!(check::validate(&parse(&wrong_tag).unwrap()).is_err());
+
+    let lost = json
+        .replace("\"quick\": true", "\"quick\": false")
+        .replace("\"checked\": false", "\"checked\": true")
+        .replace(
+            &format!("\"batch_over_fcfs\": {:.4},", result.batch_over_fcfs),
+            "\"batch_over_fcfs\": 0.5000,",
+        );
+    let errs = check::validate(&parse(&lost).unwrap()).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("batching lost")), "{errs:?}");
+
+    let mangled = json.replace("\"mode\": \"saturate\"", "\"mode\": \"psychic\"");
+    let errs = check::validate(&parse(&mangled).unwrap()).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("mode")), "{errs:?}");
+}

@@ -122,6 +122,50 @@ impl HistogramSnapshot {
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 
+    /// Estimated `q`-quantile in nanoseconds (`q` clamped to `[0, 1]`),
+    /// 0 when the histogram is empty.
+    ///
+    /// The estimator walks the cumulative counts to the target rank
+    /// `q × samples`, then interpolates linearly *within* the log₂ bucket
+    /// `[2^i, 2^(i+1))` that contains it. The bucket holding the recorded
+    /// maximum is clamped to `max_ns`, so the estimate never exceeds an
+    /// observed value. Error is bounded by the bucket width: the estimate
+    /// is always within a factor of 2 of the exact quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.samples as f64;
+        let max_bucket = bucket_of(self.max_ns);
+        let mut cum = 0.0f64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let after = cum + count as f64;
+            if after >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let mut hi = if i < 63 {
+                    (1u64 << (i + 1)) as f64
+                } else {
+                    u64::MAX as f64
+                };
+                if i >= max_bucket {
+                    // No sample in this bucket exceeds the recorded max.
+                    hi = hi.min(self.max_ns as f64);
+                }
+                if hi <= lo {
+                    return lo;
+                }
+                let frac = ((target - cum) / count as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            cum = after;
+        }
+        self.max_ns as f64
+    }
+
     /// `self − other` bucket by bucket (saturating). `max_ns` keeps the
     /// current maximum: a running max cannot be subtracted.
     pub fn minus(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
@@ -180,6 +224,86 @@ mod tests {
             }
         });
         assert_eq!(h.get().samples, 4000);
+    }
+
+    /// splitmix64: the repo's standard deterministic generator.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Exact `q`-quantile of a sample set by sorting (nearest-rank with the
+    /// same `q × n` target the estimator uses).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let target = (q * sorted.len() as f64).ceil() as usize;
+        sorted[target.clamp(1, sorted.len()) - 1]
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_constant_samples_lands_in_bucket() {
+        let h = AtomicHistogram::new();
+        for _ in 0..100 {
+            h.record(700);
+        }
+        let s = h.get();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q);
+            // Bucket [512, 1024) clamped by max_ns = 700.
+            assert!((512.0..=700.0).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(s.quantile(1.0), 700.0);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_power_of_two_singletons() {
+        let h = AtomicHistogram::new();
+        h.record(1 << 20);
+        let s = h.get();
+        // Single sample exactly on a bucket edge: lo == max_ns == hi.
+        assert_eq!(s.quantile(0.5), (1u64 << 20) as f64);
+    }
+
+    #[test]
+    fn quantile_tracks_exact_quantiles_of_seeded_samples() {
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let mut state = seed;
+            let h = AtomicHistogram::new();
+            let mut samples: Vec<u64> = (0..10_000)
+                .map(|_| 1 + splitmix64(&mut state) % 1_000_000)
+                .collect();
+            for &ns in &samples {
+                h.record(ns);
+            }
+            samples.sort_unstable();
+            let snap = h.get();
+            for q in [0.05, 0.25, 0.5, 0.9, 0.99, 0.999] {
+                let exact = exact_quantile(&samples, q) as f64;
+                let est = snap.quantile(q);
+                // Log-linear interpolation is within one log2 bucket: a
+                // factor of 2 of the exact value.
+                assert!(
+                    est >= exact / 2.0 && est <= exact * 2.0,
+                    "seed={seed} q={q}: est {est} vs exact {exact}"
+                );
+            }
+            // The estimate never exceeds the observed maximum and is
+            // monotone in q.
+            assert!(snap.quantile(1.0) <= snap.max_ns as f64 + 1e-9);
+            let mut prev = 0.0;
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                let est = snap.quantile(q);
+                assert!(est >= prev, "quantile must be monotone in q");
+                prev = est;
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod host;
 pub mod pad;
 pub mod perf;
 pub mod registry;
+pub mod serve;
 pub mod snapshot;
 
 pub use counters::{CounterSnapshot, WaitOutcome, WorkerCounters};
@@ -37,7 +38,8 @@ pub use histogram::{AtomicHistogram, HistogramSnapshot, BUCKETS};
 pub use host::HostInfo;
 pub use perf::{PerfGroup, PerfSample};
 pub use registry::{MetricsRegistry, PerfStatus};
-pub use snapshot::{MetricsSnapshot, WorkerSnapshot};
+pub use serve::{ServeSnapshot, TenantServeSnapshot};
+pub use snapshot::{MetricsSnapshot, WorkerSnapshot, METRICS_SCHEMA_VERSION};
 
 pub use pad::CachePadded;
 

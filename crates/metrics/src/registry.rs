@@ -58,6 +58,9 @@ pub struct MetricsRegistry {
     perf_status: Mutex<PerfStatus>,
     /// Stalls flagged by the watchdog (heartbeat frozen while not waiting).
     stalls: AtomicU64,
+    /// Per-worker stall attribution. The watchdog thread is the only
+    /// writer; readers are snapshots.
+    stalls_by_worker: Vec<AtomicU64>,
     /// Phases that overran the configured per-phase deadline.
     deadline_misses: AtomicU64,
     /// Per-worker core-pin outcome (unknown / failed / pinned).
@@ -77,6 +80,7 @@ impl MetricsRegistry {
             perf: (0..p).map(|_| Mutex::new(None)).collect(),
             perf_status: Mutex::new(PerfStatus::Disabled),
             stalls: AtomicU64::new(0),
+            stalls_by_worker: (0..p).map(|_| AtomicU64::new(0)).collect(),
             deadline_misses: AtomicU64::new(0),
             pins: (0..p).map(|_| AtomicU8::new(PIN_UNKNOWN)).collect(),
             effective_workers: AtomicUsize::new(p),
@@ -132,14 +136,22 @@ impl MetricsRegistry {
         self.perf_status.lock().unwrap().clone()
     }
 
-    /// Flags one stalled worker observation (watchdog side).
-    pub fn record_stall(&self) {
+    /// Flags one stalled observation of worker `w` (watchdog side).
+    pub fn record_stall(&self, w: usize) {
         self.stalls.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.stalls_by_worker.get(w) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Stalls flagged so far.
+    /// Stalls flagged so far, all workers.
     pub fn stalls(&self) -> u64 {
         self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Stalls attributed to worker `w` so far.
+    pub fn worker_stalls(&self, w: usize) -> u64 {
+        self.stalls_by_worker[w].load(Ordering::Relaxed)
     }
 
     /// Flags one phase that overran its deadline.
@@ -191,6 +203,7 @@ impl MetricsRegistry {
                 counters: counters.get(),
                 perf: perf.lock().unwrap().as_ref().map(|g| g.read()),
                 pinned: self.pin_status(w),
+                stalls: self.worker_stalls(w),
             })
             .collect();
         MetricsSnapshot {
@@ -201,6 +214,7 @@ impl MetricsRegistry {
             stalls_detected: self.stalls(),
             deadline_misses: self.deadline_misses(),
             effective_workers: self.effective_workers(),
+            serve: None,
         }
     }
 }
@@ -239,6 +253,24 @@ mod tests {
             }
             PerfStatus::Disabled => panic!("status must change after enable attempt"),
         }
+    }
+
+    #[test]
+    fn stalls_attribute_to_workers() {
+        let reg = MetricsRegistry::new(3);
+        reg.record_stall(1);
+        reg.record_stall(1);
+        reg.record_stall(2);
+        assert_eq!(reg.stalls(), 3);
+        assert_eq!(reg.worker_stalls(0), 0);
+        assert_eq!(reg.worker_stalls(1), 2);
+        assert_eq!(reg.worker_stalls(2), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.stalls_detected, 3);
+        assert_eq!(snap.workers[1].stalls, 2);
+        // An out-of-range worker still counts globally (defensive).
+        reg.record_stall(99);
+        assert_eq!(reg.stalls(), 4);
     }
 
     #[test]

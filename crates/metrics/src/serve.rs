@@ -1,0 +1,359 @@
+//! Serving-layer aggregates: per-tenant request accounting and latency.
+//!
+//! The serve frontend (crate `afs-serve`) stamps every request at admit,
+//! dispatch and complete. Those stamps land here as three histograms per
+//! tenant — queueing delay (admit→dispatch), service time
+//! (dispatch→complete) and sojourn (admit→complete) — plus the admission
+//! ledger: how many requests each tenant offered, how many finished, and
+//! how many were shed, broken down by reason. A [`ServeSnapshot`] rides
+//! inside [`crate::MetricsSnapshot`] (schema v3) so one document carries
+//! both the pool's view (grabs, barriers, stalls) and the server's view
+//! (tails, backpressure).
+
+use crate::histogram::HistogramSnapshot;
+use crate::host::escape;
+
+/// One tenant's slice of the serving ledger.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantServeSnapshot {
+    /// Tenant label (stable across snapshots; merge keys on it).
+    pub name: String,
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests fully executed (complete stamp recorded).
+    pub completed: u64,
+    /// Requests refused at admission (any reason).
+    pub shed: u64,
+    /// Loop iterations executed on behalf of this tenant.
+    pub iters: u64,
+    /// Queueing delay: admit → dispatch.
+    pub queue_ns: HistogramSnapshot,
+    /// Service time: dispatch → complete.
+    pub service_ns: HistogramSnapshot,
+    /// Sojourn: admit → complete (the tenant-visible latency).
+    pub sojourn_ns: HistogramSnapshot,
+}
+
+impl TenantServeSnapshot {
+    /// Empty ledger for tenant `name`.
+    pub fn new(name: impl Into<String>) -> TenantServeSnapshot {
+        TenantServeSnapshot {
+            name: name.into(),
+            ..TenantServeSnapshot::default()
+        }
+    }
+
+    /// Median sojourn latency (ns).
+    pub fn p50_ns(&self) -> f64 {
+        self.sojourn_ns.quantile(0.50)
+    }
+
+    /// 99th-percentile sojourn latency (ns).
+    pub fn p99_ns(&self) -> f64 {
+        self.sojourn_ns.quantile(0.99)
+    }
+
+    /// 99.9th-percentile sojourn latency (ns).
+    pub fn p999_ns(&self) -> f64 {
+        self.sojourn_ns.quantile(0.999)
+    }
+
+    /// Adds `other`'s ledger into `self` (same tenant, later window).
+    pub fn add(&mut self, other: &TenantServeSnapshot) {
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.iters += other.iters;
+        self.queue_ns.add(&other.queue_ns);
+        self.service_ns.add(&other.service_ns);
+        self.sojourn_ns.add(&other.sojourn_ns);
+    }
+}
+
+/// The serving layer's slice of a [`crate::MetricsSnapshot`]: admission
+/// and shed totals, dispatch/batching counts, and the per-tenant ledgers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeSnapshot {
+    /// Dispatch discipline label (`"fcfs"`, `"drr"`, `"batch"`, or
+    /// `"mixed"` after merging across disciplines).
+    pub discipline: String,
+    /// Requests accepted across all tenants.
+    pub admitted: u64,
+    /// Requests completed across all tenants.
+    pub completed: u64,
+    /// Sheds because the shared admission queue was full.
+    pub shed_queue_full: u64,
+    /// Sheds because the tenant exceeded its private backlog cap.
+    pub shed_tenant_backlog: u64,
+    /// Sheds because the server was shutting down.
+    pub shed_shutdown: u64,
+    /// Pool dispatches issued (a batch of fused requests counts once).
+    pub dispatches: u64,
+    /// Requests that shared a dispatch with at least one other request.
+    pub batched_requests: u64,
+    /// Per-tenant ledgers.
+    pub tenants: Vec<TenantServeSnapshot>,
+}
+
+impl ServeSnapshot {
+    /// Total requests shed, all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_tenant_backlog + self.shed_shutdown
+    }
+
+    /// Fraction of offered requests that were shed (0 when nothing was
+    /// offered).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.admitted + self.shed_total();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed_total() as f64 / offered as f64
+        }
+    }
+
+    /// Merges `other` into `self`, keying tenants by name. Differing
+    /// disciplines collapse to `"mixed"`.
+    pub fn merge(&mut self, other: &ServeSnapshot) {
+        if self.discipline.is_empty() {
+            self.discipline = other.discipline.clone();
+        } else if self.discipline != other.discipline && !other.discipline.is_empty() {
+            self.discipline = "mixed".to_string();
+        }
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_tenant_backlog += other.shed_tenant_backlog;
+        self.shed_shutdown += other.shed_shutdown;
+        self.dispatches += other.dispatches;
+        self.batched_requests += other.batched_requests;
+        for theirs in &other.tenants {
+            match self.tenants.iter_mut().find(|t| t.name == theirs.name) {
+                Some(mine) => mine.add(theirs),
+                None => self.tenants.push(theirs.clone()),
+            }
+        }
+    }
+
+    /// JSON object fragment (no trailing newline) for embedding in the
+    /// snapshot document.
+    pub(crate) fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"discipline\": \"{}\", \"admitted\": {}, \"completed\": {}, \
+             \"shed\": {{\"queue_full\": {}, \"tenant_backlog\": {}, \"shutdown\": {}}}, \
+             \"shed_rate\": {:.6}, \"dispatches\": {}, \"batched_requests\": {}, \
+             \"tenants\": [",
+            escape(&self.discipline),
+            self.admitted,
+            self.completed,
+            self.shed_queue_full,
+            self.shed_tenant_backlog,
+            self.shed_shutdown,
+            self.shed_rate(),
+            self.dispatches,
+            self.batched_requests,
+        ));
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"admitted\": {}, \"completed\": {}, \"shed\": {}, \
+                 \"iters\": {}, \"queue_p50_ns\": {:.1}, \"p50_ns\": {:.1}, \
+                 \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"max_ns\": {}}}",
+                escape(&t.name),
+                t.admitted,
+                t.completed,
+                t.shed,
+                t.iters,
+                t.queue_ns.quantile(0.50),
+                t.p50_ns(),
+                t.p99_ns(),
+                t.p999_ns(),
+                t.sojourn_ns.mean_ns(),
+                t.sojourn_ns.max_ns,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus exposition fragment for the serve families (tenant
+    /// labels on every per-tenant sample).
+    pub(crate) fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(
+            "# HELP afs_serve_requests_total Requests by tenant and outcome.\n\
+             # TYPE afs_serve_requests_total counter\n",
+        );
+        for t in &self.tenants {
+            let name = escape(&t.name);
+            for (outcome, v) in [
+                ("admitted", t.admitted),
+                ("completed", t.completed),
+                ("shed", t.shed),
+            ] {
+                out.push_str(&format!(
+                    "afs_serve_requests_total{{tenant=\"{name}\",outcome=\"{outcome}\"}} {v}\n"
+                ));
+            }
+        }
+
+        out.push_str(
+            "# HELP afs_serve_shed_total Requests refused at admission, by reason.\n\
+             # TYPE afs_serve_shed_total counter\n",
+        );
+        for (reason, v) in [
+            ("queue_full", self.shed_queue_full),
+            ("tenant_backlog", self.shed_tenant_backlog),
+            ("shutdown", self.shed_shutdown),
+        ] {
+            out.push_str(&format!(
+                "afs_serve_shed_total{{reason=\"{reason}\"}} {v}\n"
+            ));
+        }
+
+        out.push_str(
+            "# HELP afs_serve_dispatches_total Pool dispatches issued by the server.\n\
+             # TYPE afs_serve_dispatches_total counter\n",
+        );
+        out.push_str(&format!("afs_serve_dispatches_total {}\n", self.dispatches));
+        out.push_str(
+            "# HELP afs_serve_batched_requests_total Requests fused into shared dispatches.\n\
+             # TYPE afs_serve_batched_requests_total counter\n",
+        );
+        out.push_str(&format!(
+            "afs_serve_batched_requests_total {}\n",
+            self.batched_requests
+        ));
+
+        out.push_str(
+            "# HELP afs_serve_latency_ns Sojourn latency quantiles (admit to complete).\n\
+             # TYPE afs_serve_latency_ns gauge\n",
+        );
+        for t in &self.tenants {
+            let name = escape(&t.name);
+            for (q, v) in [
+                ("0.5", t.p50_ns()),
+                ("0.99", t.p99_ns()),
+                ("0.999", t.p999_ns()),
+            ] {
+                out.push_str(&format!(
+                    "afs_serve_latency_ns{{tenant=\"{name}\",quantile=\"{q}\"}} {v:.1}\n"
+                ));
+            }
+        }
+
+        out.push_str(
+            "# HELP afs_serve_queue_delay_ns Queueing delay quantiles (admit to dispatch).\n\
+             # TYPE afs_serve_queue_delay_ns gauge\n",
+        );
+        for t in &self.tenants {
+            let name = escape(&t.name);
+            for (q, v) in [
+                ("0.5", t.queue_ns.quantile(0.50)),
+                ("0.99", t.queue_ns.quantile(0.99)),
+            ] {
+                out.push_str(&format!(
+                    "afs_serve_queue_delay_ns{{tenant=\"{name}\",quantile=\"{q}\"}} {v:.1}\n"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::AtomicHistogram;
+
+    fn tenant(name: &str, latencies: &[u64]) -> TenantServeSnapshot {
+        let h = AtomicHistogram::new();
+        for &ns in latencies {
+            h.record(ns);
+        }
+        let mut t = TenantServeSnapshot::new(name);
+        t.sojourn_ns = h.get();
+        t.admitted = latencies.len() as u64;
+        t.completed = latencies.len() as u64;
+        t
+    }
+
+    #[test]
+    fn shed_accounting_sums_reasons() {
+        let s = ServeSnapshot {
+            discipline: "fcfs".into(),
+            admitted: 90,
+            shed_queue_full: 7,
+            shed_tenant_backlog: 2,
+            shed_shutdown: 1,
+            ..ServeSnapshot::default()
+        };
+        assert_eq!(s.shed_total(), 10);
+        assert!((s.shed_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(ServeSnapshot::default().shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_keys_tenants_by_name_and_mixes_disciplines() {
+        let mut a = ServeSnapshot {
+            discipline: "fcfs".into(),
+            admitted: 5,
+            tenants: vec![tenant("small", &[100, 200])],
+            ..ServeSnapshot::default()
+        };
+        let b = ServeSnapshot {
+            discipline: "batch".into(),
+            admitted: 3,
+            tenants: vec![tenant("small", &[400]), tenant("bulk", &[1000])],
+            ..ServeSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.discipline, "mixed");
+        assert_eq!(a.admitted, 8);
+        assert_eq!(a.tenants.len(), 2);
+        let small = a.tenants.iter().find(|t| t.name == "small").unwrap();
+        assert_eq!(small.sojourn_ns.samples, 3);
+    }
+
+    #[test]
+    fn quantiles_read_off_the_sojourn_histogram() {
+        let t = tenant(
+            "t",
+            &[100; 99]
+                .iter()
+                .chain(&[100_000])
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        // p50 sits in the [64,128) bucket; p999 must see the outlier.
+        assert!(t.p50_ns() < 128.0, "p50 {}", t.p50_ns());
+        assert!(t.p999_ns() > 1_000.0, "p999 {}", t.p999_ns());
+        assert!(t.p50_ns() <= t.p99_ns() && t.p99_ns() <= t.p999_ns());
+    }
+
+    #[test]
+    fn exports_carry_tenant_labels() {
+        let s = ServeSnapshot {
+            discipline: "drr".into(),
+            admitted: 2,
+            completed: 2,
+            dispatches: 2,
+            tenants: vec![tenant("small", &[100, 200])],
+            ..ServeSnapshot::default()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"discipline\": \"drr\""));
+        assert!(j.contains("\"name\": \"small\""));
+        assert!(j.contains("\"p99_ns\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let p = s.to_prometheus();
+        assert!(p.contains("afs_serve_requests_total{tenant=\"small\",outcome=\"completed\"} 2"));
+        assert!(p.contains("afs_serve_shed_total{reason=\"queue_full\"} 0"));
+        assert!(p.contains("afs_serve_latency_ns{tenant=\"small\",quantile=\"0.99\"}"));
+        assert!(p.contains("afs_serve_queue_delay_ns{tenant=\"small\",quantile=\"0.5\"}"));
+    }
+}

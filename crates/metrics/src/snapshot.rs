@@ -18,12 +18,15 @@ use crate::histogram::{HistogramSnapshot, BUCKETS};
 use crate::host::escape;
 use crate::perf::PerfSample;
 use crate::registry::PerfStatus;
+use crate::serve::ServeSnapshot;
 
 /// Schema version stamped into JSON exports. Version 2 added the fault /
 /// robustness fields: per-worker `pinned` and `heartbeats`, and the
 /// registry-level `stalls_detected`, `deadline_misses` and
-/// `effective_workers`.
-pub const METRICS_SCHEMA_VERSION: u64 = 2;
+/// `effective_workers`. Version 3 added per-worker `stalls` attribution
+/// and the optional `serve` block (per-tenant request accounting and
+/// latency quantiles from the serving frontend).
+pub const METRICS_SCHEMA_VERSION: u64 = 3;
 
 /// One worker's slice of a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,6 +38,8 @@ pub struct WorkerSnapshot {
     /// Core-pin outcome: `None` when pinning was never attempted,
     /// otherwise whether `sched_setaffinity` succeeded for this worker.
     pub pinned: Option<bool>,
+    /// Stall observations the watchdog attributed to this worker.
+    pub stalls: u64,
 }
 
 /// A point-in-time aggregate of a [`crate::MetricsRegistry`].
@@ -55,6 +60,9 @@ pub struct MetricsSnapshot {
     /// Workers that actually started (< `workers.len()` only when the pool
     /// degraded because thread spawning failed).
     pub effective_workers: usize,
+    /// Serving-frontend accounting, when a `LoopServer` owns the pool.
+    /// `None` for plain (non-served) runs.
+    pub serve: Option<ServeSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -68,6 +76,7 @@ impl MetricsSnapshot {
             stalls_detected: 0,
             deadline_misses: 0,
             effective_workers: p,
+            serve: None,
         }
     }
 
@@ -121,6 +130,7 @@ impl MetricsSnapshot {
                         (cur, _) => *cur,
                     },
                     pinned: w.pinned,
+                    stalls: w.stalls.saturating_sub(b.map(|b| b.stalls).unwrap_or(0)),
                 }
             })
             .collect();
@@ -132,6 +142,9 @@ impl MetricsSnapshot {
             stalls_detected: self.stalls_detected.saturating_sub(base.stalls_detected),
             deadline_misses: self.deadline_misses.saturating_sub(base.deadline_misses),
             effective_workers: self.effective_workers,
+            // Serve ledgers are attached per measurement window by the
+            // server, not accumulated in the registry; keep the current one.
+            serve: self.serve.clone(),
         }
     }
 
@@ -157,12 +170,19 @@ impl MetricsSnapshot {
                 (None, b) => b,
                 (a, None) => a,
             };
+            mine.stalls += theirs.stalls;
         }
         self.phase_ns.add(&other.phase_ns);
         self.loop_ns.add(&other.loop_ns);
         self.stalls_detected += other.stalls_detected;
         self.deadline_misses += other.deadline_misses;
         self.effective_workers = self.effective_workers.min(other.effective_workers);
+        if let Some(theirs) = &other.serve {
+            match &mut self.serve {
+                Some(mine) => mine.merge(theirs),
+                None => self.serve = Some(theirs.clone()),
+            }
+        }
         if other.perf_status == PerfStatus::Active {
             self.perf_status = PerfStatus::Active;
         } else if self.perf_status == PerfStatus::Disabled {
@@ -208,11 +228,13 @@ impl MetricsSnapshot {
         out.push_str("  \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"worker\": {i}, \"pinned\": {}, \"counters\": {}, \"perf\": {}}}{}\n",
+                "    {{\"worker\": {i}, \"pinned\": {}, \"stalls\": {}, \
+                 \"counters\": {}, \"perf\": {}}}{}\n",
                 match w.pinned {
                     Some(b) => b.to_string(),
                     None => "null".to_string(),
                 },
+                w.stalls,
                 counters_json(&w.counters),
                 match &w.perf {
                     Some(p) => perf_json(p),
@@ -222,6 +244,12 @@ impl MetricsSnapshot {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"serve\": ");
+        match &self.serve {
+            Some(s) => out.push_str(&s.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n");
         out.push_str("  \"phase_ns\": ");
         out.push_str(&hist_json(&self.phase_ns));
         out.push_str(",\n");
@@ -344,6 +372,15 @@ impl MetricsSnapshot {
             self.stalls_detected
         ));
 
+        out.push_str("# HELP afs_worker_stalls_total Stalls attributed to each worker.\n");
+        out.push_str("# TYPE afs_worker_stalls_total counter\n");
+        for (w, ws) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "afs_worker_stalls_total{{worker=\"{w}\"}} {}\n",
+                ws.stalls
+            ));
+        }
+
         out.push_str("# HELP afs_deadline_misses_total Phases that overran their deadline.\n");
         out.push_str("# TYPE afs_deadline_misses_total counter\n");
         out.push_str(&format!(
@@ -408,6 +445,10 @@ impl MetricsSnapshot {
             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.samples));
             out.push_str(&format!("{name}_sum {}\n", h.total_ns));
             out.push_str(&format!("{name}_count {}\n", h.samples));
+        }
+
+        if let Some(serve) = &self.serve {
+            out.push_str(&serve.to_prometheus());
         }
 
         out
@@ -517,7 +558,9 @@ mod tests {
     fn json_export_is_parseable_shape() {
         let s = sample_snapshot();
         let j = s.to_json();
-        assert!(j.contains("\"schema_version\": 2"));
+        assert!(j.contains("\"schema_version\": 3"));
+        assert!(j.contains("\"serve\": null"));
+        assert!(j.contains("\"stalls\": 0"));
         assert!(j.contains("\"affinity_hit_ratio\": 0.888889"));
         assert!(j.contains("\"perf_status\": \"active\""));
         assert!(j.contains("\"llc_misses\": 1234"));
@@ -550,8 +593,13 @@ mod tests {
         assert!(p.contains("afs_phase_duration_ns_sum 3000"));
         assert!(p.contains("afs_phase_duration_ns_count 2"));
         assert!(p.contains("afs_stalls_detected_total 0"));
+        assert!(p.contains("afs_worker_stalls_total{worker=\"0\"} 0"));
         assert!(p.contains("afs_deadline_misses_total 0"));
         assert!(p.contains("afs_effective_workers 2"));
+        assert!(
+            !p.contains("afs_serve_requests_total"),
+            "serve families omitted for plain runs"
+        );
         assert!(
             !p.contains("afs_worker_pinned"),
             "pin family omitted when pinning never attempted"
@@ -559,10 +607,47 @@ mod tests {
     }
 
     #[test]
+    fn serve_block_round_trips_through_exports() {
+        use crate::serve::{ServeSnapshot, TenantServeSnapshot};
+        let mut s = sample_snapshot();
+        let mut tenant = TenantServeSnapshot::new("small");
+        tenant.admitted = 10;
+        tenant.completed = 9;
+        tenant.shed = 1;
+        s.serve = Some(ServeSnapshot {
+            discipline: "batch".into(),
+            admitted: 10,
+            completed: 9,
+            shed_queue_full: 1,
+            dispatches: 3,
+            batched_requests: 6,
+            tenants: vec![tenant],
+            ..ServeSnapshot::default()
+        });
+        let j = s.to_json();
+        assert!(j.contains("\"serve\": {\"discipline\": \"batch\""));
+        assert!(j.contains("\"name\": \"small\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let p = s.to_prometheus();
+        assert!(p.contains("afs_serve_requests_total{tenant=\"small\",outcome=\"admitted\"} 10"));
+        assert!(p.contains("afs_serve_shed_total{reason=\"queue_full\"} 1"));
+        assert!(p.contains("afs_serve_dispatches_total 3"));
+        // Merging two served snapshots merges the ledgers.
+        let mut m = MetricsSnapshot::empty(2);
+        m.merge(&s);
+        m.merge(&s);
+        let merged = m.serve.as_ref().unwrap();
+        assert_eq!(merged.admitted, 20);
+        assert_eq!(merged.tenants.len(), 1);
+        assert_eq!(merged.tenants[0].admitted, 20);
+    }
+
+    #[test]
     fn pin_status_round_trips_through_exports() {
         let mut s = sample_snapshot();
         s.workers[0].pinned = Some(true);
         s.workers[1].pinned = Some(false);
+        s.workers[1].stalls = 2;
         s.stalls_detected = 3;
         s.deadline_misses = 1;
         s.effective_workers = 1;
@@ -574,6 +659,7 @@ mod tests {
         assert!(p.contains("afs_worker_pinned{worker=\"0\"} 1"));
         assert!(p.contains("afs_worker_pinned{worker=\"1\"} 0"));
         assert!(p.contains("afs_stalls_detected_total 3"));
+        assert!(p.contains("afs_worker_stalls_total{worker=\"1\"} 2"));
         assert!(p.contains("afs_deadline_misses_total 1"));
         assert!(p.contains("afs_effective_workers 1"));
         // Merge keeps the pessimistic view of pinning and effective P.

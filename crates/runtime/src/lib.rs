@@ -56,7 +56,7 @@ pub use parallel::{
     parallel_for, parallel_nest, parallel_phases, try_parallel_for, try_parallel_phases,
     RuntimeScheduler,
 };
-pub use pool::{BarrierKind, Pool, PoolBuilder};
+pub use pool::{BarrierKind, DispatchTicket, Pool, PoolBuilder, TryDispatchError};
 pub use shared::RowMatrix;
 
 /// Commonly used items, for glob import.

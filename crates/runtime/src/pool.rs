@@ -62,6 +62,24 @@ use std::time::Duration;
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
 
+/// Why [`Pool::try_dispatch`] refused a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryDispatchError {
+    /// A previous job is still in flight: poll its [`DispatchTicket`] or
+    /// wait it out first. The pool broadcasts one job at a time.
+    Busy,
+}
+
+impl std::fmt::Display for TryDispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryDispatchError::Busy => write!(f, "a job is already in flight"),
+        }
+    }
+}
+
+impl std::error::Error for TryDispatchError {}
+
 /// Which rendezvous protocol the pool's phase barrier uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BarrierKind {
@@ -659,8 +677,10 @@ impl Pool {
     /// A [`crate::barrier::SenseBarrier`] for this pool's worker party,
     /// inheriting the pool's spin/yield budgets (and injection seed, when
     /// stressed). The loop drivers use it to chain phases worker-to-worker
-    /// without a coordinator round-trip per phase.
-    pub(crate) fn phase_barrier(&self) -> crate::barrier::SenseBarrier {
+    /// without a coordinator round-trip per phase; external drivers (the
+    /// serving frontend fusing several requests into one dispatch) can do
+    /// the same.
+    pub fn phase_barrier(&self) -> crate::barrier::SenseBarrier {
         let s = &self.shared;
         let barrier = match s.inject_seed {
             // Derive a distinct stream so pool and barrier injection
@@ -701,31 +721,54 @@ impl Pool {
         // The generation lock serializes concurrent callers: the previous
         // job was fully acked (and the job cell cleared) before the lock
         // was last released, so the cell is exclusively ours now.
-        let mut generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
-        let gen = *generation + 1;
+        let generation = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        self.dispatch_locked(generation, job).wait()
+    }
+
+    /// Starts `job(worker_index)` on every worker **without waiting** for
+    /// completion. Returns a [`DispatchTicket`] whose owner polls
+    /// [`DispatchTicket::is_complete`] and eventually calls
+    /// [`DispatchTicket::wait`]; fails with [`TryDispatchError::Busy`] if
+    /// a previous job (from `run` or another ticket) is still in flight.
+    ///
+    /// The job must be `'static` (an `Arc` closure): unlike [`Pool::run`],
+    /// the caller keeps executing while workers hold the job. The serving
+    /// frontend uses this to keep draining its admission queue during a
+    /// dispatch instead of blocking at the rendezvous.
+    pub fn try_dispatch(
+        &self,
+        job: Arc<dyn Fn(usize) + Send + Sync>,
+    ) -> Result<DispatchTicket<'_>, TryDispatchError> {
+        let generation = match self.generation.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => return Err(TryDispatchError::Busy),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        Ok(self.dispatch_locked(generation, job))
+    }
+
+    /// Publishes `job` as the next generation, with the generation lock
+    /// already held. Both the blocking path (`run_arc`) and the
+    /// non-blocking path (`try_dispatch`) funnel through here, so the two
+    /// share one publication protocol.
+    fn dispatch_locked<'a>(&'a self, guard: MutexGuard<'a, u64>, job: Job) -> DispatchTicket<'a> {
+        let gen = *guard + 1;
         self.shared.running.store(true, Ordering::SeqCst);
         // SAFETY: no worker reads the cell until it observes `gen` in its
         // start flag (stored below), and all acks of `gen - 1` were
         // collected before the previous coordinator released the lock.
         unsafe { *self.shared.job.0.get() = Some(job) };
         if self.shared.classic {
-            // The pre-rework protocol: publish and collect while holding
-            // the shared mutex. Workers can only pass their own mutex
-            // acquisitions once we sleep on `done_cv`, so the last ack's
-            // notify cannot slip between our check and our sleep.
-            let mut guard = self.shared.lock_park();
+            // The pre-rework protocol publishes while holding the shared
+            // mutex, so a worker checking under it cannot miss the wakeup.
+            // The last acker always locks + notifies `done_cv` under the
+            // classic protocol, so the ticket's later check-then-wait
+            // (also under the mutex) cannot lose the completion either.
+            let _park = self.shared.lock_park();
             for flag in &self.shared.starts[..self.p] {
                 flag.store(gen, Ordering::SeqCst);
             }
             self.shared.start_cv.notify_all();
-            while !self.shared.all_acked(gen) {
-                guard = self
-                    .shared
-                    .done_cv
-                    .wait(guard)
-                    .unwrap_or_else(|p| p.into_inner());
-            }
-            drop(guard);
         } else {
             for flag in &self.shared.starts[..self.p] {
                 flag.store(gen, Ordering::SeqCst);
@@ -739,27 +782,90 @@ impl Pool {
                 let _guard = self.shared.lock_park();
                 self.shared.start_cv.notify_all();
             }
-            self.shared.wait_all_acked(gen);
+        }
+        DispatchTicket {
+            pool: self,
+            guard: Some(guard),
+            gen,
+        }
+    }
+}
+
+/// An in-flight broadcast job started by [`Pool::try_dispatch`].
+///
+/// The ticket *is* the pool's dispatch slot: while it lives, no other job
+/// can start (`run` blocks, `try_dispatch` returns `Busy`). Poll
+/// [`DispatchTicket::is_complete`] to overlap caller-side work with the
+/// job, then collect the outcome with [`DispatchTicket::wait`]. Dropping
+/// the ticket also completes the protocol (waiting if needed) but
+/// discards any job panic. Leaking it (`mem::forget`) wedges the pool —
+/// the dispatch slot is never released.
+pub struct DispatchTicket<'a> {
+    pool: &'a Pool,
+    /// `Some` until the epilogue has run; holds the generation lock.
+    guard: Option<MutexGuard<'a, u64>>,
+    gen: u64,
+}
+
+impl DispatchTicket<'_> {
+    /// Whether every worker has finished the job. Non-blocking; once true
+    /// it stays true, and [`DispatchTicket::wait`] will not block.
+    pub fn is_complete(&self) -> bool {
+        self.pool.shared.all_acked(self.gen)
+    }
+
+    /// The generation this ticket published (monotone per pool).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Waits for every worker to finish and releases the dispatch slot.
+    /// A panic in the job surfaces as `Err(PhaseError)`, exactly like
+    /// [`Pool::try_run`].
+    pub fn wait(mut self) -> Result<(), PhaseError> {
+        match self.finish() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Completes the rendezvous and runs the epilogue once: clears the
+    /// job cell, advances the generation, releases the lock, and takes
+    /// any recorded failure.
+    fn finish(&mut self) -> Option<PhaseError> {
+        let mut generation = self.guard.take()?;
+        let shared = &self.pool.shared;
+        if shared.classic {
+            let mut park = shared.lock_park();
+            while !shared.all_acked(self.gen) {
+                park = shared.done_cv.wait(park).unwrap_or_else(|p| p.into_inner());
+            }
+        } else {
+            shared.wait_all_acked(self.gen);
         }
         // SAFETY: every worker acked `gen`, and each ack store follows the
         // worker's clone of the job; dropping the cell contents is ordered
         // after all uses.
-        unsafe { *self.shared.job.0.get() = None };
-        self.shared.running.store(false, Ordering::SeqCst);
-        *generation = gen;
+        unsafe { *shared.job.0.get() = None };
+        shared.running.store(false, Ordering::SeqCst);
+        *generation = self.gen;
+        drop(generation);
         // Each worker records its failure strictly before its ack store, so
         // after the acks this read is race-free; take() leaves the slot
         // clean for the next generation.
-        let failed = self
-            .shared
+        shared
             .failure
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .take();
-        match failed {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+            .take()
+    }
+}
+
+impl Drop for DispatchTicket<'_> {
+    fn drop(&mut self) {
+        // A dropped ticket still completes the protocol so the pool stays
+        // usable; the job's panic (if any) is discarded here.
+        let _ = self.finish();
     }
 }
 
@@ -1073,6 +1179,106 @@ mod tests {
             assert_eq!(counter.load(Ordering::SeqCst), 10, "{kind:?}");
             assert_eq!(pool.metrics().snapshot().effective_workers, 2);
         }
+    }
+
+    #[test]
+    fn try_dispatch_runs_and_completes() {
+        for kind in both_kinds() {
+            let pool = Pool::builder(3).barrier(kind).build();
+            let counter = Arc::new(AtomicU64::new(0));
+            let c = Arc::clone(&counter);
+            let ticket = pool
+                .try_dispatch(Arc::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+            // Poll to completion, then collect.
+            while !ticket.is_complete() {
+                std::thread::yield_now();
+            }
+            ticket.wait().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn try_dispatch_reports_busy_while_in_flight() {
+        for kind in both_kinds() {
+            let pool = Pool::builder(2).barrier(kind).build();
+            let gate = Arc::new(AtomicBool::new(false));
+            let g = Arc::clone(&gate);
+            let ticket = pool
+                .try_dispatch(Arc::new(move |_| {
+                    while !g.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                }))
+                .unwrap();
+            assert!(!ticket.is_complete(), "{kind:?}");
+            assert_eq!(
+                pool.try_dispatch(Arc::new(|_| {})).err(),
+                Some(TryDispatchError::Busy),
+                "{kind:?}"
+            );
+            gate.store(true, Ordering::SeqCst);
+            ticket.wait().unwrap();
+            // Slot released: the next dispatch is accepted.
+            pool.try_dispatch(Arc::new(|_| {})).unwrap().wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn dropped_ticket_releases_the_slot() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        drop(pool.try_dispatch(Arc::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        })));
+        // Drop completed the rendezvous; the pool is immediately reusable
+        // and the job ran exactly once per worker.
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        let counter2 = AtomicU64::new(0);
+        pool.run(|_| {
+            counter2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter2.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn ticket_wait_surfaces_job_panics() {
+        let pool = Pool::new(3);
+        let err = pool
+            .try_dispatch(Arc::new(|w| {
+                if w == 2 {
+                    panic!("ticket job blew up");
+                }
+            }))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert_eq!(err.worker(), 2);
+        assert_eq!(err.message(), Some("ticket job blew up"));
+        pool.try_run(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn tickets_interleave_with_blocking_runs() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            let t = pool
+                .try_dispatch(Arc::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+            t.wait().unwrap();
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10 * 2 * 2);
     }
 
     #[test]

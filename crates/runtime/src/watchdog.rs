@@ -89,7 +89,7 @@ fn watch(
         for (w, seen) in last.iter_mut().enumerate().take(p) {
             let hb = metrics.worker(w).heartbeat();
             if armed && hb == *seen && !metrics.worker(w).is_waiting() {
-                metrics.record_stall();
+                metrics.record_stall(w);
                 if let Some(sink) = sink {
                     if sink.workers() > p {
                         sink.record(p, EventKind::StallDetected { worker: w as u32 });

@@ -1,0 +1,462 @@
+//! Dispatch disciplines and the fused batch driver.
+//!
+//! The dispatcher owns the middle of the pipeline: it pumps admitted
+//! requests out of the MPMC ring into its private per-tenant FIFOs (no
+//! locks — the ring is the only shared structure), picks what runs next
+//! under a pluggable [`Discipline`], and executes the pick as *one* pool
+//! dispatch. A batch of fused requests becomes a chain of phases welded
+//! together by a [`SenseBarrier`]: workers flow from one request's phase
+//! into the next with a single decentralized rendezvous between them, so
+//! a dispatch of eight 64-iteration loops costs one pool broadcast + 8
+//! barrier turns instead of eight broadcasts — that amortization is the
+//! whole case for the batching discipline.
+//!
+//! Completion stamping rides the barrier's turn slot: the last worker to
+//! arrive at a request's final phase boundary records the service and
+//! sojourn stamps *before* releasing the party, so a completed request's
+//! latency is visible the instant any thread observes its completion.
+
+use crate::request::OwnedSource;
+use crate::server::{Admitted, ServerShared};
+use afs_runtime::{SenseBarrier, TryDispatchError};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// How the dispatcher picks the next pool dispatch from its backlog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// One global FIFO, one request per pool dispatch. The baseline: no
+    /// fairness, no fusion, minimum bookkeeping.
+    CentralFcfs,
+    /// Per-tenant FIFOs served by deficit round-robin, one request per
+    /// dispatch. Each needy tenant earns `quantum` iterations of credit
+    /// per replenish round; a request dispatches when its tenant's
+    /// deficit covers its total iteration cost, so tenants share the
+    /// pool in proportion to rounds, not request counts — a tenant
+    /// spamming small requests cannot starve one submitting large ones.
+    TenantDrr {
+        /// Iterations of credit per tenant per replenish round.
+        quantum: u64,
+    },
+    /// Per-tenant FIFOs drained round-robin into a fused batch: up to
+    /// `max_requests` requests (stopping earlier once `max_iters` total
+    /// iterations are aboard) execute as one pool dispatch, chained
+    /// through an in-batch barrier. Amortizes broadcast turnaround over
+    /// small loops.
+    Batch {
+        /// Most requests fused into one dispatch.
+        max_requests: usize,
+        /// Iteration budget per fused dispatch (soft: the first request
+        /// always boards).
+        max_iters: u64,
+    },
+}
+
+impl Discipline {
+    /// Stable label for snapshots and bench rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Discipline::CentralFcfs => "fcfs",
+            Discipline::TenantDrr { .. } => "drr",
+            Discipline::Batch { .. } => "batch",
+        }
+    }
+
+    /// Whether this discipline stages requests in one central FIFO
+    /// (otherwise per-tenant FIFOs).
+    pub(crate) fn uses_central(&self) -> bool {
+        matches!(self, Discipline::CentralFcfs)
+    }
+}
+
+/// The dispatcher's private staging state. Never shared: the dispatcher
+/// thread (or the manual driver, serialized by the server's state lock)
+/// is its only owner.
+pub(crate) struct DispatchState {
+    /// Global FIFO ([`Discipline::CentralFcfs`] only).
+    central: VecDeque<Admitted>,
+    /// Per-tenant FIFOs (DRR and batching disciplines).
+    fifos: Vec<VecDeque<Admitted>>,
+    /// DRR iteration credits, indexed by tenant.
+    deficits: Vec<u64>,
+    /// Round-robin cursor over tenants.
+    rr: usize,
+}
+
+impl DispatchState {
+    pub(crate) fn new(tenants: usize) -> Self {
+        Self {
+            central: VecDeque::new(),
+            fifos: (0..tenants).map(|_| VecDeque::new()).collect(),
+            deficits: vec![0; tenants],
+            rr: 0,
+        }
+    }
+
+    /// Requests staged but not yet dispatched.
+    pub(crate) fn backlog(&self) -> usize {
+        self.central.len() + self.fifos.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Drains the admission ring into the staging FIFOs. Returns how many
+    /// requests moved.
+    pub(crate) fn pump(&mut self, shared: &ServerShared, discipline: Discipline) -> usize {
+        let mut moved = 0;
+        while let Some(a) = shared.queue.pop() {
+            if discipline.uses_central() {
+                self.central.push_back(a);
+            } else {
+                self.fifos[a.req.tenant].push_back(a);
+            }
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Picks the next dispatch under `discipline`. Empty means nothing is
+    /// staged.
+    pub(crate) fn select(&mut self, discipline: Discipline) -> Vec<Admitted> {
+        match discipline {
+            Discipline::CentralFcfs => self.central.pop_front().into_iter().collect(),
+            Discipline::TenantDrr { quantum } => self.select_drr(quantum.max(1)),
+            Discipline::Batch {
+                max_requests,
+                max_iters,
+            } => self.select_batch(max_requests.max(1), max_iters.max(1)),
+        }
+    }
+
+    fn select_drr(&mut self, quantum: u64) -> Vec<Admitted> {
+        if self.fifos.iter().all(VecDeque::is_empty) {
+            return Vec::new();
+        }
+        let t_count = self.fifos.len();
+        loop {
+            for k in 0..t_count {
+                let t = (self.rr + k) % t_count;
+                let Some(front) = self.fifos[t].front() else {
+                    // An idle tenant banks no credit (classic DRR: the
+                    // deficit resets when the queue goes empty).
+                    self.deficits[t] = 0;
+                    continue;
+                };
+                let cost = front.req.iters().max(1);
+                if self.deficits[t] >= cost {
+                    self.deficits[t] -= cost;
+                    // Stay on this tenant: it keeps dispatching while its
+                    // credit lasts, then the scan naturally moves on.
+                    self.rr = t;
+                    return self.fifos[t].pop_front().into_iter().collect();
+                }
+            }
+            // Nobody could afford their head-of-line request: every needy
+            // tenant earns a quantum and the scan repeats. Terminates —
+            // deficits grow monotonically toward the bounded head cost.
+            for t in 0..t_count {
+                if !self.fifos[t].is_empty() {
+                    self.deficits[t] += quantum;
+                }
+            }
+        }
+    }
+
+    fn select_batch(&mut self, max_requests: usize, max_iters: u64) -> Vec<Admitted> {
+        let t_count = self.fifos.len();
+        let mut batch = Vec::new();
+        let mut iters = 0u64;
+        let mut empty_streak = 0;
+        while batch.len() < max_requests && empty_streak < t_count {
+            let t = self.rr;
+            self.rr = (self.rr + 1) % t_count;
+            match self.fifos[t].front() {
+                Some(front) => {
+                    let cost = front.req.iters();
+                    if !batch.is_empty() && iters.saturating_add(cost) > max_iters {
+                        break;
+                    }
+                    iters += cost;
+                    batch.extend(self.fifos[t].pop_front());
+                    empty_streak = 0;
+                }
+                None => empty_streak += 1,
+            }
+        }
+        batch
+    }
+}
+
+/// One phase of one request within a batch's execution plan.
+struct Unit {
+    source: OwnedSource,
+    /// Index into [`Batch::reqs`].
+    req_idx: usize,
+    /// Whether this is the request's final phase (completion stamps fire
+    /// at its barrier turn).
+    last: bool,
+}
+
+/// An executing batch: the flattened phase plan, the in-batch barrier,
+/// and the stamps. Shared with every pool worker through the job `Arc`.
+pub(crate) struct Batch {
+    shared: Arc<ServerShared>,
+    reqs: Vec<Admitted>,
+    units: Vec<Unit>,
+    barrier: SenseBarrier,
+    /// Dispatch stamp (shared by every request in the batch — they were
+    /// handed to the pool together).
+    dispatch_ns: u64,
+}
+
+impl Batch {
+    fn build(shared: Arc<ServerShared>, reqs: Vec<Admitted>, dispatch_ns: u64) -> Batch {
+        let p = shared.pool.workers();
+        let metrics = shared.pool.metrics();
+        let mut units = Vec::new();
+        for (ri, a) in reqs.iter().enumerate() {
+            let phases = a.req.phases.max(1);
+            for ph in 0..phases {
+                units.push(Unit {
+                    source: a.req.policy.build(a.req.n, p, metrics),
+                    req_idx: ri,
+                    last: ph + 1 == phases,
+                });
+            }
+        }
+        let barrier = shared.pool.phase_barrier();
+        Batch {
+            shared,
+            reqs,
+            units,
+            barrier,
+            dispatch_ns,
+        }
+    }
+
+    /// The per-worker body: drain each unit's source, then rendezvous.
+    /// Units are totally ordered; the barrier generation is the unit
+    /// index, so every worker walks the same chain.
+    fn run_worker(&self, w: usize) {
+        let counters = self.shared.pool.metrics().worker(w);
+        for (g, unit) in self.units.iter().enumerate() {
+            let a = &self.reqs[unit.req_idx];
+            let tenant = &self.shared.tenants[a.req.tenant];
+            let workset = &tenant.workset[..];
+            let mask = workset.len() - 1;
+            let kernel = a.req.kernel;
+            let mut iters = 0u64;
+            loop {
+                counters.record_heartbeat();
+                let Some(grab) = unit.source.next(w) else {
+                    break;
+                };
+                counters.record_access(grab.access);
+                for i in grab.range.start..grab.range.end {
+                    crate::request::run_iter(workset, mask, i, kernel);
+                }
+                iters += grab.range.len();
+            }
+            counters.record_iters(iters);
+            if iters > 0 {
+                tenant.iters.fetch_add(iters, Ordering::Relaxed);
+            }
+            let completes = unit.last.then_some(unit.req_idx);
+            self.barrier.arrive_then_as(w, (g + 1) as u64, || {
+                if let Some(ri) = completes {
+                    self.complete(ri);
+                }
+            });
+        }
+    }
+
+    /// Completion stamps for request `ri`. Runs in the barrier turn slot:
+    /// exactly once, after every worker finished the final phase, before
+    /// any is released.
+    fn complete(&self, ri: usize) {
+        let a = &self.reqs[ri];
+        let now = self.shared.now_ns();
+        let tenant = &self.shared.tenants[a.req.tenant];
+        tenant
+            .service_ns
+            .record(now.saturating_sub(self.dispatch_ns));
+        tenant.sojourn_ns.record(now.saturating_sub(a.admit_ns));
+        tenant.completed.fetch_add(1, Ordering::Relaxed);
+        tenant.pending.fetch_sub(1, Ordering::Relaxed);
+        self.shared.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Executes `reqs` as one pool dispatch, recording dispatch stamps and
+/// queueing delays on the way in. `while_waiting` runs repeatedly while
+/// the pool is busy or the batch is in flight — the dispatcher uses it to
+/// keep pumping the admission ring so admission never stalls behind a
+/// long batch. Returns the number of requests executed.
+pub(crate) fn execute(
+    shared: &Arc<ServerShared>,
+    reqs: Vec<Admitted>,
+    mut while_waiting: impl FnMut(),
+) -> usize {
+    debug_assert!(!reqs.is_empty());
+    let dispatch_ns = shared.now_ns();
+    for a in &reqs {
+        shared.tenants[a.req.tenant]
+            .queue_ns
+            .record(dispatch_ns.saturating_sub(a.admit_ns));
+        shared.trace_dispatch(a.req.tenant, a.id);
+    }
+    shared.dispatches.fetch_add(1, Ordering::Relaxed);
+    if reqs.len() > 1 {
+        shared
+            .batched_requests
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+    }
+    let count = reqs.len();
+    let batch = Arc::new(Batch::build(Arc::clone(shared), reqs, dispatch_ns));
+    let job: Arc<dyn Fn(usize) + Send + Sync> = {
+        let b = Arc::clone(&batch);
+        Arc::new(move |w| b.run_worker(w))
+    };
+    loop {
+        match shared.pool.try_dispatch(Arc::clone(&job)) {
+            Ok(ticket) => {
+                while !ticket.is_complete() {
+                    while_waiting();
+                    std::thread::yield_now();
+                }
+                if let Err(e) = ticket.wait() {
+                    // Serve kernels are panic-free by construction; a
+                    // failure here is a driver bug, not a tenant fault.
+                    panic!("serve batch failed: {e}");
+                }
+                return count;
+            }
+            Err(TryDispatchError::Busy) => {
+                // Someone else (a blocking `Pool::run` caller) holds the
+                // pool; keep the admission ring flowing and retry.
+                while_waiting();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{LoopRequest, ServeKernel, ServePolicy};
+
+    fn req(tenant: usize, n: u64) -> Admitted {
+        Admitted {
+            req: LoopRequest {
+                tenant,
+                kernel: ServeKernel::Touch,
+                n,
+                phases: 1,
+                policy: ServePolicy::Afs,
+            },
+            id: 0,
+            admit_ns: 0,
+        }
+    }
+
+    fn staged(discipline: Discipline, reqs: Vec<Admitted>) -> DispatchState {
+        let tenants = reqs.iter().map(|a| a.req.tenant).max().unwrap_or(0) + 1;
+        let mut st = DispatchState::new(tenants);
+        for a in reqs {
+            if discipline.uses_central() {
+                st.central.push_back(a);
+            } else {
+                st.fifos[a.req.tenant].push_back(a);
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order_across_tenants() {
+        let d = Discipline::CentralFcfs;
+        let mut st = staged(d, vec![req(1, 10), req(0, 20), req(1, 30)]);
+        let picks: Vec<u64> =
+            std::iter::from_fn(|| st.select(d).into_iter().next().map(|a| a.req.n)).collect();
+        assert_eq!(picks, vec![10, 20, 30]);
+        assert_eq!(st.backlog(), 0);
+    }
+
+    #[test]
+    fn drr_shares_iterations_not_request_counts() {
+        // Tenant 0 spams cheap requests (32 iters), tenant 1 submits
+        // expensive ones (96 iters). Under DRR with equal quanta, tenant
+        // 0 should dispatch ~3 requests per tenant-1 request: equal
+        // iteration shares, unequal request counts.
+        let d = Discipline::TenantDrr { quantum: 32 };
+        let mut reqs: Vec<Admitted> = (0..12).map(|_| req(0, 32)).collect();
+        reqs.extend((0..4).map(|_| req(1, 96)));
+        let mut st = staged(d, reqs);
+        let mut order = Vec::new();
+        loop {
+            let b = st.select(d);
+            let Some(a) = b.into_iter().next() else { break };
+            order.push(a.req.tenant);
+        }
+        assert_eq!(order.len(), 16);
+        // In any window where both tenants had backlog (the first 12
+        // dispatches), iteration shares stay within one request of even.
+        let head = &order[..8];
+        let t0_iters: u64 = head.iter().filter(|&&t| t == 0).count() as u64 * 32;
+        let t1_iters: u64 = head.iter().filter(|&&t| t == 1).count() as u64 * 96;
+        assert!(
+            t0_iters.abs_diff(t1_iters) <= 96,
+            "iteration shares diverged: t0 {t0_iters} vs t1 {t1_iters} in {order:?}"
+        );
+    }
+
+    #[test]
+    fn drr_resets_credit_when_a_tenant_goes_idle() {
+        let d = Discipline::TenantDrr { quantum: 1000 };
+        let mut st = staged(d, vec![req(0, 10), req(1, 10)]);
+        while !st.select(d).is_empty() {}
+        // Tenant 0 banked a large deficit; once idle it must not carry it
+        // into the next burst (no stale-credit monopoly).
+        st.fifos[0].push_back(req(0, 10));
+        st.fifos[1].push_back(req(1, 10));
+        let first = st.select(d).remove(0);
+        let second = st.select(d).remove(0);
+        let mut got = [first.req.tenant, second.req.tenant];
+        got.sort_unstable();
+        assert_eq!(got, [0, 1], "both tenants dispatch within one round");
+    }
+
+    #[test]
+    fn batch_fuses_round_robin_up_to_the_caps() {
+        let d = Discipline::Batch {
+            max_requests: 4,
+            max_iters: 1_000_000,
+        };
+        let mut st = staged(
+            d,
+            vec![req(0, 1), req(0, 2), req(1, 3), req(1, 4), req(0, 5)],
+        );
+        let b1 = st.select(d);
+        assert_eq!(b1.len(), 4);
+        // Round-robin: alternating tenants while both have backlog.
+        let tenants: Vec<usize> = b1.iter().map(|a| a.req.tenant).collect();
+        assert_eq!(tenants, vec![0, 1, 0, 1]);
+        let b2 = st.select(d);
+        assert_eq!(b2.len(), 1);
+        assert!(st.select(d).is_empty());
+    }
+
+    #[test]
+    fn batch_respects_the_iteration_budget_but_always_boards_one() {
+        let d = Discipline::Batch {
+            max_requests: 8,
+            max_iters: 100,
+        };
+        let mut st = staged(d, vec![req(0, 90), req(0, 90), req(0, 500)]);
+        assert_eq!(st.select(d).len(), 1, "second 90 would blow the budget");
+        assert_eq!(st.select(d).len(), 1);
+        // A single oversized request still boards (soft cap).
+        assert_eq!(st.select(d).len(), 1);
+        assert!(st.select(d).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! What clients submit ([`LoopRequest`]) and what admission answers
+//! ([`Admit`]).
+//!
+//! A request names a *loop*, not a closure: the kernel is one of a small
+//! set of built-in bodies ([`ServeKernel`]) that touch the tenant's
+//! resident workset, the size and phase count shape the work, and the
+//! policy ([`ServePolicy`]) picks which scheduler hands iterations to
+//! workers. Keeping the kernel enumerable (rather than a boxed closure)
+//! keeps requests `Send + 'static` without allocation, makes load
+//! generation seedable, and — the real reason — guarantees the loop body
+//! cannot panic, so the serving batch driver never has to unwind a
+//! half-arrived barrier party.
+
+use afs_core::policy::Grab;
+use afs_metrics::MetricsRegistry;
+use afs_runtime::source::{AfsSource, FetchAddSource, StaticSource, WorkSource};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The loop body a request runs, one call per iteration, against the
+/// tenant's workset. All kernels are panic-free by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeKernel {
+    /// One read-modify-write per iteration on the workset — a pure
+    /// affinity probe: throughput is bounded by where the cache lines
+    /// live, not by compute.
+    Touch,
+    /// One RMW plus `work` rounds of integer mixing per iteration —
+    /// dials the compute:memory ratio up from [`ServeKernel::Touch`].
+    Spin {
+        /// Rounds of the mix function per iteration.
+        work: u32,
+    },
+}
+
+impl ServeKernel {
+    /// Stable label for bench rows and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeKernel::Touch => "touch",
+            ServeKernel::Spin { .. } => "spin",
+        }
+    }
+}
+
+/// Executes one iteration of `kernel` against workset slot `i & mask`.
+/// `mask` must be `workset.len() - 1` with a power-of-two length.
+#[inline]
+pub(crate) fn run_iter(workset: &[AtomicU64], mask: usize, i: u64, kernel: ServeKernel) {
+    let cell = &workset[(i as usize) & mask];
+    match kernel {
+        ServeKernel::Touch => {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        ServeKernel::Spin { work } => {
+            let mut x = cell.load(Ordering::Relaxed) ^ i;
+            for _ in 0..work {
+                x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23) ^ (x >> 17);
+            }
+            cell.store(x | 1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Which scheduler hands the request's iterations to workers. Mirrors the
+/// runtime's policy set, minus the mutex-serialized adapters (a server
+/// exists to measure the concurrent schedulers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Affinity scheduling, `k = P`: per-worker queues, steal when dry.
+    Afs,
+    /// Affinity scheduling with grab-ahead batching of local claims.
+    AfsGrabAhead {
+        /// Local chunks claimed per CAS.
+        ahead: usize,
+    },
+    /// Central self-scheduling, one iteration per grab.
+    SelfSched,
+    /// Central chunk self-scheduling, `chunk` iterations per grab.
+    Css {
+        /// Iterations per grab.
+        chunk: u64,
+    },
+    /// Static partition: no run-time scheduling at all.
+    Static,
+}
+
+impl ServePolicy {
+    /// Stable label for bench rows and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServePolicy::Afs => "afs",
+            ServePolicy::AfsGrabAhead { .. } => "afs_ga",
+            ServePolicy::SelfSched => "self",
+            ServePolicy::Css { .. } => "css",
+            ServePolicy::Static => "static",
+        }
+    }
+
+    /// Builds a fresh work source for an `n`-iteration phase on `p`
+    /// workers. AFS sources feed CAS-retry/stash accounting into the
+    /// pool's registry, like the runtime drivers do.
+    pub(crate) fn build(self, n: u64, p: usize, metrics: &Arc<MetricsRegistry>) -> OwnedSource {
+        match self {
+            ServePolicy::Afs => {
+                OwnedSource::Afs(AfsSource::new(n, p, p as u64).with_metrics(Arc::clone(metrics)))
+            }
+            ServePolicy::AfsGrabAhead { ahead } => OwnedSource::Afs(
+                AfsSource::new(n, p, p as u64)
+                    .with_grab_ahead(ahead)
+                    .with_metrics(Arc::clone(metrics)),
+            ),
+            ServePolicy::SelfSched => OwnedSource::FetchAdd(FetchAddSource::new(n, 1)),
+            ServePolicy::Css { chunk } => {
+                OwnedSource::FetchAdd(FetchAddSource::new(n, chunk.max(1)))
+            }
+            ServePolicy::Static => OwnedSource::Static(StaticSource::new(n, p)),
+        }
+    }
+}
+
+/// A concrete, owned work source for one phase of one request. The
+/// runtime's sources are generic over `&self`; the server owns its batch
+/// plan, so an enum (not a boxed trait object) keeps dispatch static.
+// The Afs variant is large (per-worker padded queue words), but sources
+// live in a per-batch Vec walked once per phase — boxing would buy
+// nothing and cost a pointer chase on every grab.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum OwnedSource {
+    Afs(AfsSource),
+    FetchAdd(FetchAddSource),
+    Static(StaticSource),
+}
+
+impl OwnedSource {
+    #[inline]
+    pub(crate) fn next(&self, worker: usize) -> Option<Grab> {
+        match self {
+            OwnedSource::Afs(s) => s.next(worker),
+            OwnedSource::FetchAdd(s) => s.next(worker),
+            OwnedSource::Static(s) => s.next(worker),
+        }
+    }
+}
+
+/// One unit of admission: a parallel loop a tenant wants run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopRequest {
+    /// Index of the tenant (as registered on the server builder).
+    pub tenant: usize,
+    /// The loop body.
+    pub kernel: ServeKernel,
+    /// Iterations per phase.
+    pub n: u64,
+    /// Number of barrier-separated phases (≥ 1).
+    pub phases: u32,
+    /// Scheduling policy for every phase of this request.
+    pub policy: ServePolicy,
+}
+
+impl LoopRequest {
+    /// Total iterations across all phases — the cost unit the deficit
+    /// round-robin discipline charges against a tenant's deficit.
+    pub fn iters(&self) -> u64 {
+        self.n.saturating_mul(self.phases as u64)
+    }
+}
+
+/// Why admission refused a request. Discriminants are stable and mirror
+/// the trace reason codes (`afs_trace::EventKind::RequestShed`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ShedReason {
+    /// The shared admission ring was full.
+    QueueFull = 0,
+    /// The tenant exceeded its private in-flight backlog cap.
+    TenantBacklog = 1,
+    /// The server is shutting down.
+    ShuttingDown = 2,
+}
+
+impl ShedReason {
+    /// The stable numeric code recorded in traces.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// Stable label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::TenantBacklog => "tenant_backlog",
+            ShedReason::ShuttingDown => "shutdown",
+        }
+    }
+}
+
+/// The admission verdict: in, or shed with an explicit reason. Shedding
+/// is backpressure working as designed, not an error — hence a plain
+/// enum rather than `Result`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// The request is queued; `id` is its server-assigned identity.
+    Accepted {
+        /// Monotone per-server request id.
+        id: u64,
+    },
+    /// The request was refused.
+    Shed(ShedReason),
+}
+
+impl Admit {
+    /// Whether the request was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Admit::Accepted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_reason_codes_are_stable() {
+        assert_eq!(ShedReason::QueueFull.code(), 0);
+        assert_eq!(ShedReason::TenantBacklog.code(), 1);
+        assert_eq!(ShedReason::ShuttingDown.code(), 2);
+    }
+
+    #[test]
+    fn request_cost_is_iters_times_phases() {
+        let r = LoopRequest {
+            tenant: 0,
+            kernel: ServeKernel::Touch,
+            n: 128,
+            phases: 3,
+            policy: ServePolicy::Afs,
+        };
+        assert_eq!(r.iters(), 384);
+        assert!(!Admit::Shed(ShedReason::QueueFull).is_accepted());
+        assert!(Admit::Accepted { id: 7 }.is_accepted());
+    }
+
+    #[test]
+    fn kernels_cover_every_workset_slot_reachable_by_mask() {
+        let ws: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        for i in 0..64u64 {
+            run_iter(&ws, 7, i, ServeKernel::Touch);
+        }
+        for slot in &ws {
+            assert_eq!(slot.load(Ordering::Relaxed), 8);
+        }
+        // Spin writes a nonzero mix result.
+        run_iter(&ws, 7, 3, ServeKernel::Spin { work: 4 });
+        assert_ne!(ws[3].load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn policies_build_sources_that_cover_n() {
+        let reg = Arc::new(MetricsRegistry::new(2));
+        for policy in [
+            ServePolicy::Afs,
+            ServePolicy::AfsGrabAhead { ahead: 4 },
+            ServePolicy::SelfSched,
+            ServePolicy::Css { chunk: 8 },
+            ServePolicy::Static,
+        ] {
+            let src = policy.build(100, 2, &reg);
+            let mut total = 0u64;
+            for w in 0..2 {
+                while let Some(g) = src.next(w) {
+                    total += g.range.len();
+                }
+            }
+            assert_eq!(total, 100, "{}", policy.label());
+        }
+    }
+}

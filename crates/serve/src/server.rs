@@ -1,0 +1,563 @@
+//! The [`LoopServer`]: admission control in front of one [`Pool`].
+//!
+//! Lifecycle of a request: a client thread calls [`LoopServer::admit`],
+//! which either stamps the request and pushes it onto the bounded MPMC
+//! ring, or sheds it with an explicit [`ShedReason`] — per-tenant backlog
+//! caps refuse first (a tenant drowning in its own requests cannot crowd
+//! the shared ring), then the ring itself refuses when full. The
+//! dispatcher — a dedicated thread by default, or the caller via
+//! [`LoopServer::pump`]/[`LoopServer::dispatch_next`] in manual mode —
+//! stages admitted requests into per-tenant FIFOs, selects what runs
+//! next under the configured [`Discipline`], and executes each pick as
+//! one non-blocking pool dispatch, pumping the ring *while* the pool
+//! crunches so admission never stalls behind a running batch.
+//!
+//! Every request is stamped at admit, dispatch and complete; the three
+//! deltas (queueing delay, service time, sojourn) land in per-tenant
+//! log₂ histograms that surface as a [`ServeSnapshot`] — standalone via
+//! [`LoopServer::serve_snapshot`], or riding inside the pool's
+//! [`MetricsSnapshot`] (schema v3) via [`LoopServer::metrics_snapshot`]
+//! for one document carrying both the scheduler's view and the server's.
+
+use crate::dispatch::{execute, Discipline, DispatchState};
+use crate::queue::MpmcQueue;
+use crate::request::{Admit, LoopRequest, ShedReason};
+use afs_metrics::{AtomicHistogram, MetricsSnapshot, ServeSnapshot, TenantServeSnapshot};
+use afs_runtime::Pool;
+use afs_trace::event::EventKind;
+use afs_trace::sink::TraceSink;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Per-tenant configuration: identity, backpressure cap, and the size of
+/// the resident workset the tenant's loops touch.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Tenant label (appears in snapshots and Prometheus labels).
+    pub name: String,
+    /// Max in-flight requests (admitted, not yet completed) before
+    /// admission sheds with [`ShedReason::TenantBacklog`].
+    pub backlog_cap: usize,
+    /// Workset slots (one `u64` each; rounded up to a power of two). The
+    /// workset is what gives requests something to have affinity *to*:
+    /// successive requests from the same tenant touch the same lines.
+    pub workset_slots: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with default caps: 1024 in-flight requests, 4096 workset
+    /// slots (32 KiB).
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            backlog_cap: 1024,
+            workset_slots: 4096,
+        }
+    }
+
+    /// Sets the in-flight request cap.
+    pub fn backlog_cap(mut self, cap: usize) -> TenantSpec {
+        self.backlog_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the workset size in slots.
+    pub fn workset_slots(mut self, slots: usize) -> TenantSpec {
+        self.workset_slots = slots.max(1);
+        self
+    }
+}
+
+/// A request that passed admission, carrying its identity and stamp.
+pub(crate) struct Admitted {
+    pub(crate) req: LoopRequest,
+    pub(crate) id: u64,
+    pub(crate) admit_ns: u64,
+}
+
+/// One tenant's live accounting: the ledger counters and the three
+/// latency histograms. All fields are multi-writer atomics — admission
+/// threads, the dispatcher, and barrier turn-takers all write here.
+pub(crate) struct TenantState {
+    pub(crate) name: String,
+    pub(crate) backlog_cap: u64,
+    /// The tenant's resident array (power-of-two length).
+    pub(crate) workset: Vec<AtomicU64>,
+    /// Admitted but not yet completed (the backlog-cap gauge).
+    pub(crate) pending: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) iters: AtomicU64,
+    /// Admit → dispatch.
+    pub(crate) queue_ns: AtomicHistogram,
+    /// Dispatch → complete.
+    pub(crate) service_ns: AtomicHistogram,
+    /// Admit → complete.
+    pub(crate) sojourn_ns: AtomicHistogram,
+}
+
+impl TenantState {
+    fn from_spec(spec: &TenantSpec) -> TenantState {
+        let slots = spec.workset_slots.next_power_of_two();
+        TenantState {
+            name: spec.name.clone(),
+            backlog_cap: spec.backlog_cap as u64,
+            workset: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            pending: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            iters: AtomicU64::new(0),
+            queue_ns: AtomicHistogram::new(),
+            service_ns: AtomicHistogram::new(),
+            sojourn_ns: AtomicHistogram::new(),
+        }
+    }
+}
+
+/// Trace attachment: all serve events (admit, shed, dispatch) record on
+/// one lane past the workers' and the watchdog's, serialized by a mutex
+/// — the ring's single-writer discipline is satisfied by the lock's
+/// mutual exclusion and happens-before edges.
+struct TraceLanes {
+    sink: Arc<TraceSink>,
+    lane: usize,
+    lock: Mutex<()>,
+}
+
+/// State shared between admission threads, the dispatcher, and executing
+/// batches.
+pub(crate) struct ServerShared {
+    pub(crate) pool: Arc<Pool>,
+    pub(crate) queue: MpmcQueue<Admitted>,
+    pub(crate) tenants: Vec<TenantState>,
+    /// Stamp origin: all request stamps are nanoseconds since this.
+    epoch: Instant,
+    next_id: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) shed_queue_full: AtomicU64,
+    pub(crate) shed_tenant_backlog: AtomicU64,
+    pub(crate) shed_shutdown: AtomicU64,
+    pub(crate) dispatches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    trace: Option<TraceLanes>,
+}
+
+impl ServerShared {
+    /// Nanoseconds since the server's epoch (the stamp clock).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Total in-flight requests across tenants.
+    fn total_pending(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.pending.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    fn trace_record(&self, kind: EventKind) {
+        if let Some(tl) = &self.trace {
+            let _guard = tl.lock.lock().unwrap_or_else(|e| e.into_inner());
+            tl.sink.record(tl.lane, kind);
+        }
+    }
+
+    pub(crate) fn trace_dispatch(&self, tenant: usize, id: u64) {
+        self.trace_record(EventKind::RequestDispatch {
+            tenant: tenant as u32,
+            id,
+        });
+    }
+}
+
+/// Configures and builds a [`LoopServer`].
+pub struct ServerBuilder {
+    pool: Arc<Pool>,
+    tenants: Vec<TenantSpec>,
+    discipline: Discipline,
+    queue_capacity: usize,
+    manual: bool,
+    trace: Option<Arc<TraceSink>>,
+    queue_seed: Option<u64>,
+}
+
+impl ServerBuilder {
+    /// Registers a tenant with default caps. Tenant indices follow
+    /// registration order.
+    pub fn tenant(mut self, name: impl Into<String>) -> ServerBuilder {
+        self.tenants.push(TenantSpec::new(name));
+        self
+    }
+
+    /// Registers a fully specified tenant.
+    pub fn tenant_spec(mut self, spec: TenantSpec) -> ServerBuilder {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Sets the dispatch discipline (default: [`Discipline::CentralFcfs`]).
+    pub fn discipline(mut self, d: Discipline) -> ServerBuilder {
+        self.discipline = d;
+        self
+    }
+
+    /// Sets the admission ring capacity (default 1024; rounded up to a
+    /// power of two).
+    pub fn queue_capacity(mut self, cap: usize) -> ServerBuilder {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Builds without a dispatcher thread: the caller drives dispatch via
+    /// [`LoopServer::pump`] and [`LoopServer::dispatch_next`]. For
+    /// deterministic discipline tests.
+    pub fn manual(mut self) -> ServerBuilder {
+        self.manual = true;
+        self
+    }
+
+    /// Attaches a trace sink; request lifecycle events record on lane
+    /// `pool.workers() + 1` (lane `p` stays reserved for the watchdog).
+    /// The sink needs at least `p + 2` lanes.
+    pub fn trace(mut self, sink: Arc<TraceSink>) -> ServerBuilder {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Enables deterministic yield injection inside the admission ring.
+    /// Seeded interleaving stress tests only; not part of the stable API.
+    #[doc(hidden)]
+    pub fn queue_yield_injection(mut self, seed: u64) -> ServerBuilder {
+        self.queue_seed = Some(seed);
+        self
+    }
+
+    /// Builds the server (spawning the dispatcher thread unless
+    /// [`ServerBuilder::manual`] was requested). Panics if no tenant was
+    /// registered, or if a trace sink lacks the serve lane.
+    pub fn build(self) -> LoopServer {
+        assert!(
+            !self.tenants.is_empty(),
+            "a server needs at least one tenant"
+        );
+        let lane = self.pool.workers() + 1;
+        let trace = self.trace.map(|sink| {
+            assert!(
+                sink.workers() > lane,
+                "trace sink needs at least {} lanes (p workers + watchdog + serve)",
+                lane + 1
+            );
+            TraceLanes {
+                sink,
+                lane,
+                lock: Mutex::new(()),
+            }
+        });
+        let mut queue = MpmcQueue::new(self.queue_capacity);
+        if let Some(seed) = self.queue_seed {
+            queue = queue.with_yield_injection(seed);
+        }
+        let shared = Arc::new(ServerShared {
+            pool: self.pool,
+            queue,
+            tenants: self.tenants.iter().map(TenantState::from_spec).collect(),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_tenant_backlog: AtomicU64::new(0),
+            shed_shutdown: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            trace,
+        });
+        let discipline = self.discipline;
+        let dispatcher = (!self.manual).then(|| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("afs-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared, discipline))
+                .expect("spawn dispatcher")
+        });
+        let tenants = shared.tenants.len();
+        LoopServer {
+            shared,
+            discipline,
+            state: Mutex::new(DispatchState::new(tenants)),
+            dispatcher,
+        }
+    }
+}
+
+/// The dispatcher thread body: pump, select, execute, until shutdown
+/// *and* drained. Idles politely (yield, then micro-sleep) when the ring
+/// and FIFOs are empty.
+fn dispatcher_loop(shared: &Arc<ServerShared>, discipline: Discipline) {
+    let mut st = DispatchState::new(shared.tenants.len());
+    let mut idle = 0u32;
+    loop {
+        st.pump(shared, discipline);
+        let picked = st.select(discipline);
+        if picked.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst)
+                && st.backlog() == 0
+                && shared.queue.is_empty()
+            {
+                return;
+            }
+            idle += 1;
+            if idle < 64 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(100));
+            }
+            continue;
+        }
+        idle = 0;
+        execute(shared, picked, || {
+            st.pump(shared, discipline);
+        });
+    }
+}
+
+/// A request-driven serving frontend over one [`Pool`]. See the module
+/// docs for the pipeline; see [`ServerBuilder`] for configuration.
+pub struct LoopServer {
+    shared: Arc<ServerShared>,
+    discipline: Discipline,
+    /// Manual-mode staging state (the threaded dispatcher owns its own).
+    state: Mutex<DispatchState>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl LoopServer {
+    /// Starts configuring a server over `pool`.
+    pub fn builder(pool: Arc<Pool>) -> ServerBuilder {
+        ServerBuilder {
+            pool,
+            tenants: Vec::new(),
+            discipline: Discipline::CentralFcfs,
+            queue_capacity: 1024,
+            manual: false,
+            trace: None,
+            queue_seed: None,
+        }
+    }
+
+    /// The discipline this server dispatches under.
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// The pool this server dispatches onto.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.shared.pool
+    }
+
+    /// Submits a request. Non-blocking: either the request is queued
+    /// (`Accepted` with its id) or it is shed right now with the reason.
+    /// Callable from any number of client threads concurrently.
+    ///
+    /// Panics if `req.tenant` is out of range or `req.phases == 0` —
+    /// those are caller bugs, not load conditions.
+    pub fn admit(&self, req: LoopRequest) -> Admit {
+        let s = &*self.shared;
+        assert!(
+            req.tenant < s.tenants.len(),
+            "unknown tenant index {}",
+            req.tenant
+        );
+        assert!(req.phases >= 1, "a request needs at least one phase");
+        if s.shutdown.load(Ordering::SeqCst) {
+            return self.shed(req.tenant, ShedReason::ShuttingDown);
+        }
+        let tenant_idx = req.tenant;
+        let t = &s.tenants[tenant_idx];
+        // Reserve the backlog slot optimistically; back it out on shed.
+        // The cap is enforced against concurrent admitters by the
+        // fetch_add itself — two racers cannot both observe room that
+        // only one slot provides.
+        let prev = t.pending.fetch_add(1, Ordering::SeqCst);
+        if prev >= t.backlog_cap {
+            t.pending.fetch_sub(1, Ordering::SeqCst);
+            return self.shed(tenant_idx, ShedReason::TenantBacklog);
+        }
+        let id = s.next_id.fetch_add(1, Ordering::Relaxed);
+        let admit_ns = s.now_ns();
+        match s.queue.push(Admitted { req, id, admit_ns }) {
+            Ok(()) => {
+                t.admitted.fetch_add(1, Ordering::Relaxed);
+                s.admitted.fetch_add(1, Ordering::Relaxed);
+                s.trace_record(EventKind::RequestAdmit {
+                    tenant: tenant_idx as u32,
+                    id,
+                });
+                Admit::Accepted { id }
+            }
+            Err(_) => {
+                t.pending.fetch_sub(1, Ordering::SeqCst);
+                self.shed(tenant_idx, ShedReason::QueueFull)
+            }
+        }
+    }
+
+    fn shed(&self, tenant: usize, reason: ShedReason) -> Admit {
+        let s = &*self.shared;
+        s.tenants[tenant].shed.fetch_add(1, Ordering::Relaxed);
+        let counter = match reason {
+            ShedReason::QueueFull => &s.shed_queue_full,
+            ShedReason::TenantBacklog => &s.shed_tenant_backlog,
+            ShedReason::ShuttingDown => &s.shed_shutdown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        s.trace_record(EventKind::RequestShed {
+            tenant: tenant as u32,
+            reason: reason.code(),
+        });
+        Admit::Shed(reason)
+    }
+
+    /// Manual mode: drains the admission ring into the staging FIFOs.
+    /// Returns how many requests moved. Panics on a threaded server —
+    /// requests staged here would compete with the dispatcher's own
+    /// state and could strand.
+    pub fn pump(&self) -> usize {
+        assert!(
+            self.dispatcher.is_none(),
+            "pump() is for manual-mode servers; the dispatcher thread owns staging here"
+        );
+        self.lock_state().pump(&self.shared, self.discipline)
+    }
+
+    /// Manual mode: selects and synchronously executes the next dispatch
+    /// under the configured discipline. Returns the `(tenant, id)` pairs
+    /// that ran, or an empty vec when nothing is staged (callers should
+    /// [`LoopServer::pump`] first). Panics on a threaded server.
+    pub fn dispatch_next(&self) -> Vec<(usize, u64)> {
+        assert!(
+            self.dispatcher.is_none(),
+            "dispatch_next() is for manual-mode servers"
+        );
+        let mut st = self.lock_state();
+        let picked = st.select(self.discipline);
+        if picked.is_empty() {
+            return Vec::new();
+        }
+        let ids: Vec<(usize, u64)> = picked.iter().map(|a| (a.req.tenant, a.id)).collect();
+        execute(&self.shared, picked, || {});
+        ids
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, DispatchState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Requests admitted but not yet completed, across all tenants.
+    pub fn pending(&self) -> u64 {
+        self.shared.total_pending()
+    }
+
+    /// Blocks until every admitted request has completed. Threaded
+    /// servers only (manual callers drive dispatch themselves, so they
+    /// already know when they are done).
+    pub fn drain(&self) {
+        assert!(
+            self.dispatcher.is_some(),
+            "drain() needs the dispatcher thread; manual servers drive dispatch_next()"
+        );
+        let mut spins = 0u32;
+        while self.pending() > 0 {
+            spins += 1;
+            if spins < 256 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// The serving ledger: per-tenant counts and latency histograms,
+    /// plus shed/dispatch totals.
+    pub fn serve_snapshot(&self) -> ServeSnapshot {
+        let s = &*self.shared;
+        let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
+        ServeSnapshot {
+            discipline: self.discipline.label().to_string(),
+            admitted: load(&s.admitted),
+            completed: load(&s.completed),
+            shed_queue_full: load(&s.shed_queue_full),
+            shed_tenant_backlog: load(&s.shed_tenant_backlog),
+            shed_shutdown: load(&s.shed_shutdown),
+            dispatches: load(&s.dispatches),
+            batched_requests: load(&s.batched_requests),
+            tenants: s
+                .tenants
+                .iter()
+                .map(|t| TenantServeSnapshot {
+                    name: t.name.clone(),
+                    admitted: load(&t.admitted),
+                    completed: load(&t.completed),
+                    shed: load(&t.shed),
+                    iters: load(&t.iters),
+                    queue_ns: t.queue_ns.get(),
+                    service_ns: t.service_ns.get(),
+                    sojourn_ns: t.sojourn_ns.get(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The pool's metrics snapshot with this server's ledger attached —
+    /// one schema-v3 document carrying both views.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.pool.metrics().snapshot();
+        snap.serve = Some(self.serve_snapshot());
+        snap
+    }
+
+    /// Stops admission, drains everything already admitted, joins the
+    /// dispatcher, and returns the final ledger. Requests racing this
+    /// call may be shed with [`ShedReason::ShuttingDown`]; an admit that
+    /// slips past the flag after the dispatcher's final sweep is counted
+    /// shed as well (it was accepted but never served).
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.stop();
+        // Requests that slipped into the ring after the dispatcher's
+        // final sweep: account them as shutdown sheds so the ledger
+        // balances (admitted = completed + stranded-shed).
+        while let Some(a) = self.shared.queue.pop() {
+            let t = &self.shared.tenants[a.req.tenant];
+            t.pending.fetch_sub(1, Ordering::SeqCst);
+            t.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+        }
+        self.serve_snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.dispatcher.take() {
+            h.join().expect("serve dispatcher panicked");
+        }
+    }
+}
+
+impl Drop for LoopServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.dispatcher.take() {
+            // Propagating a panic out of drop would abort; the dispatcher
+            // panicking is already a loud test failure elsewhere.
+            let _ = h.join();
+        }
+    }
+}

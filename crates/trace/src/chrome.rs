@@ -228,6 +228,45 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                         ),
                     );
                 }
+                EventKind::RequestAdmit { tenant, id } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request admit\",\"cat\":\"serve\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant},\"id\":{id}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
+                EventKind::RequestDispatch { tenant, id } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request dispatch\",\"cat\":\"serve\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant},\"id\":{id}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
+                EventKind::RequestShed { tenant, reason } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request shed\",\"cat\":\"serve\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant},\"reason\":{reason}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
                 EventKind::BarrierRelease => {
                     // The first release of a pool's life has no arrive;
                     // draw a span only for matched pairs.
@@ -338,6 +377,26 @@ mod tests {
         let json = chrome_trace(&sink, "t");
         assert!(json.contains("stall detected"));
         assert!(json.contains("\"args\":{\"worker\":0}"));
+    }
+
+    #[test]
+    fn request_events_emit_instants() {
+        let sink = TraceSink::new(3);
+        sink.record(2, K::RequestAdmit { tenant: 1, id: 42 });
+        sink.record(2, K::RequestDispatch { tenant: 1, id: 42 });
+        sink.record(
+            2,
+            K::RequestShed {
+                tenant: 0,
+                reason: 1,
+            },
+        );
+        let json = chrome_trace(&sink, "t");
+        assert!(json.contains("request admit"));
+        assert!(json.contains("request dispatch"));
+        assert!(json.contains("request shed"));
+        assert!(json.contains("\"args\":{\"tenant\":1,\"id\":42}"));
+        assert!(json.contains("\"args\":{\"tenant\":0,\"reason\":1}"));
     }
 
     #[test]

@@ -93,6 +93,31 @@ pub enum EventKind {
         /// The worker that appears stalled.
         worker: u32,
     },
+    /// The serving frontend accepted a request into its admission queue.
+    /// Recorded on a lane past the workers' (the admitting thread is a
+    /// client, not a worker), preserving the single-writer rule.
+    RequestAdmit {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Server-assigned request id (monotone per server).
+        id: u64,
+    },
+    /// The dispatcher handed a request (possibly fused into a batch) to
+    /// the pool. Recorded on the dispatcher's own lane.
+    RequestDispatch {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Server-assigned request id.
+        id: u64,
+    },
+    /// The serving frontend refused a request at admission (backpressure).
+    RequestShed {
+        /// Tenant the request belonged to.
+        tenant: u32,
+        /// Shed reason code (`afs_serve::ShedReason` discriminant: 0 =
+        /// queue full, 1 = tenant backlog, 2 = shutting down).
+        reason: u32,
+    },
 }
 
 impl EventKind {
@@ -180,5 +205,21 @@ mod tests {
         assert_eq!(EventKind::BarrierArrive.grab_access(), None);
         assert_eq!(EventKind::BarrierRelease.grab_access(), None);
         assert_eq!(EventKind::StallDetected { worker: 3 }.grab_access(), None);
+        assert_eq!(
+            EventKind::RequestAdmit { tenant: 0, id: 7 }.grab_access(),
+            None
+        );
+        assert_eq!(
+            EventKind::RequestDispatch { tenant: 1, id: 7 }.grab_access(),
+            None
+        );
+        assert_eq!(
+            EventKind::RequestShed {
+                tenant: 0,
+                reason: 1
+            }
+            .grab_access(),
+            None
+        );
     }
 }

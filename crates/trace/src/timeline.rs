@@ -81,8 +81,12 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                 // Leaving the rendezvous opens no segment: the gap between
                 // arrive and release is idle on the timeline.
                 EventKind::BarrierRelease => {}
-                // Watchdog observations mark faults, not lane activity.
-                EventKind::StallDetected { .. } => {}
+                // Watchdog observations mark faults, not lane activity;
+                // request lifecycle marks belong to the serving layer.
+                EventKind::StallDetected { .. }
+                | EventKind::RequestAdmit { .. }
+                | EventKind::RequestDispatch { .. }
+                | EventKind::RequestShed { .. } => {}
             }
         }
     }

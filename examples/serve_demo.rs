@@ -1,0 +1,92 @@
+//! Serving demo: two tenants share one pool through the request-driven
+//! frontend. Tenant "interactive" submits small affinity probes behind a
+//! tight backlog cap; tenant "analytics" floods bulk multi-phase loops.
+//! Deficit-round-robin dispatch keeps the iteration shares fair, the
+//! backlog cap sheds the flood instead of letting it bury the small
+//! requests, and the per-tenant ledger shows who waited and who was
+//! refused.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use afs_runtime::Pool;
+use afs_serve::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let pool = Arc::new(Pool::new(4));
+    let server = LoopServer::builder(pool)
+        .tenant_spec(TenantSpec::new("interactive").backlog_cap(256))
+        .tenant_spec(TenantSpec::new("analytics").backlog_cap(64))
+        .discipline(Discipline::TenantDrr { quantum: 512 })
+        .queue_capacity(1024)
+        .build();
+
+    // A deterministic burst: 2000 small interactive probes interleaved
+    // with 600 bulk analytics loops offered four at a time, so the
+    // analytics backlog cap actually bites.
+    let mut shed_live = [0u64; 2];
+    let mut state = 0xDEC0_DE5Eu64;
+    let mut rand = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state >> 33
+    };
+    for round in 0..2_000u64 {
+        // Light pacing: an unpaced burst would just shed everything on a
+        // small host; the demo wants the *asymmetry* between the tenants.
+        std::thread::yield_now();
+        if round % 64 == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        let small = LoopRequest {
+            tenant: 0,
+            kernel: ServeKernel::Touch,
+            n: 32 + rand() % 96,
+            phases: 1,
+            policy: ServePolicy::Afs,
+        };
+        if let Admit::Shed(_) = server.admit(small) {
+            shed_live[0] += 1;
+        }
+        if round % 3 == 0 {
+            for _ in 0..4 {
+                let bulk = LoopRequest {
+                    tenant: 1,
+                    kernel: ServeKernel::Spin { work: 4 },
+                    n: 512 + rand() % 512,
+                    phases: 2,
+                    policy: ServePolicy::Afs,
+                };
+                if let Admit::Shed(_) = server.admit(bulk) {
+                    shed_live[1] += 1;
+                }
+            }
+        }
+    }
+    server.drain();
+    let ledger = server.shutdown();
+
+    println!(
+        "discipline {}: {} admitted, {} completed, {} shed ({:.1}%)",
+        ledger.discipline,
+        ledger.admitted,
+        ledger.completed,
+        ledger.shed_total(),
+        ledger.shed_rate() * 100.0,
+    );
+    for (t, live) in ledger.tenants.iter().zip(shed_live) {
+        println!(
+            "  {:<12} admitted {:>5}  completed {:>5}  shed {:>5} (seen live: {live})  \
+             p50 {:>7.1} us  p99 {:>8.1} us",
+            t.name,
+            t.admitted,
+            t.completed,
+            t.shed,
+            t.p50_ns() / 1_000.0,
+            t.p99_ns() / 1_000.0,
+        );
+    }
+    println!("(the analytics flood sheds against its own backlog cap; DRR keeps");
+    println!(" the interactive tail flat while bulk work still makes progress)");
+}
