@@ -1,0 +1,308 @@
+//! Barrier round-trip microbench (`repro --bench-barrier`).
+//!
+//! The kernel benchmark measures whole applications; this one isolates the
+//! cost the futex rework targets: one arrive→release round-trip of the
+//! phase rendezvous, per barrier protocol, per worker count. Each round
+//! drives a burst of near-empty phases through a live pool and charges the
+//! wall time evenly to its phases — the body is a single iteration per
+//! worker, so the rendezvous is essentially the whole number. Per-round
+//! readings land in a log₂ histogram (same bucketing as the runtime's
+//! always-on histograms, so the numbers line up with `--metrics` exports),
+//! and the headline per cell is the best round — robust against scheduler
+//! noise, which on an oversubscribed CI host is most of the signal.
+//!
+//! The rows ride inside `BENCH_kernels.json` (schema version 2) and are
+//! regression-gated cell by cell like the kernel grid; the futex-vs-condvar
+//! comparison additionally feeds the file's checked envelope: on a full
+//! run, the futex protocol's best round-trip must not lose to the condvar
+//! protocol's at any measured worker count.
+
+use afs_metrics::{AtomicHistogram, HistogramSnapshot};
+use afs_runtime::{BarrierKind, Pool, RuntimeScheduler};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Barrier protocols measured, in file order.
+pub const BARRIERS: [(&str, BarrierKind); 3] = [
+    ("condvar", BarrierKind::Condvar),
+    ("spin", BarrierKind::Spin),
+    ("futex", BarrierKind::Futex),
+];
+
+/// One measured (barrier, p) cell.
+#[derive(Clone, Debug)]
+pub struct RoundtripSample {
+    /// `"condvar"`, `"spin"` or `"futex"`.
+    pub barrier: &'static str,
+    /// Worker count.
+    pub p: usize,
+    /// Rounds measured (one histogram sample each).
+    pub rounds: u64,
+    /// Phases per round (the wall time of a round is divided by this).
+    pub phases: u64,
+    /// Σ wall time over all rounds, ns.
+    pub total_ns: u64,
+    /// Fastest round's ns per phase — the headline round-trip.
+    pub best_ns: u64,
+    /// Log₂ histogram of per-round ns-per-phase readings.
+    pub hist: HistogramSnapshot,
+}
+
+impl RoundtripSample {
+    /// Mean ns per phase over every round.
+    pub fn mean_ns(&self) -> f64 {
+        self.total_ns as f64 / (self.rounds * self.phases).max(1) as f64
+    }
+}
+
+/// Everything one barrier microbench run measured.
+#[derive(Clone, Debug)]
+pub struct BarrierBenchResult {
+    /// Shrunken smoke-test sizes?
+    pub quick: bool,
+    /// Worker counts measured.
+    pub p_values: Vec<usize>,
+    /// All measured cells, barrier-major.
+    pub samples: Vec<RoundtripSample>,
+}
+
+impl BarrierBenchResult {
+    /// Best round-trip (ns per phase) of one cell.
+    pub fn best_of(&self, barrier: &str, p: usize) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.barrier == barrier && s.p == p)
+            .map(|s| s.best_ns)
+    }
+
+    /// The checked-envelope comparison: `(p, futex_best, condvar_best)`
+    /// per measured worker count.
+    pub fn futex_vs_condvar(&self) -> Vec<(usize, u64, u64)> {
+        self.p_values
+            .iter()
+            .filter_map(|&p| Some((p, self.best_of("futex", p)?, self.best_of("condvar", p)?)))
+            .collect()
+    }
+
+    /// True when the futex protocol's best round-trip beats (or ties) the
+    /// condvar protocol's at every measured worker count.
+    pub fn futex_ok(&self) -> bool {
+        self.futex_vs_condvar()
+            .iter()
+            .all(|&(_, futex, condvar)| futex <= condvar)
+    }
+
+    /// Plain-text table: one row per (barrier, p) cell plus the verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "barrier round-trip — arrive→release ns per phase, best of rounds{}",
+            if self.quick { " (quick)" } else { "" }
+        );
+        let _ = writeln!(
+            out,
+            "{:<10}{:>4}{:>12}{:>12}{:>12}{:>12}",
+            "barrier", "P", "best ns", "mean ns", "p50 ns", "p99 ns"
+        );
+        for s in &self.samples {
+            let _ = writeln!(
+                out,
+                "{:<10}{:>4}{:>12}{:>12.0}{:>12.0}{:>12.0}",
+                s.barrier,
+                s.p,
+                s.best_ns,
+                s.mean_ns(),
+                s.hist.quantile(0.50),
+                s.hist.quantile(0.99),
+            );
+        }
+        for (p, futex, condvar) in self.futex_vs_condvar() {
+            let _ = writeln!(
+                out,
+                "  P={p}: futex {futex} ns vs condvar {condvar} ns ({})",
+                if futex <= condvar { "ok" } else { "SLOWER" }
+            );
+        }
+        out
+    }
+
+    /// The `barrier_samples` rows of `BENCH_kernels.json`: one object per
+    /// cell, histogram serialized as its non-empty log₂ buckets.
+    pub fn to_json_rows(&self) -> String {
+        let mut rows: Vec<String> = Vec::new();
+        for s in &self.samples {
+            let mut hist = String::from("[");
+            let mut first = true;
+            for (i, &count) in s.hist.counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    hist.push_str(", ");
+                }
+                first = false;
+                let _ = write!(hist, "{{\"log2_ns\": {i}, \"count\": {count}}}");
+            }
+            hist.push(']');
+            rows.push(format!(
+                "    {{\"barrier\": \"{}\", \"p\": {}, \"rounds\": {}, \"phases\": {}, \
+                 \"total_ns\": {}, \"best_ns\": {}, \"mean_ns\": {:.1}, \"hist\": {hist}}}",
+                s.barrier,
+                s.p,
+                s.rounds,
+                s.phases,
+                s.total_ns,
+                s.best_ns,
+                s.mean_ns(),
+            ));
+        }
+        rows.join(",\n")
+    }
+}
+
+/// Runs the microbench. `quick` shrinks worker counts and round counts for
+/// smoke tests/CI.
+pub fn run(quick: bool) -> BarrierBenchResult {
+    let (p_values, rounds, phases): (Vec<usize>, u64, u64) = if quick {
+        (vec![2, 4], 6, 24)
+    } else {
+        (vec![2, 4, 8], 24, 64)
+    };
+    let policy = RuntimeScheduler::static_partition();
+    let mut samples = Vec::new();
+    for (barrier, kind) in BARRIERS {
+        for &p in &p_values {
+            let pool = Pool::builder(p).barrier(kind).build();
+            let hist = AtomicHistogram::new();
+            let mut total_ns = 0u64;
+            let mut best_ns = u64::MAX;
+            for _ in 0..rounds {
+                let start = Instant::now();
+                // One iteration per worker per phase: the body is noise,
+                // the rendezvous is the measurement.
+                afs_runtime::parallel_phases(
+                    &pool,
+                    phases as usize,
+                    |_| p as u64,
+                    &policy,
+                    |_, _| {},
+                );
+                let ns = start.elapsed().as_nanos() as u64;
+                total_ns += ns;
+                let per_phase = ns / phases.max(1);
+                best_ns = best_ns.min(per_phase);
+                hist.record(per_phase);
+            }
+            samples.push(RoundtripSample {
+                barrier,
+                p,
+                rounds,
+                phases,
+                total_ns,
+                best_ns,
+                hist: hist.get(),
+            });
+        }
+    }
+    BarrierBenchResult {
+        quick,
+        p_values,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> BarrierBenchResult {
+        let cell = |barrier: &'static str, p: usize, best_ns: u64| {
+            let mut hist = HistogramSnapshot::default();
+            hist.counts[10] = 3;
+            hist.samples = 3;
+            hist.total_ns = best_ns * 3 + 300;
+            hist.max_ns = best_ns + 200;
+            RoundtripSample {
+                barrier,
+                p,
+                rounds: 3,
+                phases: 64,
+                total_ns: (best_ns + 100) * 3 * 64,
+                best_ns,
+                hist,
+            }
+        };
+        BarrierBenchResult {
+            quick: true,
+            p_values: vec![2, 4],
+            samples: vec![
+                cell("condvar", 2, 8_000),
+                cell("condvar", 4, 12_000),
+                cell("spin", 2, 900),
+                cell("spin", 4, 1_400),
+                cell("futex", 2, 1_000),
+                cell("futex", 4, 1_500),
+            ],
+        }
+    }
+
+    #[test]
+    fn futex_gate_compares_per_worker_count() {
+        let r = synthetic();
+        assert_eq!(
+            r.futex_vs_condvar(),
+            vec![(2, 1_000, 8_000), (4, 1_500, 12_000)]
+        );
+        assert!(r.futex_ok());
+        let mut slow = synthetic();
+        slow.samples
+            .iter_mut()
+            .find(|s| s.barrier == "futex" && s.p == 4)
+            .unwrap()
+            .best_ns = 20_000;
+        assert!(!slow.futex_ok());
+    }
+
+    #[test]
+    fn json_rows_parse_and_carry_the_histogram() {
+        let rows = format!("[\n{}\n]", synthetic().to_json_rows());
+        let v = afs_trace::json::parse(&rows).expect("valid JSON");
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 6);
+        let first = &arr[0];
+        assert_eq!(
+            first.get("barrier").and_then(|b| b.as_str()),
+            Some("condvar")
+        );
+        assert_eq!(first.get("best_ns").and_then(|b| b.as_f64()), Some(8_000.0));
+        let hist = first.get("hist").and_then(|h| h.as_array()).unwrap();
+        assert_eq!(hist[0].get("log2_ns").and_then(|l| l.as_f64()), Some(10.0));
+        assert_eq!(hist[0].get("count").and_then(|c| c.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn render_lists_every_cell_and_the_verdict() {
+        let text = synthetic().render();
+        assert!(text.contains("condvar"));
+        assert!(text.contains("futex"));
+        assert!(text.contains("ok"));
+    }
+
+    #[test]
+    fn quick_run_measures_the_grid() {
+        let r = run(true);
+        assert!(!r.samples.is_empty());
+        for (barrier, _) in BARRIERS {
+            for &p in &r.p_values {
+                let s = r
+                    .samples
+                    .iter()
+                    .find(|s| s.barrier == barrier && s.p == p)
+                    .expect("cell measured");
+                assert!(s.best_ns >= 1, "{barrier}/P={p}");
+                assert!(s.hist.samples == s.rounds, "{barrier}/P={p}");
+            }
+        }
+    }
+}

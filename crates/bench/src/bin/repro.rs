@@ -14,6 +14,11 @@
 //!                      # policies x barrier protocol x pinning, writes
 //!                      # BENCH_kernels.json (add --trace DIR for per-config
 //!                      # Chrome traces of the SOR runs)
+//! repro --bench-barrier
+//!                      # barrier round-trip microbench only: arrive→release
+//!                      # ns per phase for each barrier protocol x worker
+//!                      # count, printed without touching any BENCH file
+//!                      # (the same grid rides inside --bench-kernels)
 //! repro --bench-faults # fault-injection bench: delayed-start imbalance vs
 //!                      # the Theorem 3.2 bound plus a panic-containment
 //!                      # smoke, writes BENCH_faults.json
@@ -141,6 +146,7 @@ fn main() {
     let mut quick = false;
     let mut bench_grabs = false;
     let mut bench_kernels = false;
+    let mut bench_barrier = false;
     let mut bench_faults = false;
     let mut bench_serve = false;
     let mut format = "table";
@@ -197,6 +203,7 @@ fn main() {
             "--quick" | "-q" => quick = true,
             "--bench-grabs" => bench_grabs = true,
             "--bench-kernels" => bench_kernels = true,
+            "--bench-barrier" => bench_barrier = true,
             "--bench-faults" => bench_faults = true,
             "--bench-serve" => bench_serve = true,
             "--trace" => want_trace_dir = true,
@@ -229,7 +236,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
-                     [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-faults] \
+                     [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-barrier] \
+                     [--bench-faults] \
                      [--bench-serve] [--metrics [FILE.json|FILE.prom]] \
                      [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
@@ -318,6 +326,16 @@ fn main() {
                 Err(err) => eprintln!("trace: kernel captures failed: {err}"),
             }
         }
+        if !result.ok() {
+            eprintln!(
+                "bench-kernels: checked envelope violated \
+                 (futex round-trip or adaptive spin budget)"
+            );
+            std::process::exit(1);
+        }
+    }
+    if bench_barrier {
+        print!("{}", afs_bench::barrier::run(quick).render());
     }
     if bench_faults {
         let result = afs_bench::faults::run(quick);
@@ -359,7 +377,9 @@ fn main() {
             ),
         }
     }
-    if (bench_grabs || bench_kernels || bench_faults || bench_serve) && ids.is_empty() {
+    if (bench_grabs || bench_kernels || bench_barrier || bench_faults || bench_serve)
+        && ids.is_empty()
+    {
         return;
     }
     enum Job {

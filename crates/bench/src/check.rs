@@ -7,8 +7,10 @@
 //! * [`validate`] — structural schema check of one bench document: the
 //!   right `bench` tag, every sample row carrying every required field
 //!   with the right type, sane values (non-zero grab counts, `best_ns ≤
-//!   total_ns`, …). Accepts both schema version 0 (no `schema_version` /
-//!   `host` keys — the files this repo committed first) and version 1.
+//!   total_ns`, …). Accepts schema version 0 (no `schema_version` / `host`
+//!   keys — the files this repo committed first), version 1, and version 2
+//!   (kernels files carrying the barrier microbench and its checked
+//!   envelope).
 //! * [`compare`] — matches a fresh run against a baseline document cell by
 //!   cell (kernels keyed on `kernel`+`policy`+`barrier`+`pinned`, grabs on
 //!   `protocol`+`policy`+`impl`+`p`) and flags cells slower than
@@ -79,17 +81,17 @@ fn bool_of(v: &Value, key: &str) -> Option<bool> {
     v.get(key).and_then(Value::as_bool)
 }
 
-/// Checks the version-1 additions when present. Version 0 files (no
+/// Checks the version-1/2 additions when present. Version 0 files (no
 /// `schema_version`) are fine; claiming a version we don't know is not.
 fn validate_envelope(doc: &Value, errs: &mut Vec<String>) {
     match doc.get("schema_version") {
         None => {} // version 0: pre-host files, still decodable
         Some(v) => match v.as_f64() {
-            Some(n) if n != 1.0 => errs.push(format!("unknown schema_version {n}")),
+            Some(n) if n != 1.0 && n != 2.0 => errs.push(format!("unknown schema_version {n}")),
             None => errs.push("schema_version must be a number".into()),
             Some(_) => {
                 let Some(host) = doc.get("host") else {
-                    errs.push("schema_version 1 requires a host block".into());
+                    errs.push("schema_version >= 1 requires a host block".into());
                     return;
                 };
                 if num_of(host, "cpus").is_none_or(|c| c < 1.0) {
@@ -152,8 +154,8 @@ fn validate_kernel_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
         errs.push(format!("{}: must be a string", at("policy")));
     }
     match str_of(s, "barrier") {
-        Some("condvar") | Some("spin") => {}
-        _ => errs.push(format!("{}: must be condvar|spin", at("barrier"))),
+        Some("condvar") | Some("spin") | Some("futex") => {}
+        _ => errs.push(format!("{}: must be condvar|spin|futex", at("barrier"))),
     }
     if bool_of(s, "pinned").is_none() {
         errs.push(format!("{}: must be a boolean", at("pinned")));
@@ -337,6 +339,86 @@ fn validate_serve_envelope(doc: &Value, errs: &mut Vec<String>) {
     }
 }
 
+/// The kernels bench grew its own envelope at schema version 2: the
+/// barrier round-trip rows and two raw-speed gates (futex must not lose to
+/// condvar, the adaptive spin budget must land within 10% of the best
+/// static budget). Earlier versions predate all of it and stay valid.
+fn validate_kernels_envelope(doc: &Value, errs: &mut Vec<String>) {
+    if doc.get("schema_version").and_then(Value::as_f64) != Some(2.0) {
+        return;
+    }
+    let checked = bool_of(doc, "checked");
+    if checked.is_none() {
+        errs.push("kernels v2 requires a checked boolean".into());
+    }
+    if bool_of(doc, "quick") == Some(false) && checked == Some(false) {
+        errs.push("full kernel runs must gate the envelope (checked=false)".into());
+    }
+    match doc.get("barrier_samples").and_then(Value::as_array) {
+        None | Some([]) => errs.push("kernels v2 requires non-empty barrier_samples".into()),
+        Some(rows) => {
+            for (i, s) in rows.iter().enumerate() {
+                let at = |field: &str| format!("barrier_samples[{i}].{field}");
+                match str_of(s, "barrier") {
+                    Some("condvar") | Some("spin") | Some("futex") => {}
+                    _ => errs.push(format!("{}: must be condvar|spin|futex", at("barrier"))),
+                }
+                for field in ["p", "rounds", "phases"] {
+                    if num_of(s, field).is_none_or(|v| v < 1.0) {
+                        errs.push(format!("{}: must be a number >= 1", at(field)));
+                    }
+                }
+                match (num_of(s, "best_ns"), num_of(s, "total_ns")) {
+                    (Some(best), Some(total)) if best >= 1.0 && best <= total => {}
+                    (Some(_), Some(_)) => errs.push(format!(
+                        "{}: best_ns must satisfy 1 <= best_ns <= total_ns",
+                        at("best_ns")
+                    )),
+                    _ => errs.push(format!("{}/total_ns: must be numbers", at("best_ns"))),
+                }
+                if s.get("hist").and_then(Value::as_array).is_none() {
+                    errs.push(format!("{}: must be an array", at("hist")));
+                }
+            }
+        }
+    }
+    match doc.get("futex_vs_condvar").and_then(Value::as_array) {
+        None | Some([]) => errs.push("kernels v2 requires non-empty futex_vs_condvar".into()),
+        Some(rows) => {
+            for (i, r) in rows.iter().enumerate() {
+                let ok = bool_of(r, "ok");
+                if ok.is_none() {
+                    errs.push(format!("futex_vs_condvar[{i}].ok: must be a boolean"));
+                }
+                // The gate itself: a checked run where the futex protocol
+                // lost is a validation failure, not just a regression.
+                if checked == Some(true) && ok == Some(false) {
+                    errs.push(format!(
+                        "checked kernels run: futex round-trip lost to condvar at P={}",
+                        num_of(r, "p").unwrap_or(0.0)
+                    ));
+                }
+            }
+        }
+    }
+    match doc.get("adaptive_sor") {
+        None => errs.push("kernels v2 requires an adaptive_sor block".into()),
+        Some(a) => {
+            let within = bool_of(a, "within_10pct");
+            if within.is_none() {
+                errs.push("adaptive_sor.within_10pct must be a boolean".into());
+            }
+            if checked == Some(true) && within == Some(false) {
+                errs.push(
+                    "checked kernels run: adaptive spin budget landed outside \
+                     10% of the best static budget"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
 /// Validates one bench document structurally. Returns which bench it is,
 /// or every problem found (never just the first — a corrupted file should
 /// be diagnosable in one run).
@@ -368,6 +450,9 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
     }
     if kind == Some(BenchKind::Serve) {
         validate_serve_envelope(doc, &mut errs);
+    }
+    if kind == Some(BenchKind::Kernels) {
+        validate_kernels_envelope(doc, &mut errs);
     }
     match doc.get("samples").and_then(Value::as_array) {
         None => errs.push("samples must be an array".into()),
@@ -486,12 +571,29 @@ pub fn compare(
         }
     }
     let rows = |d: &Value| -> Vec<(String, f64)> {
-        d.get("samples")
+        let mut cells: Vec<(String, f64)> = d
+            .get("samples")
             .and_then(Value::as_array)
             .unwrap_or(&[])
             .iter()
             .filter_map(|s| cell(cur_kind, s))
-            .collect()
+            .collect();
+        if cur_kind == BenchKind::Kernels {
+            // Schema-v2 kernels files also carry the barrier microbench
+            // grid; each cell regression-gates on its best round-trip.
+            for s in d
+                .get("barrier_samples")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+            {
+                if let (Some(b), Some(p), Some(best)) =
+                    (str_of(s, "barrier"), num_of(s, "p"), num_of(s, "best_ns"))
+                {
+                    cells.push((format!("barrier-rt/{b}/P={p}"), best));
+                }
+            }
+        }
+        cells
     };
     let base_rows = rows(baseline);
     for (key, cur) in rows(current) {
@@ -729,6 +831,82 @@ mod tests {
             c.regressions
         );
         assert_eq!(c.compared, 2);
+    }
+
+    fn kernels_v2_doc(
+        quick: bool,
+        checked: bool,
+        futex_ok: bool,
+        within: bool,
+        futex_best: u64,
+    ) -> String {
+        format!(
+            r#"{{"bench": "kernels", "schema_version": 2,
+                 "host": {{"cpus": 8, "kernel": "6.1", "os": "linux", "arch": "x86_64", "pin_capable": true}},
+                 "quick": {quick}, "checked": {checked},
+                 "samples": [
+                   {{"kernel": "sor", "policy": "AFS", "barrier": "futex",
+                     "pinned": false, "p": 8, "phases": 10, "iters": 100,
+                     "reps": 3, "total_ns": 300, "best_ns": 90}}
+                 ],
+                 "barrier_samples": [
+                   {{"barrier": "condvar", "p": 2, "rounds": 24, "phases": 64,
+                     "total_ns": 20000000, "best_ns": 9000, "mean_ns": 9500.0,
+                     "hist": [{{"log2_ns": 13, "count": 24}}]}},
+                   {{"barrier": "futex", "p": 2, "rounds": 24, "phases": 64,
+                     "total_ns": 4000000, "best_ns": {futex_best}, "mean_ns": 1500.0,
+                     "hist": [{{"log2_ns": 10, "count": 24}}]}}
+                 ],
+                 "futex_vs_condvar": [
+                   {{"p": 2, "futex_best_ns": {futex_best}, "condvar_best_ns": 9000, "ok": {futex_ok}}}
+                 ],
+                 "adaptive_sor": {{"static_budgets": [64, 4096, 65536],
+                                   "static_best_ns": [12000000, 10000000, 11000000],
+                                   "adaptive_best_ns": 10500000, "final_budget": 2048,
+                                   "within_10pct": {within}}}}}"#
+        )
+    }
+
+    #[test]
+    fn kernels_v2_documents_validate_and_gate_the_envelope() {
+        let good = parse(&kernels_v2_doc(false, true, true, true, 1_200)).unwrap();
+        assert_eq!(validate(&good), Ok(BenchKind::Kernels));
+
+        // A checked run where the futex protocol lost is a hard failure.
+        let lost = parse(&kernels_v2_doc(false, true, false, true, 50_000)).unwrap();
+        let errs = validate(&lost).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("futex")), "{errs:?}");
+
+        // So is an adaptive budget outside 10% of the best static one.
+        let drifted = parse(&kernels_v2_doc(false, true, true, false, 1_200)).unwrap();
+        let errs = validate(&drifted).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("adaptive")), "{errs:?}");
+
+        // A full run cannot dodge the gate by flipping checked off.
+        let dodge = parse(&kernels_v2_doc(false, false, false, false, 50_000)).unwrap();
+        let errs = validate(&dodge).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("must gate")), "{errs:?}");
+
+        // Quick smoke runs report without gating.
+        let quick = parse(&kernels_v2_doc(true, false, false, false, 50_000)).unwrap();
+        assert_eq!(validate(&quick), Ok(BenchKind::Kernels));
+    }
+
+    #[test]
+    fn kernels_v2_barrier_cells_are_regression_gated() {
+        let base = parse(&kernels_v2_doc(false, true, true, true, 1_200)).unwrap();
+        let slow = parse(&kernels_v2_doc(false, true, true, true, 8_000)).unwrap();
+        let c = compare(&slow, &base, 0.30).unwrap();
+        assert!(!c.ok());
+        assert!(
+            c.regressions
+                .iter()
+                .any(|r| r.contains("barrier-rt/futex/P=2")),
+            "{:?}",
+            c.regressions
+        );
+        // 1 kernel cell + 2 barrier cells on each side.
+        assert_eq!(c.compared, 3);
     }
 
     #[test]

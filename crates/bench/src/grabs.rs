@@ -465,6 +465,7 @@ mod tests {
             n: 100,
             host: HostInfo {
                 cpus: 8,
+                numa_nodes: 1,
                 kernel: "6.1.0-test".into(),
                 os: "linux".into(),
                 arch: "x86_64".into(),

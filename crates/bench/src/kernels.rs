@@ -5,7 +5,7 @@
 //! and transitive closure driven through `parallel_phases` on a live
 //! worker pool — across the grid
 //!
-//! > policies × {condvar, spin} barrier × {pinned, unpinned}
+//! > policies × {condvar, spin, futex} barrier × {pinned, unpinned}
 //!
 //! at `P = 8` workers. The kernels are deliberately sized so the loop
 //! bodies are short: SOR runs hundreds of steps × 2 phases over a small
@@ -30,15 +30,17 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema version of `BENCH_kernels.json`. Version 1 added the `host`
-/// block; files without a `schema_version` key are version 0 and stay
-/// decodable.
-pub const SCHEMA_VERSION: u64 = 1;
+/// block; version 2 added the `futex` barrier column, the
+/// `barrier_samples` round-trip microbench rows, the adaptive-spin
+/// ablation and the `checked` envelope. Files without a `schema_version`
+/// key are version 0 and stay decodable.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Workers for every cell: the paper's P=8 configuration.
 pub const P: usize = 8;
 
 /// Barrier protocols measured.
-pub const BARRIERS: [&str; 2] = ["condvar", "spin"];
+pub const BARRIERS: [&str; 3] = ["condvar", "spin", "futex"];
 
 /// Kernels measured.
 pub const KERNELS: [&str; 3] = ["sor", "gauss", "tc"];
@@ -50,7 +52,7 @@ pub struct KernelSample {
     pub kernel: &'static str,
     /// Policy name (matches `RuntimeScheduler::name`).
     pub policy: String,
-    /// `"condvar"` or `"spin"`.
+    /// `"condvar"`, `"spin"` or `"futex"`.
     pub barrier: &'static str,
     /// Workers pinned to cores?
     pub pinned: bool,
@@ -75,6 +77,35 @@ impl KernelSample {
     }
 }
 
+/// The adaptive-spin ablation on the headline workload: SOR under AFS,
+/// unpinned, spin barrier, measured at several static spin budgets and
+/// once with the feedback controller. The checked envelope demands the
+/// controller land within 10% of the best static configuration — the
+/// self-sizing budget must not cost what it saves.
+#[derive(Clone, Debug)]
+pub struct AdaptiveSor {
+    /// Static spin budgets measured (iterations).
+    pub static_budgets: Vec<u32>,
+    /// Best-of-reps makespan per static budget, ns (same order).
+    pub static_best_ns: Vec<u64>,
+    /// Best-of-reps makespan with the adaptive controller, ns.
+    pub adaptive_best_ns: u64,
+    /// The budget the controller settled on by the end of the run.
+    pub final_budget: u32,
+}
+
+impl AdaptiveSor {
+    /// Fastest static configuration's makespan, ns.
+    pub fn best_static_ns(&self) -> u64 {
+        self.static_best_ns.iter().copied().min().unwrap_or(1)
+    }
+
+    /// The gate: adaptive within 10% of the best static budget.
+    pub fn within_10pct(&self) -> bool {
+        self.adaptive_best_ns as f64 <= self.best_static_ns() as f64 * 1.10
+    }
+}
+
 /// Everything one bench run measured.
 #[derive(Clone, Debug)]
 pub struct KernelBenchResult {
@@ -88,6 +119,13 @@ pub struct KernelBenchResult {
     pub host: HostInfo,
     /// All measured cells.
     pub samples: Vec<KernelSample>,
+    /// The arrive→release round-trip microbench (`barrier_samples` rows).
+    pub barrier: crate::barrier::BarrierBenchResult,
+    /// The adaptive-spin ablation on the SOR headline.
+    pub adaptive: AdaptiveSor,
+    /// Full runs gate the futex and adaptive envelopes; quick smoke runs
+    /// report without gating.
+    pub checked: bool,
     /// Always-on runtime metrics merged over every pool the grid used
     /// (perf events requested; counters-only where the kernel refuses).
     /// Exported separately via `repro --metrics`, not serialized into
@@ -131,6 +169,14 @@ impl KernelBenchResult {
         self.spin_speedup("sor", "AFS", false)
     }
 
+    /// The checked envelope's verdict: on a full run, the futex round-trip
+    /// must not lose to condvar at any worker count, and the adaptive spin
+    /// budget must land within 10% of the best static configuration.
+    /// Quick runs always pass (sizes too small to gate on).
+    pub fn ok(&self) -> bool {
+        !self.checked || (self.barrier.futex_ok() && self.adaptive.within_10pct())
+    }
+
     /// Distinct policy names, in first-seen order.
     fn policies(&self) -> Vec<&str> {
         let mut out: Vec<&str> = Vec::new();
@@ -162,14 +208,15 @@ impl KernelBenchResult {
             );
             let _ = writeln!(
                 out,
-                "{:<12}{:<8}{:>13}{:>13}{:>8}",
-                "policy", "pinned", "condvar ms", "spin ms", "spin×"
+                "{:<12}{:<8}{:>13}{:>13}{:>13}{:>8}",
+                "policy", "pinned", "condvar ms", "spin ms", "futex ms", "spin×"
             );
             for policy in self.policies() {
                 for pinned in [false, true] {
                     let cv = self.best_of(kernel, policy, "condvar", pinned);
                     let sp = self.best_of(kernel, policy, "spin", pinned);
-                    if cv.is_none() && sp.is_none() {
+                    let fx = self.best_of(kernel, policy, "futex", pinned);
+                    if cv.is_none() && sp.is_none() && fx.is_none() {
                         continue;
                     }
                     let cell = |v: Option<f64>| match v {
@@ -182,11 +229,12 @@ impl KernelBenchResult {
                     };
                     let _ = writeln!(
                         out,
-                        "{:<12}{:<8}{:>13}{:>13}{:>8}",
+                        "{:<12}{:<8}{:>13}{:>13}{:>13}{:>8}",
                         policy,
                         if pinned { "yes" } else { "no" },
                         cell(cv),
                         cell(sp),
+                        cell(fx),
                         ratio,
                     );
                 }
@@ -209,6 +257,25 @@ impl KernelBenchResult {
                 "headline: SOR/AFS spin-over-condvar at P={}: {h:.2}x",
                 self.p
             );
+        }
+        out.push_str(&self.barrier.render());
+        let a = &self.adaptive;
+        let _ = writeln!(
+            out,
+            "adaptive spin (SOR/AFS): {:.2} ms vs best static {:.2} ms \
+             (budgets {:?}, settled at {}) — {}",
+            a.adaptive_best_ns as f64 / 1e6,
+            a.best_static_ns() as f64 / 1e6,
+            a.static_budgets,
+            a.final_budget,
+            if a.within_10pct() {
+                "within 10%"
+            } else {
+                "OUTSIDE 10%"
+            }
+        );
+        if self.checked && !self.ok() {
+            let _ = writeln!(out, "CHECKED ENVELOPE VIOLATED (see above)");
         }
         out
     }
@@ -282,7 +349,37 @@ impl KernelBenchResult {
             }
         }
         out.push_str(&rows.join(",\n"));
-        out.push_str("\n  ]");
+        out.push_str("\n  ],\n  \"barrier_samples\": [\n");
+        out.push_str(&self.barrier.to_json_rows());
+        out.push_str("\n  ],\n  \"futex_vs_condvar\": [\n");
+        let rows: Vec<String> = self
+            .barrier
+            .futex_vs_condvar()
+            .iter()
+            .map(|&(p, futex, condvar)| {
+                format!(
+                    "    {{\"p\": {p}, \"futex_best_ns\": {futex}, \
+                     \"condvar_best_ns\": {condvar}, \"ok\": {}}}",
+                    futex <= condvar
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        let a = &self.adaptive;
+        let budgets: Vec<String> = a.static_budgets.iter().map(u32::to_string).collect();
+        let statics: Vec<String> = a.static_best_ns.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "\n  ],\n  \"adaptive_sor\": {{\"static_budgets\": [{}], \
+             \"static_best_ns\": [{}], \"adaptive_best_ns\": {}, \
+             \"final_budget\": {}, \"within_10pct\": {}}},\n  \"checked\": {}",
+            budgets.join(", "),
+            statics.join(", "),
+            a.adaptive_best_ns,
+            a.final_budget,
+            a.within_10pct(),
+            self.checked
+        );
         if let Some(h) = self.headline() {
             let _ = write!(out, ",\n  \"headline_sor_afs_spin_over_condvar\": {h:.2}");
         }
@@ -386,6 +483,43 @@ fn run_kernel(
     }
 }
 
+/// The adaptive-spin ablation: SOR under AFS, unpinned, spin barrier, at
+/// several static budgets and once with the controller. Best-of-reps per
+/// configuration, same as the main grid.
+fn run_adaptive_sor(sizes: &Sizes) -> AdaptiveSor {
+    let policy = RuntimeScheduler::afs_k_equals_p();
+    let best_of = |pool: &Pool| {
+        let mut best = u64::MAX;
+        for _ in 0..sizes.reps {
+            let (_, _, ns) = run_kernel("sor", pool, &policy, sizes);
+            best = best.min(ns);
+        }
+        best
+    };
+    let static_budgets: Vec<u32> = vec![64, 4_096, 65_536];
+    let static_best_ns: Vec<u64> = static_budgets
+        .iter()
+        .map(|&spins| {
+            let pool = Pool::builder(P)
+                .barrier(BarrierKind::Spin)
+                .spin_budget(spins, 64)
+                .build();
+            best_of(&pool)
+        })
+        .collect();
+    let pool = Pool::builder(P)
+        .barrier(BarrierKind::Spin)
+        .adaptive_spin(true)
+        .build();
+    let adaptive_best_ns = best_of(&pool);
+    AdaptiveSor {
+        static_budgets,
+        static_best_ns,
+        adaptive_best_ns,
+        final_budget: pool.current_spin_budget(),
+    }
+}
+
 /// Runs the full grid. `quick` shrinks sizes for smoke tests/CI.
 pub fn run(quick: bool) -> KernelBenchResult {
     let sizes = Sizes::of(quick);
@@ -395,6 +529,7 @@ pub fn run(quick: bool) -> KernelBenchResult {
     for (barrier, kind) in [
         ("condvar", BarrierKind::Condvar),
         ("spin", BarrierKind::Spin),
+        ("futex", BarrierKind::Futex),
     ] {
         for pinned in [false, true] {
             // One pool per (barrier, pinned) config, reused across every
@@ -439,12 +574,19 @@ pub fn run(quick: bool) -> KernelBenchResult {
             metrics.merge(&pool.metrics().snapshot());
         }
     }
+    let barrier = crate::barrier::run(quick);
+    let adaptive = run_adaptive_sor(&sizes);
     KernelBenchResult {
         quick,
         p: P,
         sor_steps: sizes.sor_steps as u64,
         host: HostInfo::capture(pin_ok),
         samples,
+        barrier,
+        adaptive,
+        // Full runs gate the futex round-trip and the adaptive budget;
+        // quick smoke sizes are too small to make the comparison fair.
+        checked: !quick,
         metrics,
     }
 }
@@ -505,12 +647,29 @@ mod tests {
             total_ns: best_ns * 3,
             best_ns,
         };
+        let rt = |barrier: &'static str, p: usize, best_ns: u64| {
+            let mut hist = afs_metrics::HistogramSnapshot::default();
+            hist.counts[12] = 2;
+            hist.samples = 2;
+            hist.total_ns = best_ns * 2 + 100;
+            hist.max_ns = best_ns + 100;
+            crate::barrier::RoundtripSample {
+                barrier,
+                p,
+                rounds: 2,
+                phases: 64,
+                total_ns: (best_ns + 50) * 2 * 64,
+                best_ns,
+                hist,
+            }
+        };
         KernelBenchResult {
             quick: true,
             p: 8,
             sor_steps: 200,
             host: HostInfo {
                 cpus: 8,
+                numa_nodes: 1,
                 kernel: "6.1.0-test".into(),
                 os: "linux".into(),
                 arch: "x86_64".into(),
@@ -519,9 +678,27 @@ mod tests {
             samples: vec![
                 cell("condvar", false, 30_000_000),
                 cell("spin", false, 10_000_000),
+                cell("futex", false, 9_500_000),
                 cell("condvar", true, 27_000_000),
                 cell("spin", true, 9_000_000),
+                cell("futex", true, 8_800_000),
             ],
+            barrier: crate::barrier::BarrierBenchResult {
+                quick: true,
+                p_values: vec![2],
+                samples: vec![
+                    rt("condvar", 2, 9_000),
+                    rt("spin", 2, 1_100),
+                    rt("futex", 2, 1_200),
+                ],
+            },
+            adaptive: AdaptiveSor {
+                static_budgets: vec![64, 4_096, 65_536],
+                static_best_ns: vec![12_000_000, 10_000_000, 11_000_000],
+                adaptive_best_ns: 10_500_000,
+                final_budget: 2_048,
+            },
+            checked: false,
             metrics: MetricsSnapshot::empty(8),
         }
     }
@@ -540,7 +717,7 @@ mod tests {
         let json = synthetic().to_json();
         let v = afs_trace::json::parse(&json).expect("valid JSON");
         assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("kernels"));
-        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(1.0));
+        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(2.0));
         let host = v.get("host").expect("host block");
         assert_eq!(host.get("cpus").and_then(|c| c.as_f64()), Some(8.0));
         assert_eq!(
@@ -549,7 +726,7 @@ mod tests {
         );
         assert_eq!(v.get("p").and_then(|p| p.as_f64()), Some(8.0));
         let samples = v.get("samples").and_then(|s| s.as_array()).unwrap();
-        assert_eq!(samples.len(), 4);
+        assert_eq!(samples.len(), 6);
         assert_eq!(
             samples[0].get("barrier").and_then(|b| b.as_str()),
             Some("condvar")
@@ -561,6 +738,44 @@ mod tests {
         assert_eq!(sp[0].get("speedup").and_then(|s| s.as_f64()), Some(3.0));
         assert!(v.get("headline_sor_afs_spin_over_condvar").is_some());
         assert!(v.get("pin_speedup_unpinned_over_pinned").is_some());
+        // Version-2 additions: round-trip rows, the comparison, the
+        // ablation and the checked flag.
+        let rt = v.get("barrier_samples").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(rt.len(), 3);
+        let fvc = v
+            .get("futex_vs_condvar")
+            .and_then(|s| s.as_array())
+            .unwrap();
+        assert_eq!(fvc[0].get("ok").and_then(|o| o.as_bool()), Some(true));
+        let a = v.get("adaptive_sor").expect("adaptive block");
+        assert_eq!(a.get("within_10pct").and_then(|w| w.as_bool()), Some(true));
+        assert_eq!(
+            a.get("final_budget").and_then(|b| b.as_f64()),
+            Some(2_048.0)
+        );
+        assert_eq!(v.get("checked").and_then(|c| c.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn envelope_gates_futex_and_adaptive_on_checked_runs() {
+        let mut r = synthetic();
+        assert!(r.ok(), "unchecked runs never fail the envelope");
+        r.checked = true;
+        assert!(r.ok(), "synthetic numbers satisfy both gates");
+        // Futex losing the round-trip fails a checked run.
+        r.barrier
+            .samples
+            .iter_mut()
+            .find(|s| s.barrier == "futex")
+            .unwrap()
+            .best_ns = 50_000;
+        assert!(!r.ok());
+        // So does an adaptive budget outside the 10% envelope.
+        let mut r = synthetic();
+        r.checked = true;
+        r.adaptive.adaptive_best_ns = 12_000_000;
+        assert!(!r.adaptive.within_10pct());
+        assert!(!r.ok());
     }
 
     #[test]

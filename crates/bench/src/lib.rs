@@ -7,6 +7,7 @@
 //! the repository root records paper-vs-measured for each.
 
 pub mod ablations;
+pub mod barrier;
 pub mod check;
 pub mod experiments;
 pub mod faults;

@@ -530,6 +530,7 @@ mod tests {
             p: P,
             host: HostInfo {
                 cpus: 8,
+                numa_nodes: 1,
                 kernel: "6.1.0-test".into(),
                 os: "linux".into(),
                 arch: "x86_64".into(),

@@ -19,6 +19,9 @@ pub struct HostInfo {
     pub arch: String,
     /// Whether worker threads could be pinned to cores.
     pub pin_capable: bool,
+    /// NUMA nodes with CPUs (`/sys/devices/system/node/`); 1 when the
+    /// host exposes no topology (UMA, non-Linux, restricted sysfs).
+    pub numa_nodes: usize,
 }
 
 impl HostInfo {
@@ -37,20 +40,41 @@ impl HostInfo {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             pin_capable,
+            numa_nodes: count_numa_nodes(),
         }
     }
 
     /// The `"host": {...}` JSON object fragment (no trailing comma).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"cpus\": {}, \"kernel\": \"{}\", \"os\": \"{}\", \"arch\": \"{}\", \"pin_capable\": {}}}",
+            "{{\"cpus\": {}, \"kernel\": \"{}\", \"os\": \"{}\", \"arch\": \"{}\", \"pin_capable\": {}, \"numa_nodes\": {}}}",
             self.cpus,
             escape(&self.kernel),
             escape(&self.os),
             escape(&self.arch),
-            self.pin_capable
+            self.pin_capable,
+            self.numa_nodes
         )
     }
+}
+
+/// Counts `nodeN` entries under `/sys/devices/system/node/`. Returns 1
+/// whenever the directory is unreadable or empty, so UMA and NUMA-blind
+/// hosts read naturally as "one node".
+fn count_numa_nodes() -> usize {
+    let Ok(entries) = std::fs::read_dir("/sys/devices/system/node") else {
+        return 1;
+    };
+    let n = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .and_then(|name| name.strip_prefix("node"))
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        })
+        .count();
+    n.max(1)
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -82,6 +106,7 @@ mod tests {
         assert!(!h.os.is_empty());
         assert!(!h.arch.is_empty());
         assert!(h.pin_capable);
+        assert!(h.numa_nodes >= 1);
     }
 
     #[test]
@@ -92,12 +117,14 @@ mod tests {
             os: "linux".into(),
             arch: "x86_64".into(),
             pin_capable: false,
+            numa_nodes: 2,
         };
         let j = h.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"cpus\": 8"));
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"pin_capable\": false"));
+        assert!(j.contains("\"numa_nodes\": 2"));
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct MetricsRegistry {
     deadline_misses: AtomicU64,
     /// Per-worker core-pin outcome (unknown / failed / pinned).
     pins: Vec<AtomicU8>,
+    /// Per-worker pinned core id (`u64::MAX` = not pinned / unknown).
+    cores: Vec<AtomicU64>,
+    /// Per-worker NUMA node id (`u64::MAX` = not placed / unknown).
+    nodes: Vec<AtomicU64>,
     /// Workers that actually started. Equals `workers.len()` unless the
     /// pool degraded at spawn time (thread creation failed).
     effective_workers: AtomicUsize,
@@ -83,6 +87,8 @@ impl MetricsRegistry {
             stalls_by_worker: (0..p).map(|_| AtomicU64::new(0)).collect(),
             deadline_misses: AtomicU64::new(0),
             pins: (0..p).map(|_| AtomicU8::new(PIN_UNKNOWN)).collect(),
+            cores: (0..p).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            nodes: (0..p).map(|_| AtomicU64::new(u64::MAX)).collect(),
             effective_workers: AtomicUsize::new(p),
         }
     }
@@ -179,6 +185,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records where worker `w` landed: its pinned core and the NUMA node
+    /// that core belongs to (called once per worker after a successful
+    /// pin; never called when pinning failed or was not requested).
+    pub fn set_worker_placement(&self, w: usize, core: usize, node: usize) {
+        self.cores[w].store(core as u64, Ordering::Relaxed);
+        self.nodes[w].store(node as u64, Ordering::Relaxed);
+    }
+
+    /// The core worker `w` is pinned to, if placement was recorded.
+    pub fn worker_core(&self, w: usize) -> Option<usize> {
+        match self.cores[w].load(Ordering::Relaxed) {
+            u64::MAX => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// The NUMA node worker `w`'s core belongs to, if placement was
+    /// recorded.
+    pub fn worker_node(&self, w: usize) -> Option<usize> {
+        match self.nodes[w].load(Ordering::Relaxed) {
+            u64::MAX => None,
+            n => Some(n as usize),
+        }
+    }
+
     /// Records how many workers actually started (pool spawn degradation).
     pub fn set_effective_workers(&self, n: usize) {
         self.effective_workers.store(n, Ordering::Relaxed);
@@ -203,6 +234,8 @@ impl MetricsRegistry {
                 counters: counters.get(),
                 perf: perf.lock().unwrap().as_ref().map(|g| g.read()),
                 pinned: self.pin_status(w),
+                pinned_core: self.worker_core(w),
+                numa_node: self.worker_node(w),
                 stalls: self.worker_stalls(w),
             })
             .collect();
@@ -271,6 +304,20 @@ mod tests {
         // An out-of-range worker still counts globally (defensive).
         reg.record_stall(99);
         assert_eq!(reg.stalls(), 4);
+    }
+
+    #[test]
+    fn placement_is_unknown_until_recorded() {
+        let reg = MetricsRegistry::new(2);
+        assert_eq!(reg.worker_core(0), None);
+        assert_eq!(reg.worker_node(0), None);
+        reg.set_worker_placement(1, 5, 1);
+        assert_eq!(reg.worker_core(1), Some(5));
+        assert_eq!(reg.worker_node(1), Some(1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.workers[0].pinned_core, None);
+        assert_eq!(snap.workers[1].pinned_core, Some(5));
+        assert_eq!(snap.workers[1].numa_node, Some(1));
     }
 
     #[test]

@@ -25,8 +25,10 @@ use crate::serve::ServeSnapshot;
 /// registry-level `stalls_detected`, `deadline_misses` and
 /// `effective_workers`. Version 3 added per-worker `stalls` attribution
 /// and the optional `serve` block (per-tenant request accounting and
-/// latency quantiles from the serving frontend).
-pub const METRICS_SCHEMA_VERSION: u64 = 3;
+/// latency quantiles from the serving frontend). Version 4 added the futex
+/// syscall counters (`barrier_futex_wait`, `futex_wake`) and per-worker
+/// placement (`pinned_core`, `numa_node`).
+pub const METRICS_SCHEMA_VERSION: u64 = 4;
 
 /// One worker's slice of a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -38,6 +40,10 @@ pub struct WorkerSnapshot {
     /// Core-pin outcome: `None` when pinning was never attempted,
     /// otherwise whether `sched_setaffinity` succeeded for this worker.
     pub pinned: Option<bool>,
+    /// The core this worker is pinned to (`None` when unpinned).
+    pub pinned_core: Option<usize>,
+    /// The NUMA node the pinned core belongs to (`None` when unpinned).
+    pub numa_node: Option<usize>,
     /// Stall observations the watchdog attributed to this worker.
     pub stalls: u64,
 }
@@ -130,6 +136,8 @@ impl MetricsSnapshot {
                         (cur, _) => *cur,
                     },
                     pinned: w.pinned,
+                    pinned_core: w.pinned_core,
+                    numa_node: w.numa_node,
                     stalls: w.stalls.saturating_sub(b.map(|b| b.stalls).unwrap_or(0)),
                 }
             })
@@ -170,6 +178,10 @@ impl MetricsSnapshot {
                 (None, b) => b,
                 (a, None) => a,
             };
+            // Placement: keep ours unless we have none (merging pools on
+            // different cores has no single right answer; first one wins).
+            mine.pinned_core = mine.pinned_core.or(theirs.pinned_core);
+            mine.numa_node = mine.numa_node.or(theirs.numa_node);
             mine.stalls += theirs.stalls;
         }
         self.phase_ns.add(&other.phase_ns);
@@ -227,13 +239,17 @@ impl MetricsSnapshot {
         out.push_str(",\n");
         out.push_str("  \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
+            let opt_usize = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
             out.push_str(&format!(
-                "    {{\"worker\": {i}, \"pinned\": {}, \"stalls\": {}, \
+                "    {{\"worker\": {i}, \"pinned\": {}, \"pinned_core\": {}, \
+                 \"numa_node\": {}, \"stalls\": {}, \
                  \"counters\": {}, \"perf\": {}}}{}\n",
                 match w.pinned {
                     Some(b) => b.to_string(),
                     None => "null".to_string(),
                 },
+                opt_usize(w.pinned_core),
+                opt_usize(w.numa_node),
                 w.stalls,
                 counters_json(&w.counters),
                 match &w.perf {
@@ -324,6 +340,17 @@ impl MetricsSnapshot {
             }
         }
 
+        out.push_str("# HELP afs_futex_syscalls_total futex(2) syscalls issued by workers.\n");
+        out.push_str("# TYPE afs_futex_syscalls_total counter\n");
+        for (w, ws) in self.workers.iter().enumerate() {
+            let c = &ws.counters;
+            for (op, v) in [("wait", c.barrier_futex_wait), ("wake", c.futex_wake)] {
+                out.push_str(&format!(
+                    "afs_futex_syscalls_total{{worker=\"{w}\",op=\"{op}\"}} {v}\n"
+                ));
+            }
+        }
+
         for (name, help, get) in [
             (
                 "afs_perf_llc_misses_total",
@@ -401,6 +428,16 @@ impl MetricsSnapshot {
             }
         }
 
+        if self.workers.iter().any(|w| w.numa_node.is_some()) {
+            out.push_str("# HELP afs_worker_node NUMA node of the worker's pinned core.\n");
+            out.push_str("# TYPE afs_worker_node gauge\n");
+            for (w, ws) in self.workers.iter().enumerate() {
+                if let Some(n) = ws.numa_node {
+                    out.push_str(&format!("afs_worker_node{{worker=\"{w}\"}} {n}\n"));
+                }
+            }
+        }
+
         out.push_str("# HELP afs_effective_workers Workers that actually started.\n");
         out.push_str("# TYPE afs_effective_workers gauge\n");
         out.push_str(&format!(
@@ -460,7 +497,8 @@ fn counters_json(c: &CounterSnapshot) -> String {
         "{{\"local_grabs\": {}, \"remote_grabs\": {}, \"central_grabs\": {}, \
          \"free_grabs\": {}, \"iters\": {}, \"cas_retries\": {}, \"stash_hits\": {}, \
          \"barrier_arrives\": {}, \"barrier_spin\": {}, \"barrier_yield\": {}, \
-         \"barrier_park\": {}, \"barrier_turns\": {}, \"heartbeats\": {}}}",
+         \"barrier_park\": {}, \"barrier_turns\": {}, \"barrier_futex_wait\": {}, \
+         \"futex_wake\": {}, \"heartbeats\": {}}}",
         c.local_grabs,
         c.remote_grabs,
         c.central_grabs,
@@ -473,6 +511,8 @@ fn counters_json(c: &CounterSnapshot) -> String {
         c.barrier_yield,
         c.barrier_park,
         c.barrier_turns,
+        c.barrier_futex_wait,
+        c.futex_wake,
         c.heartbeats
     )
 }
@@ -558,9 +598,13 @@ mod tests {
     fn json_export_is_parseable_shape() {
         let s = sample_snapshot();
         let j = s.to_json();
-        assert!(j.contains("\"schema_version\": 3"));
+        assert!(j.contains("\"schema_version\": 4"));
         assert!(j.contains("\"serve\": null"));
         assert!(j.contains("\"stalls\": 0"));
+        assert!(j.contains("\"barrier_futex_wait\": 0"));
+        assert!(j.contains("\"futex_wake\": 0"));
+        assert!(j.contains("\"pinned_core\": null"));
+        assert!(j.contains("\"numa_node\": null"));
         assert!(j.contains("\"affinity_hit_ratio\": 0.888889"));
         assert!(j.contains("\"perf_status\": \"active\""));
         assert!(j.contains("\"llc_misses\": 1234"));
@@ -582,6 +626,8 @@ mod tests {
         assert!(p.contains("afs_grabs_total{worker=\"0\",kind=\"local\"} 30"));
         assert!(p.contains("afs_grabs_total{worker=\"1\",kind=\"local\"} 50"));
         assert!(p.contains("afs_barrier_waits_total{worker=\"1\",outcome=\"spin\"} 3"));
+        assert!(p.contains("afs_futex_syscalls_total{worker=\"0\",op=\"wait\"} 0"));
+        assert!(p.contains("afs_futex_syscalls_total{worker=\"0\",op=\"wake\"} 0"));
         assert!(p.contains("afs_perf_llc_misses_total{worker=\"0\"} 1234"));
         assert!(
             !p.contains("afs_perf_dtlb_misses_total"),
@@ -646,18 +692,22 @@ mod tests {
     fn pin_status_round_trips_through_exports() {
         let mut s = sample_snapshot();
         s.workers[0].pinned = Some(true);
+        s.workers[0].pinned_core = Some(3);
+        s.workers[0].numa_node = Some(1);
         s.workers[1].pinned = Some(false);
         s.workers[1].stalls = 2;
         s.stalls_detected = 3;
         s.deadline_misses = 1;
         s.effective_workers = 1;
         let j = s.to_json();
-        assert!(j.contains("\"worker\": 0, \"pinned\": true"));
-        assert!(j.contains("\"worker\": 1, \"pinned\": false"));
+        assert!(j.contains("\"worker\": 0, \"pinned\": true, \"pinned_core\": 3, \"numa_node\": 1"));
+        assert!(j.contains("\"worker\": 1, \"pinned\": false, \"pinned_core\": null"));
         assert!(j.contains("\"stalls_detected\": 3"));
         let p = s.to_prometheus();
         assert!(p.contains("afs_worker_pinned{worker=\"0\"} 1"));
         assert!(p.contains("afs_worker_pinned{worker=\"1\"} 0"));
+        assert!(p.contains("afs_worker_node{worker=\"0\"} 1"));
+        assert!(!p.contains("afs_worker_node{worker=\"1\"}"));
         assert!(p.contains("afs_stalls_detected_total 3"));
         assert!(p.contains("afs_worker_stalls_total{worker=\"1\"} 2"));
         assert!(p.contains("afs_deadline_misses_total 1"));

@@ -40,13 +40,16 @@
 pub mod affinity;
 pub mod barrier;
 pub mod fault;
+pub mod futex;
 mod inject;
+pub mod numa;
 pub mod pad;
 pub mod parallel;
 pub mod pool;
 pub mod shared;
 pub mod source;
 pub mod source_le;
+pub mod spin;
 pub mod sync;
 mod watchdog;
 

@@ -334,7 +334,12 @@ where
     L: Fn(usize) -> u64 + Sync,
 {
     match pool.barrier_kind() {
-        BarrierKind::Spin => fused_phases(pool, phases, &len_of, policy, &body),
+        // Futex pools take the fused driver too: the SenseBarrier the pool
+        // hands out parks on its generation word (`futex_park`), so the
+        // whole nest stays one dispatch with kernel-free fast paths.
+        BarrierKind::Spin | BarrierKind::Futex => {
+            fused_phases(pool, phases, &len_of, policy, &body)
+        }
         BarrierKind::Condvar => per_phase_rendezvous(pool, phases, &len_of, policy, &body),
     }
 }
@@ -652,6 +657,10 @@ where
             // barrier below, so the party never loses a member.
             let source = unsafe { (*slots[phase].0.get()).as_deref() };
             if let Some(source) = source {
+                // First-touch worker-owned scheduler state (stash heap
+                // blocks, queue words) from this worker's core before the
+                // first grab — see `WorkSource::warm`.
+                source.warm(worker);
                 drain_phase(
                     worker,
                     phase,

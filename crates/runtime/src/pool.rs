@@ -49,13 +49,15 @@
 
 use crate::affinity;
 use crate::fault::{FaultPlan, PanicPolicy, PhaseError};
+use crate::futex;
 use crate::inject::YieldInject;
 use crate::pad::CachePadded;
+use crate::spin::{SpinController, SpinObservation};
 use crate::watchdog::Watchdog;
 use afs_metrics::{MetricsRegistry, WaitOutcome};
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -90,6 +92,13 @@ pub enum BarrierKind {
     /// Sense-reversing barrier: spin, then yield, then park. The phase
     /// hot path on a dedicated machine never enters the kernel.
     Spin,
+    /// The spin barrier's publication scheme with `futex(2)` parking:
+    /// waiters that exhaust the spin/yield budget sleep directly on their
+    /// generation word with a raw `FUTEX_WAIT` — no mutex, no condvar, no
+    /// sleeper registry cache line on the release side. Falls back to the
+    /// eventcount (mutex + condvar) protocol on targets without the
+    /// syscall (see [`crate::futex::supported`]).
+    Futex,
 }
 
 /// Default spin iterations before yielding (dedicated machines). ~1–2 µs
@@ -107,6 +116,14 @@ const OVERSUBSCRIBED_SPINS: u32 = 64;
 /// workers) run, so the rendezvous usually completes here without any
 /// futex traffic.
 pub const DEFAULT_YIELDS: u32 = 256;
+
+/// Floor for the adaptive spin controller: the oversubscribed clamp —
+/// below this, waits that a same-core flip would resolve start parking.
+pub const ADAPTIVE_MIN_SPINS: u32 = OVERSUBSCRIBED_SPINS;
+
+/// Ceiling for the adaptive spin controller: ~a quarter timeslice of
+/// `spin_loop` hints. Spinning longer than this never beats parking.
+pub const ADAPTIVE_MAX_SPINS: u32 = 65_536;
 
 /// Coordinator-side `yield_now` rounds when the pool is oversubscribed.
 /// While acks trickle in, every futile coordinator wakeup steals a
@@ -158,8 +175,16 @@ struct Shared {
     /// Classic protocol ([`BarrierKind::Condvar`]): wait under the mutex,
     /// never spin. When set, `spins`/`yields` are unused.
     classic: bool,
-    /// Spin iterations before yielding (spin protocol only).
-    spins: u32,
+    /// Futex protocol ([`BarrierKind::Futex`] on a supported target):
+    /// park directly on the generation/ack words with `futex(2)` instead
+    /// of the mutex + condvar eventcount.
+    futex: bool,
+    /// Spin iterations before yielding (spin/futex protocols). Atomic so
+    /// the adaptive controller can retune it between regions while workers
+    /// read it lock-free.
+    spins: AtomicU32,
+    /// Self-sizing spin-budget controller; `None` keeps `spins` static.
+    controller: Option<SpinController>,
     /// `yield_now` rounds before parking (spin protocol only).
     yields: u32,
     /// Coordinator-side `yield_now` rounds before parking; clamped to
@@ -192,6 +217,13 @@ struct Shared {
 impl Shared {
     fn lock_park(&self) -> MutexGuard<'_, ()> {
         self.park.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The current spin budget (retuned between regions by the adaptive
+    /// controller when one is attached).
+    #[inline]
+    fn spin_budget(&self) -> u32 {
+        self.spins.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -231,18 +263,27 @@ impl Shared {
     /// `seen` into this worker's flag. Returns the new generation, or
     /// `None` on shutdown. Classic protocol: wait under the mutex.
     /// Spin protocol: spin → yield → park.
-    fn wait_start(&self, idx: usize, seen: u64) -> Option<u64> {
+    fn wait_start(&self, idx: usize, seen: u64, sink: Option<&TraceSink>) -> Option<u64> {
         // Waiting for the next publish is legitimate idleness: flag it so
         // the stall watchdog does not mistake this worker's frozen
         // heartbeat for a stall (e.g. while a slow sibling holds the
         // current generation open).
         self.metrics.worker(idx).set_waiting(true);
-        let r = self.wait_start_inner(idx, seen);
+        let r = self.wait_start_inner(idx, seen, sink);
         self.metrics.worker(idx).set_waiting(false);
         r
     }
 
-    fn wait_start_inner(&self, idx: usize, seen: u64) -> Option<u64> {
+    /// Records the park commit on worker `idx`'s trace lane, tagged with
+    /// the protocol about to put it to sleep.
+    #[inline]
+    fn note_park(sink: Option<&TraceSink>, idx: usize, kind: u32) {
+        if let Some(sink) = sink {
+            sink.record(idx, EventKind::BarrierPark { kind });
+        }
+    }
+
+    fn wait_start_inner(&self, idx: usize, seen: u64, sink: Option<&TraceSink>) -> Option<u64> {
         let check = |shared: &Shared| -> Option<Option<u64>> {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Some(None);
@@ -270,11 +311,14 @@ impl Shared {
                     self.note_start_wait(idx, &r, outcome);
                     return r;
                 }
+                if !waited {
+                    Self::note_park(sink, idx, crate::barrier::PARK_KIND_CONDVAR);
+                }
                 waited = true;
                 guard = self.start_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
             }
         }
-        for _ in 0..self.spins {
+        for _ in 0..self.spin_budget() {
             if let Some(r) = check(self) {
                 self.note_start_wait(idx, &r, WaitOutcome::Spin);
                 return r;
@@ -293,16 +337,43 @@ impl Shared {
         // (both SeqCst): if the coordinator's load saw zero sleepers and
         // skipped the notify, its flag store is SC-ordered before our
         // re-check, which therefore observes it — a wakeup cannot be lost.
+        Self::note_park(
+            sink,
+            idx,
+            if self.futex {
+                crate::barrier::PARK_KIND_FUTEX
+            } else {
+                crate::barrier::PARK_KIND_EVENTCOUNT
+            },
+        );
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         self.inject_point();
-        let mut guard = self.lock_park();
-        let r = loop {
-            if let Some(r) = check(self) {
-                break r;
+        let r = if self.futex {
+            // Sleep directly on the generation word. The kernel re-checks
+            // `*word == seen` atomically against wakes, so a publish that
+            // lands between our check and the syscall makes the wait
+            // return immediately — no mutex, no lost wakeup. Shutdown
+            // stores a sentinel into the word and wakes it, so the
+            // `check` above covers that exit too.
+            loop {
+                if let Some(r) = check(self) {
+                    break r;
+                }
+                self.metrics.worker(idx).record_futex_wait();
+                self.inject_point();
+                futex::wait(&self.starts[idx], seen);
             }
-            guard = self.start_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        } else {
+            let mut guard = self.lock_park();
+            let r = loop {
+                if let Some(r) = check(self) {
+                    break r;
+                }
+                guard = self.start_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+            };
+            drop(guard);
+            r
         };
-        drop(guard);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
         self.note_start_wait(idx, &r, WaitOutcome::Park);
         r
@@ -313,7 +384,7 @@ impl Shared {
     /// [`Shared::wait_start`]. The classic protocol instead waits under
     /// the mutex inside [`Pool::run_arc`].
     fn wait_all_acked(&self, generation: u64) {
-        for _ in 0..self.spins {
+        for _ in 0..self.spin_budget() {
             if self.all_acked(generation) {
                 return;
             }
@@ -328,11 +399,30 @@ impl Shared {
         }
         self.done_waiters.fetch_add(1, Ordering::SeqCst);
         self.inject_point();
-        let mut guard = self.lock_park();
-        while !self.all_acked(generation) {
-            guard = self.done_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        if self.futex {
+            // Sleep on each lagging worker's ack word in turn. The
+            // waiter-count/SeqCst pairing mirrors the start side: a worker
+            // that saw zero `done_waiters` and skipped its wake stored its
+            // ack SC-before our registration above, so the re-load below
+            // observes it and we never sleep on a completed slot.
+            let live = self.live.load(Ordering::Relaxed);
+            for slot in &self.acks[..live] {
+                loop {
+                    let acked = slot.load(Ordering::SeqCst);
+                    if acked >= generation {
+                        break;
+                    }
+                    self.inject_point();
+                    futex::wait(slot, acked);
+                }
+            }
+        } else {
+            let mut guard = self.lock_park();
+            while !self.all_acked(generation) {
+                guard = self.done_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+            }
+            drop(guard);
         }
-        drop(guard);
         self.done_waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -369,6 +459,8 @@ pub struct PoolBuilder {
     perf: bool,
     spins: u32,
     yields: u32,
+    adaptive: bool,
+    force_park_fallback: bool,
     trace: Option<Arc<TraceSink>>,
     inject_seed: Option<u64>,
     faults: Option<Arc<FaultPlan>>,
@@ -409,6 +501,27 @@ impl PoolBuilder {
     pub fn spin_budget(mut self, spins: u32, yields: u32) -> Self {
         self.spins = spins;
         self.yields = yields;
+        self
+    }
+
+    /// Attaches a [`crate::spin::SpinController`]: the spin budget is
+    /// re-sized at the start of every parallel region from the recent
+    /// barrier wait outcomes (spin/yield/park counts) and the observed
+    /// phase lengths, instead of staying at the static `spin_budget`
+    /// value. The controller is deterministic given the counter stream.
+    /// Default: off. Ignored by [`BarrierKind::Condvar`] pools (they never
+    /// spin).
+    pub fn adaptive_spin(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Forces [`BarrierKind::Futex`] pools onto the eventcount
+    /// (mutex + condvar) fallback even when the target supports `futex(2)`
+    /// — exercises the non-Linux path on Linux CI.
+    #[doc(hidden)]
+    pub fn force_park_fallback(mut self, on: bool) -> Self {
+        self.force_park_fallback = on;
         self
     }
 
@@ -486,7 +599,7 @@ impl PoolBuilder {
         let cores = affinity::core_count();
         let (spins, yields) = match self.barrier {
             BarrierKind::Condvar => (0, 0),
-            BarrierKind::Spin => {
+            BarrierKind::Spin | BarrierKind::Futex => {
                 // An oversubscribed pool cannot make progress while a
                 // waiter burns its timeslice: cap the busy phase and rely
                 // on the yield rounds (and ultimately parking).
@@ -499,11 +612,15 @@ impl PoolBuilder {
             }
         };
         let classic = self.barrier == BarrierKind::Condvar;
+        let use_futex =
+            self.barrier == BarrierKind::Futex && futex::supported() && !self.force_park_fallback;
         let coord_yields = if p <= cores {
             yields
         } else {
             yields.min(OVERSUBSCRIBED_COORD_YIELDS)
         };
+        let controller = (self.adaptive && !classic)
+            .then(|| SpinController::new(spins, ADAPTIVE_MIN_SPINS, ADAPTIVE_MAX_SPINS));
         let shared = Arc::new(Shared {
             job: JobCell(UnsafeCell::new(None)),
             starts: (0..p).map(|_| CachePadded::default()).collect(),
@@ -515,7 +632,9 @@ impl PoolBuilder {
             start_cv: Condvar::new(),
             done_cv: Condvar::new(),
             classic,
-            spins,
+            futex: use_futex,
+            spins: AtomicU32::new(spins),
+            controller,
             coord_yields,
             yields,
             inject: self.inject_seed.map(YieldInject::new),
@@ -526,11 +645,19 @@ impl PoolBuilder {
             live: AtomicUsize::new(p),
             running: Arc::new(AtomicBool::new(false)),
         });
+        // Worker ↔ node pairing: worker `i` pins to core `i mod cores`,
+        // which the host topology maps to a node — recorded in the metrics
+        // registry so snapshots (and the Prometheus export) show where
+        // each worker's first-touched pages live.
+        let topo = affinity::NumaTopology::detect();
         let mut handles = Vec::with_capacity(p);
         for idx in 0..p {
             let worker_shared = Arc::clone(&shared);
             let sink = self.trace.clone();
-            let pin_to = self.pin.then_some(idx % cores);
+            let pin_to = self.pin.then(|| {
+                let cpu = idx % cores;
+                (cpu, topo.node_of_cpu(cpu))
+            });
             let perf = self.perf;
             let spawned = if self.fail_spawn_after.is_some_and(|n| idx >= n) {
                 Err(std::io::Error::other("simulated spawn failure"))
@@ -572,13 +699,16 @@ impl PoolBuilder {
             // One sync round so every worker has started (and pinned)
             // before the first real phase — `pinned_workers` is then exact.
             pool.run(|_| {});
-            if pool.pinned_workers() < pool.workers() {
-                // Once per pool: per-worker detail is in the metrics
-                // snapshot (`WorkerSnapshot::pinned`).
+            let pinned = pool.pinned_workers();
+            let total = pool.workers();
+            if pinned < total {
+                // Once per pool, with the partial-pin count spelled out:
+                // per-worker detail is in the metrics snapshot
+                // (`WorkerSnapshot::pinned` / `pinned_core`).
                 eprintln!(
-                    "afs-runtime: pinned only {} of {} workers; affinity is advisory on this host",
-                    pool.pinned_workers(),
-                    pool.workers()
+                    "afs-runtime: pinned {pinned} of {total} workers ({} pin calls failed); \
+                     affinity is advisory on this host",
+                    total - pinned
                 );
             }
         }
@@ -605,6 +735,8 @@ impl Pool {
             perf: false,
             spins: DEFAULT_SPINS,
             yields: DEFAULT_YIELDS,
+            adaptive: false,
+            force_park_fallback: false,
             trace: None,
             inject_seed: None,
             faults: None,
@@ -682,18 +814,72 @@ impl Pool {
     /// the same.
     pub fn phase_barrier(&self) -> crate::barrier::SenseBarrier {
         let s = &self.shared;
+        // A region is starting: let the adaptive controller re-size the
+        // spin budget from what the counters said about the last one.
+        let spins = self.refresh_spin_budget();
         let barrier = match s.inject_seed {
             // Derive a distinct stream so pool and barrier injection
             // decisions don't mirror each other.
             Some(seed) => crate::barrier::SenseBarrier::with_injection(
                 self.p,
-                s.spins,
+                spins,
                 s.yields,
                 seed ^ 0x5EB0_5EB0_5EB0_5EB0,
             ),
-            None => crate::barrier::SenseBarrier::new(self.p, s.spins, s.yields),
+            None => crate::barrier::SenseBarrier::new(self.p, spins, s.yields),
         };
-        barrier.with_metrics(Arc::clone(&s.metrics))
+        let barrier = if s.futex {
+            barrier.futex_park()
+        } else {
+            barrier
+        };
+        let barrier = barrier.with_metrics(Arc::clone(&s.metrics));
+        match &self.trace {
+            Some(sink) => barrier.with_trace(Arc::clone(sink)),
+            None => barrier,
+        }
+    }
+
+    /// Whether this pool parks on `futex(2)` words ([`BarrierKind::Futex`]
+    /// on a supported target; `false` when the eventcount fallback is in
+    /// effect).
+    pub fn uses_futex(&self) -> bool {
+        self.shared.futex
+    }
+
+    /// The spin budget currently in effect (static unless the pool was
+    /// built with [`PoolBuilder::adaptive_spin`]).
+    pub fn current_spin_budget(&self) -> u32 {
+        self.shared.spin_budget()
+    }
+
+    /// Runs the adaptive controller (when attached) against the current
+    /// counter totals and publishes the new budget into the shared word
+    /// read by every rendezvous wait. Returns the budget in effect.
+    fn refresh_spin_budget(&self) -> u32 {
+        let s = &self.shared;
+        let Some(ctl) = &s.controller else {
+            return s.spin_budget();
+        };
+        let mut spin = 0u64;
+        let mut yields = 0u64;
+        let mut park = 0u64;
+        for w in 0..self.p {
+            let c = s.metrics.worker(w).get();
+            spin += c.barrier_spin;
+            yields += c.barrier_yield;
+            park += c.barrier_park;
+        }
+        let hist = s.metrics.phase_hist().get();
+        let budget = ctl.observe(SpinObservation {
+            spin,
+            yields,
+            park,
+            phase_samples: hist.samples,
+            phase_total_ns: hist.total_ns,
+        });
+        s.spins.store(budget, Ordering::Relaxed);
+        budget
     }
 
     /// Runs `job(worker_index)` on every worker and waits for all to finish.
@@ -777,10 +963,17 @@ impl Pool {
             // Wake parked workers. Reading the sleeper count SeqCst after
             // the SeqCst flag stores pairs with wait_start's
             // inc-then-recheck: we either see the sleeper (and notify
-            // under the lock) or the sleeper's recheck sees our flags.
+            // under the lock / wake the words) or the sleeper's recheck
+            // sees our flags.
             if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
-                let _guard = self.shared.lock_park();
-                self.shared.start_cv.notify_all();
+                if self.shared.futex {
+                    for flag in &self.shared.starts[..self.p] {
+                        futex::wake_all(flag);
+                    }
+                } else {
+                    let _guard = self.shared.lock_park();
+                    self.shared.start_cv.notify_all();
+                }
             }
         }
         DispatchTicket {
@@ -884,14 +1077,15 @@ fn make_scoped_job<F: Fn(usize) + Send + Sync>(job: F) -> Job {
 fn worker_loop(
     idx: usize,
     shared: &Shared,
-    pin_to: Option<usize>,
+    pin_to: Option<(usize, usize)>,
     perf: bool,
     sink: Option<Arc<TraceSink>>,
 ) {
-    if let Some(cpu) = pin_to {
+    if let Some((cpu, node)) = pin_to {
         let ok = affinity::pin_current_to(cpu);
         if ok {
             shared.pinned.fetch_add(1, Ordering::SeqCst);
+            shared.metrics.set_worker_placement(idx, cpu, node);
         }
         shared.metrics.set_pin_status(idx, ok);
     }
@@ -902,7 +1096,7 @@ fn worker_loop(
     }
     let mut seen = 0u64;
     loop {
-        let Some(gen) = shared.wait_start(idx, seen) else {
+        let Some(gen) = shared.wait_start(idx, seen, sink.as_deref()) else {
             return; // shutdown
         };
         seen = gen;
@@ -937,11 +1131,21 @@ fn worker_loop(
         // the worker completing the generation must always lock + notify
         // (the seed's rule: only the last worker touches the mutex). Spin
         // protocol: notify only when a coordinator actually gave up
-        // spinning and registered as a waiter.
-        let coordinator_parked = shared.classic || shared.done_waiters.load(Ordering::SeqCst) > 0;
-        if coordinator_parked && shared.all_acked(seen) {
-            let _guard = shared.lock_park();
-            shared.done_cv.notify_all();
+        // spinning and registered as a waiter. Futex protocol: the
+        // coordinator sleeps on individual ack words, so each worker wakes
+        // its *own* word — no all-acked scan, no shared lock.
+        if shared.futex {
+            if shared.done_waiters.load(Ordering::SeqCst) > 0 {
+                futex::wake_all(&shared.acks[idx]);
+                shared.metrics.worker(idx).record_futex_wake();
+            }
+        } else {
+            let coordinator_parked =
+                shared.classic || shared.done_waiters.load(Ordering::SeqCst) > 0;
+            if coordinator_parked && shared.all_acked(seen) {
+                let _guard = shared.lock_park();
+                shared.done_cv.notify_all();
+            }
         }
     }
 }
@@ -954,6 +1158,18 @@ impl Drop for Pool {
             w.stop();
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if self.shared.futex {
+            // Futex sleepers wait on their generation words, not the
+            // condvar: change each word to a sentinel and wake it. A
+            // worker that consumes the sentinel as a "generation" finds
+            // the job cell empty, loops, and — because its sentinel load
+            // is SC-ordered after the shutdown store above — its next
+            // shutdown check must see true.
+            for flag in &self.shared.starts {
+                flag.store(u64::MAX, Ordering::SeqCst);
+                futex::wake_all(flag);
+            }
+        }
         {
             let _guard = self.shared.lock_park();
             self.shared.start_cv.notify_all();
@@ -969,8 +1185,8 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-    fn both_kinds() -> [BarrierKind; 2] {
-        [BarrierKind::Spin, BarrierKind::Condvar]
+    fn both_kinds() -> [BarrierKind; 3] {
+        [BarrierKind::Spin, BarrierKind::Futex, BarrierKind::Condvar]
     }
 
     #[test]
@@ -1066,6 +1282,99 @@ mod tests {
         assert_eq!(Pool::new(2).barrier_kind(), BarrierKind::Spin);
         let cv = Pool::builder(2).barrier(BarrierKind::Condvar).build();
         assert_eq!(cv.barrier_kind(), BarrierKind::Condvar);
+        let fx = Pool::builder(2).barrier(BarrierKind::Futex).build();
+        assert_eq!(fx.barrier_kind(), BarrierKind::Futex);
+        assert_eq!(fx.uses_futex(), crate::futex::supported());
+        assert!(!Pool::new(2).uses_futex());
+    }
+
+    #[test]
+    fn futex_pool_parks_and_completes_with_zero_budget() {
+        // Zero spin/yield budget forces every wait through the futex park
+        // branch on supported targets (eventcount fallback elsewhere).
+        let pool = Pool::builder(4)
+            .barrier(BarrierKind::Futex)
+            .spin_budget(0, 0)
+            .build();
+        let counter = AtomicU64::new(0);
+        for _ in 0..20 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+        if pool.uses_futex() {
+            let t = pool.metrics().snapshot().totals();
+            assert!(
+                t.barrier_futex_wait > 0,
+                "zero-budget futex pool must issue FUTEX_WAIT syscalls"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_fallback_futex_pool_takes_eventcount_path() {
+        // The non-Linux compile-and-run path, exercised everywhere: a
+        // Futex pool forced onto the mutex+condvar fallback must behave
+        // exactly like a Spin pool and never issue futex syscalls.
+        let pool = Pool::builder(3)
+            .barrier(BarrierKind::Futex)
+            .force_park_fallback(true)
+            .spin_budget(0, 0)
+            .build();
+        assert!(!pool.uses_futex());
+        let counter = AtomicU64::new(0);
+        for _ in 0..10 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+        let t = pool.metrics().snapshot().totals();
+        assert_eq!(t.barrier_futex_wait, 0);
+        assert_eq!(t.futex_wake, 0);
+    }
+
+    #[test]
+    fn futex_pool_oversubscribed_completes() {
+        let pool = Pool::builder(16)
+            .barrier(BarrierKind::Futex)
+            .spin_budget(u32::MAX, 2)
+            .build();
+        let counter = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50 * 16);
+    }
+
+    #[test]
+    fn adaptive_budget_stays_clamped_and_pool_stays_correct() {
+        use crate::parallel::{parallel_phases, RuntimeScheduler};
+        let pool = Pool::builder(4).adaptive_spin(true).build();
+        for _ in 0..5 {
+            parallel_phases(
+                &pool,
+                4,
+                |_| 512,
+                &RuntimeScheduler::afs_k_equals_p(),
+                |_, _| {},
+            );
+            let b = pool.current_spin_budget();
+            assert!(
+                (ADAPTIVE_MIN_SPINS..=ADAPTIVE_MAX_SPINS).contains(&b),
+                "budget {b} escaped the clamp"
+            );
+        }
+        // Classic pools never spin; the controller must not attach.
+        let cv = Pool::builder(2)
+            .barrier(BarrierKind::Condvar)
+            .adaptive_spin(true)
+            .build();
+        assert_eq!(cv.current_spin_budget(), 0);
+        cv.run(|_| {});
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub trait WorkSource: Sync {
     /// Grabs the next chunk for `worker`, or `None` when the loop is
     /// exhausted from this worker's point of view.
     fn next(&self, worker: usize) -> Option<Grab>;
+
+    /// Touches `worker`-owned state from the worker's own thread before
+    /// the first grab of a phase. On a pinned pool this runs on the
+    /// worker's core, so lazily-allocated per-worker state (a grab-ahead
+    /// stash's heap block) is first-touched — hence NUMA-placed — on the
+    /// node that will use it, and coordinator-written queue words are
+    /// pulled into the local cache before the timed region. Default: no-op.
+    fn warm(&self, _worker: usize) {}
 }
 
 /// Any core scheduler state machine driven under its queue lock.
@@ -398,6 +406,21 @@ impl AfsSource {
 }
 
 impl WorkSource for AfsSource {
+    fn warm(&self, worker: usize) {
+        debug_assert!(worker < self.p);
+        // Pull the worker's own queue word into its cache before the timed
+        // region (the coordinator wrote it at construction).
+        let _ = self.words[worker].load(Ordering::Relaxed);
+        // Allocate the grab-ahead stash from the owning thread: its heap
+        // block is then first-touched on this worker's node, not the
+        // coordinator's. SAFETY: same exclusivity as `next` — only the
+        // thread driving `worker` calls `warm(worker)`.
+        let stash = unsafe { &mut *self.stash[worker].0.get() };
+        if self.ahead > 1 && stash.capacity() < self.ahead {
+            stash.reserve_exact(self.ahead - stash.capacity());
+        }
+    }
+
     fn next(&self, worker: usize) -> Option<Grab> {
         debug_assert!(worker < self.p);
         // Bounded rescans: when a steal race drains the chosen victim, the

@@ -1,0 +1,230 @@
+//! Self-sizing spin budgets for the phase rendezvous.
+//!
+//! The static budget (4096 spins, clamped to 64 when oversubscribed) is a
+//! guess: on long phases it under-spins (waits escalate to yields/parks
+//! that a little more patience would have absorbed), on tiny phases or
+//! loaded hosts it over-spins (burning the timeslice the publisher needs).
+//! [`SpinController`] replaces the guess with a feedback loop over the
+//! always-on metrics: how recent barrier waits actually resolved
+//! (spin / yield / park counts) and how long phases actually ran
+//! (the phase-duration histogram).
+//!
+//! The controller is **deterministic given the counter stream**: its state
+//! is an integer EWMA of the mean phase length plus the last observed
+//! counter totals, and `observe` is a pure integer function of those — no
+//! clocks, no randomness — so replaying the same counters yields the same
+//! budget sequence (asserted by tests).
+//!
+//! Decision rule, applied once per parallel region (cheap, and phase
+//! counts per region are large enough to smooth noise):
+//!
+//! * parks dominate the recent waits → the host is oversubscribed or the
+//!   waits are far longer than any sensible budget: **halve**;
+//! * yields dominate → waits resolve just past the spin budget: **double**
+//!   so they resolve while spinning;
+//! * spins dominate (or nothing waited) → the budget works: keep it.
+//!
+//! The result is capped by the phase-length EWMA (spinning longer than a
+//! whole phase can never be useful — the wait being hidden is bounded by
+//! the phase itself) and clamped to `[min, max]`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Rough cost of one `spin_loop` iteration in nanoseconds, used to convert
+/// the phase-length EWMA into a spin-iteration cap. Deliberately coarse —
+/// the cap only needs the right order of magnitude.
+const SPIN_ITER_NS: u64 = 4;
+
+/// Cumulative counter readings the controller derives deltas from.
+/// All fields are running totals (never deltas) since pool creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpinObservation {
+    /// Barrier waits resolved while spinning.
+    pub spin: u64,
+    /// Barrier waits resolved while yielding.
+    pub yields: u64,
+    /// Barrier waits that parked.
+    pub park: u64,
+    /// Phase-duration histogram sample count.
+    pub phase_samples: u64,
+    /// Phase-duration histogram total nanoseconds.
+    pub phase_total_ns: u64,
+}
+
+/// Last-observed totals, updated under one short lock per region.
+#[derive(Debug, Default)]
+struct LastSeen {
+    obs: SpinObservation,
+}
+
+/// A per-pool controller sizing the spin budget from observed behavior.
+#[derive(Debug)]
+pub struct SpinController {
+    min: u32,
+    max: u32,
+    /// Current budget (also mirrored into the pool's shared budget word).
+    current: AtomicU32,
+    /// Integer EWMA of the mean phase length in nanoseconds (0 = no
+    /// samples yet).
+    ewma_phase_ns: AtomicU64,
+    last: Mutex<LastSeen>,
+}
+
+impl SpinController {
+    /// A controller starting at `initial` spins, adapting within
+    /// `[min, max]`.
+    pub fn new(initial: u32, min: u32, max: u32) -> SpinController {
+        assert!(min >= 1 && min <= max, "need 1 ≤ min ≤ max");
+        SpinController {
+            min,
+            max,
+            current: AtomicU32::new(initial.clamp(min, max)),
+            ewma_phase_ns: AtomicU64::new(0),
+            last: Mutex::new(LastSeen::default()),
+        }
+    }
+
+    /// The budget the last decision produced.
+    pub fn current(&self) -> u32 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The current phase-length EWMA in nanoseconds (0 until the first
+    /// phase sample arrives).
+    pub fn phase_ewma_ns(&self) -> u64 {
+        self.ewma_phase_ns.load(Ordering::Relaxed)
+    }
+
+    /// Feeds one reading of the cumulative counters and returns the new
+    /// budget. Deterministic: the same sequence of observations always
+    /// produces the same sequence of budgets.
+    pub fn observe(&self, obs: SpinObservation) -> u32 {
+        let mut last = self.last.lock().unwrap_or_else(|p| p.into_inner());
+        let d_spin = obs.spin.saturating_sub(last.obs.spin);
+        let d_yield = obs.yields.saturating_sub(last.obs.yields);
+        let d_park = obs.park.saturating_sub(last.obs.park);
+        let d_samples = obs.phase_samples.saturating_sub(last.obs.phase_samples);
+        let d_total = obs.phase_total_ns.saturating_sub(last.obs.phase_total_ns);
+        last.obs = obs;
+
+        if let Some(mean) = d_total.checked_div(d_samples) {
+            let prev = self.ewma_phase_ns.load(Ordering::Relaxed);
+            let next = if prev == 0 {
+                mean
+            } else {
+                // EWMA with α = 1/4, pure integer.
+                (prev * 3 + mean) / 4
+            };
+            self.ewma_phase_ns.store(next, Ordering::Relaxed);
+        }
+
+        let mut budget = self.current.load(Ordering::Relaxed);
+        let waited = d_spin + d_yield + d_park;
+        if waited > 0 {
+            if d_park * 2 > waited {
+                budget /= 2;
+            } else if d_yield * 2 > waited {
+                budget = budget.saturating_mul(2);
+            }
+        }
+        // Never spin longer than a whole phase: the wait being hidden is
+        // bounded by the phase length.
+        let ewma = self.ewma_phase_ns.load(Ordering::Relaxed);
+        if ewma > 0 {
+            let cap = (ewma / SPIN_ITER_NS).min(u64::from(self.max)) as u32;
+            budget = budget.min(cap.max(self.min));
+        }
+        let budget = budget.clamp(self.min, self.max);
+        self.current.store(budget, Ordering::Relaxed);
+        budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(spin: u64, yields: u64, park: u64, samples: u64, total_ns: u64) -> SpinObservation {
+        SpinObservation {
+            spin,
+            yields,
+            park,
+            phase_samples: samples,
+            phase_total_ns: total_ns,
+        }
+    }
+
+    #[test]
+    fn park_heavy_stream_shrinks_the_budget() {
+        let c = SpinController::new(4096, 64, 65_536);
+        // Cumulative totals: parks dominate every region.
+        let mut park = 0;
+        for round in 1..=6u64 {
+            park += 100;
+            c.observe(obs(10 * round, 0, park, round, round * 1_000_000));
+        }
+        assert_eq!(c.current(), 64, "should collapse to the floor");
+    }
+
+    #[test]
+    fn yield_heavy_stream_grows_the_budget() {
+        let c = SpinController::new(64, 64, 65_536);
+        let mut y = 0;
+        for round in 1..=12u64 {
+            y += 100;
+            // Long phases (10 ms mean) so the phase cap never binds.
+            c.observe(obs(0, y, 0, round, round * 10_000_000));
+        }
+        assert_eq!(c.current(), 65_536, "should grow to the ceiling");
+    }
+
+    #[test]
+    fn spin_resolved_stream_is_a_fixed_point() {
+        let c = SpinController::new(4096, 64, 65_536);
+        for round in 1..=5u64 {
+            c.observe(obs(round * 100, 0, 0, round, round * 10_000_000));
+        }
+        assert_eq!(c.current(), 4096);
+    }
+
+    #[test]
+    fn short_phases_cap_the_budget() {
+        let c = SpinController::new(65_536, 64, 65_536);
+        // 2 µs phases: spinning 65k iterations (~256 µs) is absurd.
+        c.observe(obs(0, 10, 0, 100, 200_000));
+        assert!(c.current() <= 2_000 / SPIN_ITER_NS as u32 + 1);
+        assert!(c.current() >= 64);
+    }
+
+    #[test]
+    fn deterministic_given_the_stream() {
+        let stream: Vec<SpinObservation> = (1..=10u64)
+            .map(|r| obs(r * 7, r * 13, r * 3, r, r * 777_000))
+            .collect();
+        let run = || {
+            let c = SpinController::new(4096, 64, 65_536);
+            stream.iter().map(|o| c.observe(*o)).collect::<Vec<u32>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quiet_regions_leave_the_budget_alone() {
+        let c = SpinController::new(1024, 64, 65_536);
+        let o = obs(50, 10, 5, 10, 10_000_000);
+        c.observe(o);
+        let b = c.current();
+        // Same totals again: zero deltas, no change.
+        assert_eq!(c.observe(o), b);
+    }
+
+    #[test]
+    fn ewma_tracks_mean_phase_length() {
+        let c = SpinController::new(1024, 64, 65_536);
+        c.observe(obs(0, 0, 0, 10, 10_000)); // mean 1 µs
+        assert_eq!(c.phase_ewma_ns(), 1_000);
+        c.observe(obs(0, 0, 0, 20, 10_000 + 50_000)); // next 10 at 5 µs mean
+        assert_eq!(c.phase_ewma_ns(), (1_000 * 3 + 5_000) / 4);
+    }
+}

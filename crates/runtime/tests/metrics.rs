@@ -127,7 +127,7 @@ fn seeded_stress_counters_exactly_once() {
 fn barrier_arrivals_account_for_every_phase() {
     let p = 4;
     let phases = 6usize;
-    for kind in [BarrierKind::Spin, BarrierKind::Condvar] {
+    for kind in [BarrierKind::Spin, BarrierKind::Futex, BarrierKind::Condvar] {
         let pool = Pool::builder(p).barrier(kind).build();
         parallel_phases(
             &pool,
@@ -140,7 +140,7 @@ fn barrier_arrivals_account_for_every_phase() {
         assert_eq!(t.barrier_arrives, (p * phases) as u64, "{kind:?}: arrivals");
         let expected_turns = match kind {
             // One turn-taker per in-region phase boundary.
-            BarrierKind::Spin => (phases - 1) as u64,
+            BarrierKind::Spin | BarrierKind::Futex => (phases - 1) as u64,
             // Every phase is a coordinator rendezvous; no worker turns.
             BarrierKind::Condvar => 0,
         };
@@ -267,7 +267,7 @@ fn exports_from_a_real_run_are_wellformed() {
     let doc = afs_trace::json::parse(&j).expect("metrics JSON must parse");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_f64()),
-        Some(3.0)
+        Some(4.0)
     );
     let totals = doc.get("totals").expect("totals object");
     assert_eq!(

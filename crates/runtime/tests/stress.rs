@@ -265,11 +265,16 @@ fn ten_thousand_tiny_phases_identical_metrics_across_barriers() {
     };
     let (m_spin, n_spin) = run(BarrierKind::Spin);
     let (m_cv, n_cv) = run(BarrierKind::Condvar);
+    let (m_fx, n_fx) = run(BarrierKind::Futex);
     assert_eq!(n_spin, n_cv);
+    assert_eq!(n_spin, n_fx);
     assert_eq!(m_spin.total_iters(), m_cv.total_iters());
+    assert_eq!(m_spin.total_iters(), m_fx.total_iters());
     assert_eq!(m_spin.iters_per_worker, m_cv.iters_per_worker);
+    assert_eq!(m_spin.iters_per_worker, m_fx.iters_per_worker);
     assert_eq!(m_spin.sync.synchronized(), 0);
     assert_eq!(m_cv.sync.synchronized(), 0);
+    assert_eq!(m_fx.sync.synchronized(), 0);
 }
 
 /// Differential: both barrier protocols produce identical iteration
@@ -334,21 +339,31 @@ fn barrier_kinds_are_differential_twins_on_all_policies() {
         };
         let (name, m_spin) = run(BarrierKind::Spin);
         let (_, m_cv) = run(BarrierKind::Condvar);
+        let (_, m_fx) = run(BarrierKind::Futex);
         assert_eq!(m_spin.total_iters(), m_cv.total_iters(), "{name}");
+        assert_eq!(m_spin.total_iters(), m_fx.total_iters(), "{name}: futex");
         assert_eq!(
             m_spin.total_iters(),
             n * phases as u64,
             "{name}: wrong iteration total"
         );
         match check {
-            CountCheck::Exact => assert_eq!(
-                m_spin.sync.synchronized(),
-                m_cv.sync.synchronized(),
-                "{name}: synchronized-grab counts diverge across barriers"
-            ),
+            CountCheck::Exact => {
+                assert_eq!(
+                    m_spin.sync.synchronized(),
+                    m_cv.sync.synchronized(),
+                    "{name}: synchronized-grab counts diverge across barriers"
+                );
+                assert_eq!(
+                    m_spin.sync.synchronized(),
+                    m_fx.sync.synchronized(),
+                    "{name}: futex parking changed the synchronized-grab count"
+                );
+            }
             CountCheck::NoCentral => {
                 assert_eq!(m_spin.sync.central, 0, "{name}");
                 assert_eq!(m_cv.sync.central, 0, "{name}");
+                assert_eq!(m_fx.sync.central, 0, "{name}");
             }
         }
     }
@@ -360,16 +375,19 @@ fn barrier_kinds_are_differential_twins_on_all_policies() {
 /// stalled worker stretches each phase so its siblings genuinely park
 /// (rather than catching the flag mid-spin). A lost wakeup parks a worker
 /// forever and hangs the test; completion plus exact coverage is the
-/// assertion. Runs both protocols — the spin barrier's eventcount and the
-/// classic condvar rendezvous park on different code paths.
+/// assertion. Runs all three protocols — the spin barrier's eventcount,
+/// the classic condvar rendezvous, and the futex path, whose lost-wakeup
+/// window lives in the kernel's value check rather than user space (and so
+/// gets the widest seed sweep).
 #[test]
 fn park_branch_survives_injected_stalls_on_all_barrier_kinds() {
     use std::time::Duration;
     let p = 4usize;
     let phases = 6usize;
     let n = 256u64;
-    for kind in [BarrierKind::Spin, BarrierKind::Condvar] {
-        for seed in 0..6u64 {
+    for kind in [BarrierKind::Spin, BarrierKind::Condvar, BarrierKind::Futex] {
+        let seeds = if kind == BarrierKind::Futex { 20 } else { 6 };
+        for seed in 0..seeds as u64 {
             let pool = Pool::builder(p)
                 .barrier(kind)
                 .spin_budget(0, 0)
@@ -409,6 +427,55 @@ fn park_branch_survives_injected_stalls_on_all_barrier_kinds() {
             );
         }
     }
+}
+
+/// The non-Linux fallback path, exercised everywhere: a `Futex` pool
+/// forced onto the eventcount (exactly what an unsupported target gets)
+/// must produce the same coverage and the same schedule-independent
+/// metrics as the real futex path — and must never issue a futex syscall.
+#[test]
+fn forced_futex_fallback_is_a_differential_twin() {
+    let p = 4;
+    let phases = 8usize;
+    let n = 1_024u64;
+    let run = |fallback: bool| {
+        let pool = Pool::builder(p)
+            .barrier(BarrierKind::Futex)
+            .force_park_fallback(fallback)
+            .spin_budget(0, 2)
+            .build();
+        assert_eq!(
+            pool.uses_futex(),
+            !fallback && afs_runtime::futex::supported()
+        );
+        let counts: Vec<AtomicU32> = (0..n * phases as u64).map(|_| AtomicU32::new(0)).collect();
+        let m = parallel_phases(
+            &pool,
+            phases,
+            |_| n,
+            &RuntimeScheduler::static_partition(),
+            |ph, i| {
+                let prev = counts[ph * n as usize + i as usize].fetch_add(1, Ordering::SeqCst);
+                assert_eq!(prev, 0, "fallback={fallback}: ({ph}, {i}) duplicated");
+            },
+        );
+        assert!(
+            counts.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+            "fallback={fallback}: incomplete coverage"
+        );
+        let t = pool.metrics().snapshot().totals();
+        if fallback {
+            assert_eq!(t.barrier_futex_wait, 0, "fallback must not futex-wait");
+            assert_eq!(t.futex_wake, 0, "fallback must not futex-wake");
+        }
+        m
+    };
+    let m_futex = run(false);
+    let m_fallback = run(true);
+    assert_eq!(m_futex.total_iters(), m_fallback.total_iters());
+    assert_eq!(m_futex.iters_per_worker, m_fallback.iters_per_worker);
+    assert_eq!(m_futex.sync.synchronized(), 0);
+    assert_eq!(m_fallback.sync.synchronized(), 0);
 }
 
 /// `parallel_phases` covers every (phase, iteration) exactly once for

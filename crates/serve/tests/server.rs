@@ -233,11 +233,11 @@ fn request_ids_are_unique_under_concurrency() {
     while !server.dispatch_next().is_empty() {}
 }
 
-/// The serve ledger rides the metrics snapshot (schema v3) into both
+/// The serve ledger rides the metrics snapshot (schema v4) into both
 /// exports, alongside the pool's own families.
 #[test]
 fn serve_ledger_rides_the_metrics_snapshot() {
-    assert_eq!(METRICS_SCHEMA_VERSION, 3);
+    assert_eq!(METRICS_SCHEMA_VERSION, 4);
     let pool = Arc::new(Pool::new(2));
     let server = LoopServer::builder(Arc::clone(&pool))
         .tenant("small")

@@ -215,6 +215,19 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                     );
                     barrier_start = Some(ev.t);
                 }
+                EventKind::BarrierPark { kind } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"barrier park\",\"cat\":\"barrier\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"kind\":{kind}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
                 EventKind::StallDetected { worker } => {
                     push(
                         w,

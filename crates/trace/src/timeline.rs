@@ -79,8 +79,9 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                     wait_start = None;
                 }
                 // Leaving the rendezvous opens no segment: the gap between
-                // arrive and release is idle on the timeline.
-                EventKind::BarrierRelease => {}
+                // arrive and release is idle on the timeline, and a park
+                // inside it changes how the worker waits, not whether.
+                EventKind::BarrierRelease | EventKind::BarrierPark { .. } => {}
                 // Watchdog observations mark faults, not lane activity;
                 // request lifecycle marks belong to the serving layer.
                 EventKind::StallDetected { .. }
