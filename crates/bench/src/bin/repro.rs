@@ -26,6 +26,12 @@
 //!                      # disciplines x open-loop/saturating load, tail
 //!                      # latencies, shed rates and the batching-vs-FCFS
 //!                      # speedup gate, writes BENCH_serve.json
+//! repro --bench-adaptive
+//!                      # adaptive (k, b) self-tuning vs the static grid on
+//!                      # the paper kernels plus a power-law irregular loop;
+//!                      # gates the within-10%-of-best-static and
+//!                      # beats-worst-static envelopes, writes
+//!                      # BENCH_adaptive.json
 //! repro --bench-kernels --metrics [FILE]
 //!                      # also export the always-on runtime metrics of the
 //!                      # bench run (counters, histograms, perf events where
@@ -149,6 +155,7 @@ fn main() {
     let mut bench_barrier = false;
     let mut bench_faults = false;
     let mut bench_serve = false;
+    let mut bench_adaptive = false;
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
@@ -206,6 +213,7 @@ fn main() {
             "--bench-barrier" => bench_barrier = true,
             "--bench-faults" => bench_faults = true,
             "--bench-serve" => bench_serve = true,
+            "--bench-adaptive" => bench_adaptive = true,
             "--trace" => want_trace_dir = true,
             "--metrics" => {
                 metrics_path = Some(std::path::PathBuf::from("metrics.json"));
@@ -238,7 +246,7 @@ fn main() {
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
                      [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-barrier] \
                      [--bench-faults] \
-                     [--bench-serve] [--metrics [FILE.json|FILE.prom]] \
+                     [--bench-serve] [--bench-adaptive] [--metrics [FILE.json|FILE.prom]] \
                      [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
                 );
@@ -369,6 +377,25 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if bench_adaptive {
+        let result = afs_bench::adaptive::run(quick);
+        print!("{}", result.render());
+        let path = std::path::Path::new("BENCH_adaptive.json");
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if !result.ok() {
+            eprintln!(
+                "bench-adaptive: the self-tuning policy fell outside its checked \
+                 envelope (see the gate lines above)"
+            );
+            std::process::exit(1);
+        }
+    }
     if let Some(path) = &metrics_path {
         match &bench_metrics {
             Some(snapshot) => export_metrics(snapshot, path),
@@ -377,7 +404,12 @@ fn main() {
             ),
         }
     }
-    if (bench_grabs || bench_kernels || bench_barrier || bench_faults || bench_serve)
+    if (bench_grabs
+        || bench_kernels
+        || bench_barrier
+        || bench_faults
+        || bench_serve
+        || bench_adaptive)
         && ids.is_empty()
     {
         return;

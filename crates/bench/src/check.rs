@@ -35,6 +35,8 @@ pub enum BenchKind {
     Faults,
     /// `BENCH_serve.json` (`"bench": "serve"`).
     Serve,
+    /// `BENCH_adaptive.json` (`"bench": "adaptive"`).
+    Adaptive,
 }
 
 impl fmt::Display for BenchKind {
@@ -44,6 +46,7 @@ impl fmt::Display for BenchKind {
             BenchKind::Kernels => "kernels",
             BenchKind::Faults => "faults",
             BenchKind::Serve => "serve",
+            BenchKind::Adaptive => "adaptive",
         })
     }
 }
@@ -311,6 +314,111 @@ fn validate_serve_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
     }
 }
 
+fn validate_adaptive_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("samples[{i}].{field}");
+    match str_of(s, "workload") {
+        Some("sor") | Some("gauss") | Some("tc") | Some("irregular") => {}
+        _ => errs.push(format!(
+            "{}: must be sor|gauss|tc|irregular",
+            at("workload")
+        )),
+    }
+    for field in ["k", "b", "p", "reps"] {
+        if num_of(s, field).is_none_or(|v| v < 1.0) {
+            errs.push(format!("{}: must be a number >= 1", at(field)));
+        }
+    }
+    match (
+        num_of(s, "best_ns"),
+        num_of(s, "median_ns"),
+        num_of(s, "total_ns"),
+    ) {
+        (Some(best), Some(mid), Some(total)) if best >= 1.0 && best <= mid && mid <= total => {}
+        (Some(_), Some(_), Some(_)) => errs.push(format!(
+            "{}: must satisfy 1 <= best_ns <= median_ns <= total_ns",
+            at("best_ns")
+        )),
+        _ => errs.push(format!(
+            "{}/median_ns/total_ns: must be numbers",
+            at("best_ns")
+        )),
+    }
+    if num_of(s, "span").is_none() {
+        errs.push(format!(
+            "{}: must be a number (0 for the regular kernels)",
+            at("span")
+        ));
+    }
+}
+
+/// The adaptive bench's gates live in the `gates` array: on checked
+/// (full) runs every workload verdict must hold — self-tuning within 10%
+/// of the best static (k, b) cell on mean wall time, and on the
+/// irregular loop the worst static cell's modeled makespan at least
+/// `irregular_min_speedup` times adaptive's. Full runs are never allowed
+/// to opt out of the check.
+fn validate_adaptive_envelope(doc: &Value, errs: &mut Vec<String>) {
+    let checked = bool_of(doc, "checked");
+    if checked.is_none() {
+        errs.push("adaptive bench requires a checked boolean".into());
+    }
+    if bool_of(doc, "quick") == Some(false) && checked == Some(false) {
+        errs.push("full adaptive runs must gate the envelope (checked=false)".into());
+    }
+    if num_of(doc, "irregular_min_speedup").is_none_or(|s| s < 1.0) {
+        errs.push("irregular_min_speedup must be a number >= 1".into());
+    }
+    match doc.get("adaptive").and_then(Value::as_array) {
+        None | Some([]) => errs.push("adaptive bench requires non-empty adaptive rows".into()),
+        Some(rows) => {
+            for (i, a) in rows.iter().enumerate() {
+                let at = |field: &str| format!("adaptive[{i}].{field}");
+                for field in ["final_k", "final_b", "best_ns", "median_ns"] {
+                    if num_of(a, field).is_none_or(|v| v < 1.0) {
+                        errs.push(format!("{}: must be a number >= 1", at(field)));
+                    }
+                }
+                if bool_of(a, "settled").is_none() {
+                    errs.push(format!("{}: must be a boolean", at("settled")));
+                }
+            }
+        }
+    }
+    match doc.get("gates").and_then(Value::as_array) {
+        None | Some([]) => errs.push("adaptive bench requires non-empty gates".into()),
+        Some(rows) => {
+            let mut saw_irregular = false;
+            for (i, g) in rows.iter().enumerate() {
+                let at = |field: &str| format!("gates[{i}].{field}");
+                saw_irregular |= str_of(g, "workload") == Some("irregular");
+                let ok = bool_of(g, "ok");
+                if ok.is_none() || bool_of(g, "within_10pct").is_none() {
+                    errs.push(format!("{}/within_10pct: must be booleans", at("ok")));
+                }
+                if num_of(g, "span_ratio").is_none_or(|r| r < 0.0) {
+                    errs.push(format!("{}: must be a number >= 0", at("span_ratio")));
+                }
+                // The gate itself: a checked run with a failed workload
+                // verdict is a validation failure, not just a regression.
+                if checked == Some(true) && ok == Some(false) {
+                    errs.push(format!(
+                        "checked adaptive run: envelope violated on workload {:?} \
+                         (adaptive median {} ns vs best static median {} ns, \
+                         worst/adaptive span {:.2}x)",
+                        str_of(g, "workload").unwrap_or("?"),
+                        num_of(g, "adaptive_median_ns").unwrap_or(0.0),
+                        num_of(g, "best_static_median_ns").unwrap_or(0.0),
+                        num_of(g, "span_ratio").unwrap_or(0.0),
+                    ));
+                }
+            }
+            if !saw_irregular {
+                errs.push("adaptive bench gates must include the irregular workload".into());
+            }
+        }
+    }
+}
+
 /// The serve bench's headline gate lives in the envelope, not a row: the
 /// batching discipline must hold its saturation-throughput win over
 /// per-request FCFS on checked (full) runs, and full runs are never
@@ -429,6 +537,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
         Some("kernels") => Some(BenchKind::Kernels),
         Some("faults") => Some(BenchKind::Faults),
         Some("serve") => Some(BenchKind::Serve),
+        Some("adaptive") => Some(BenchKind::Adaptive),
         Some(other) => {
             errs.push(format!("unknown bench tag {other:?}"));
             None
@@ -454,6 +563,9 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
     if kind == Some(BenchKind::Kernels) {
         validate_kernels_envelope(doc, &mut errs);
     }
+    if kind == Some(BenchKind::Adaptive) {
+        validate_adaptive_envelope(doc, &mut errs);
+    }
     match doc.get("samples").and_then(Value::as_array) {
         None => errs.push("samples must be an array".into()),
         Some([]) => errs.push("samples must not be empty".into()),
@@ -464,6 +576,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
                     Some(BenchKind::Kernels) => validate_kernel_sample(i, s, &mut errs),
                     Some(BenchKind::Faults) => validate_faults_sample(i, s, &mut errs),
                     Some(BenchKind::Serve) => validate_serve_sample(i, s, &mut errs),
+                    Some(BenchKind::Adaptive) => validate_adaptive_sample(i, s, &mut errs),
                     None => {}
                 }
             }
@@ -530,6 +643,17 @@ fn cell(kind: BenchKind, s: &Value) -> Option<(String, f64)> {
             }
             Some((key, num_of(s, "wall_ns")? / done))
         }
+        BenchKind::Adaptive => {
+            let key = format!(
+                "{}/k={}/b={}",
+                str_of(s, "workload")?,
+                num_of(s, "k")?,
+                num_of(s, "b")?
+            );
+            // Median-over-reps, matching the envelope gate: on shared
+            // hosts the min of many reps is an extreme order statistic.
+            Some((key, num_of(s, "median_ns")?))
+        }
     }
 }
 
@@ -590,6 +714,15 @@ pub fn compare(
                     (str_of(s, "barrier"), num_of(s, "p"), num_of(s, "best_ns"))
                 {
                     cells.push((format!("barrier-rt/{b}/P={p}"), best));
+                }
+            }
+        }
+        if cur_kind == BenchKind::Adaptive {
+            // The self-tuned rows live beside the static grid; each one
+            // regression-gates on its median makespan too.
+            for a in d.get("adaptive").and_then(Value::as_array).unwrap_or(&[]) {
+                if let (Some(w), Some(mid)) = (str_of(a, "workload"), num_of(a, "median_ns")) {
+                    cells.push((format!("{w}/adaptive"), mid));
                 }
             }
         }
@@ -907,6 +1040,92 @@ mod tests {
         );
         // 1 kernel cell + 2 barrier cells on each side.
         assert_eq!(c.compared, 3);
+    }
+
+    fn adaptive_doc(quick: bool, checked: bool, gate_ok: bool, adaptive_median: u64) -> String {
+        format!(
+            r#"{{"bench": "adaptive", "schema_version": 1,
+                 "host": {{"cpus": 8, "kernel": "6.1", "os": "linux", "arch": "x86_64", "pin_capable": true}},
+                 "quick": {quick}, "checked": {checked}, "p": 8,
+                 "irregular_min_speedup": 1.3,
+                 "samples": [
+                   {{"workload": "sor", "k": 1, "b": 1, "p": 8, "reps": 5,
+                     "best_ns": 1000000, "median_ns": 1040000, "total_ns": 5200000, "span": 0}},
+                   {{"workload": "irregular", "k": 8, "b": 8, "p": 8, "reps": 5,
+                     "best_ns": 2000000, "median_ns": 2060000, "total_ns": 10300000,
+                     "span": 7000000}}
+                 ],
+                 "adaptive": [
+                   {{"workload": "sor", "p": 8, "reps": 5, "best_ns": 1000000,
+                     "median_ns": {adaptive_median}, "total_ns": 5300000, "span": 0,
+                     "final_k": 2, "final_b": 2, "decisions": 4,
+                     "phases": 1000, "settled": true}},
+                   {{"workload": "irregular", "p": 8, "reps": 5, "best_ns": 2100000,
+                     "median_ns": 2200000, "total_ns": 11000000, "span": 2100000,
+                     "final_k": 8, "final_b": 1, "decisions": 2,
+                     "phases": 60, "settled": true}}
+                 ],
+                 "gates": [
+                   {{"workload": "sor", "best_static_median_ns": 1040000,
+                     "worst_static_median_ns": 1200000, "adaptive_median_ns": {adaptive_median},
+                     "within_10pct": {gate_ok}, "worst_span": 0, "adaptive_span": 0,
+                     "span_ratio": 0.0, "ok": {gate_ok}}},
+                   {{"workload": "irregular", "best_static_median_ns": 2060000,
+                     "worst_static_median_ns": 9000000, "adaptive_median_ns": 2200000,
+                     "within_10pct": true, "worst_span": 7000000, "adaptive_span": 2100000,
+                     "span_ratio": 3.33, "ok": true}}
+                 ]}}"#
+        )
+    }
+
+    #[test]
+    fn adaptive_documents_validate_and_gate_the_envelope() {
+        let good = parse(&adaptive_doc(false, true, true, 1_050_000)).unwrap();
+        assert_eq!(validate(&good), Ok(BenchKind::Adaptive));
+
+        // A checked run with a failed workload verdict is a hard failure.
+        let lost = parse(&adaptive_doc(false, true, false, 1_500_000)).unwrap();
+        let errs = validate(&lost).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("envelope violated")),
+            "{errs:?}"
+        );
+
+        // A full run cannot dodge the gate by flipping checked off.
+        let dodge = parse(&adaptive_doc(false, false, false, 1_500_000)).unwrap();
+        let errs = validate(&dodge).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("must gate")), "{errs:?}");
+
+        // Quick smoke runs report without gating.
+        let quick = parse(&adaptive_doc(true, false, false, 1_500_000)).unwrap();
+        assert_eq!(validate(&quick), Ok(BenchKind::Adaptive));
+
+        // Corrupted rows surface every error in one pass.
+        let mut bad = adaptive_doc(false, true, true, 1_050_000);
+        bad = bad.replace(
+            "\"workload\": \"sor\", \"k\": 1",
+            "\"workload\": \"sorting\", \"k\": 0",
+        );
+        bad = bad.replace("\"settled\": true}", "\"settled\": \"yes\"}");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("workload")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains(".k")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("settled")), "{errs:?}");
+    }
+
+    #[test]
+    fn adaptive_cells_and_rows_are_regression_gated() {
+        let base = parse(&adaptive_doc(false, true, true, 1_050_000)).unwrap();
+        let slow = parse(&adaptive_doc(false, true, true, 2_050_000)).unwrap();
+        let c = compare(&slow, &base, 0.30).unwrap();
+        assert!(!c.ok());
+        assert!(
+            c.regressions.iter().any(|r| r.contains("sor/adaptive")),
+            "{:?}",
+            c.regressions
+        );
+        // 2 static cells + 2 adaptive rows on each side.
+        assert_eq!(c.compared, 4);
     }
 
     #[test]

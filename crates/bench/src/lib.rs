@@ -7,6 +7,7 @@
 //! the repository root records paper-vs-measured for each.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod barrier;
 pub mod check;
 pub mod experiments;

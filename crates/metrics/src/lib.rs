@@ -24,6 +24,7 @@
 //!   ratio** (`local / (local + remote)` grabs) and exporters: Prometheus
 //!   text exposition format and JSON.
 
+pub mod controllers;
 pub mod counters;
 pub mod histogram;
 pub mod host;
@@ -33,6 +34,7 @@ pub mod registry;
 pub mod serve;
 pub mod snapshot;
 
+pub use controllers::{ControllersSnapshot, SchedControllerSnapshot, SpinControllerSnapshot};
 pub use counters::{CounterSnapshot, WaitOutcome, WorkerCounters};
 pub use histogram::{AtomicHistogram, HistogramSnapshot, BUCKETS};
 pub use host::HostInfo;

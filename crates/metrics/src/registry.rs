@@ -5,12 +5,13 @@
 //! everything shared (histograms) is recorded at phase granularity, not per
 //! grab, so the whole layer stays within the "always-on" overhead budget.
 
+use crate::controllers::{ControllersSnapshot, SchedControllerSnapshot, SpinControllerSnapshot};
 use crate::counters::WorkerCounters;
 use crate::histogram::AtomicHistogram;
 use crate::pad::CachePadded;
 use crate::perf::PerfGroup;
 use crate::snapshot::{MetricsSnapshot, WorkerSnapshot};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Per-worker pin status encoding: unknown (never attempted).
@@ -72,6 +73,19 @@ pub struct MetricsRegistry {
     /// Workers that actually started. Equals `workers.len()` unless the
     /// pool degraded at spawn time (thread creation failed).
     effective_workers: AtomicUsize,
+    /// Latest adaptive-scheduling controller state. Written at phase
+    /// boundaries (coarse, never per grab); `sched_present` gates whether
+    /// snapshots report a block at all.
+    sched_present: AtomicBool,
+    sched_k: AtomicU64,
+    sched_b: AtomicU64,
+    sched_decisions: AtomicU64,
+    sched_settled: AtomicBool,
+    /// Latest adaptive spin-budget controller state, same discipline.
+    spin_present: AtomicBool,
+    spin_budget: AtomicU64,
+    spin_halves: AtomicU64,
+    spin_doubles: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -90,6 +104,15 @@ impl MetricsRegistry {
             cores: (0..p).map(|_| AtomicU64::new(u64::MAX)).collect(),
             nodes: (0..p).map(|_| AtomicU64::new(u64::MAX)).collect(),
             effective_workers: AtomicUsize::new(p),
+            sched_present: AtomicBool::new(false),
+            sched_k: AtomicU64::new(0),
+            sched_b: AtomicU64::new(0),
+            sched_decisions: AtomicU64::new(0),
+            sched_settled: AtomicBool::new(false),
+            spin_present: AtomicBool::new(false),
+            spin_budget: AtomicU64::new(0),
+            spin_halves: AtomicU64::new(0),
+            spin_doubles: AtomicU64::new(0),
         }
     }
 
@@ -221,6 +244,52 @@ impl MetricsRegistry {
         self.effective_workers.load(Ordering::Relaxed)
     }
 
+    /// Records the adaptive scheduling controller's latest decision: the
+    /// `(k, b)` pair in force for the next phase, how many parameter
+    /// changes it has made, and whether it considers itself settled.
+    /// Called once per phase boundary — cold relative to grabs.
+    pub fn record_sched_tune(&self, k: u64, b: u64, decisions: u64, settled: bool) {
+        self.sched_k.store(k, Ordering::Relaxed);
+        self.sched_b.store(b, Ordering::Relaxed);
+        self.sched_decisions.store(decisions, Ordering::Relaxed);
+        self.sched_settled.store(settled, Ordering::Relaxed);
+        self.sched_present.store(true, Ordering::Release);
+    }
+
+    /// The adaptive scheduling controller's latest state, if it has ever
+    /// reported one.
+    pub fn sched_controller(&self) -> Option<SchedControllerSnapshot> {
+        self.sched_present
+            .load(Ordering::Acquire)
+            .then(|| SchedControllerSnapshot {
+                k: self.sched_k.load(Ordering::Relaxed),
+                b: self.sched_b.load(Ordering::Relaxed),
+                decisions: self.sched_decisions.load(Ordering::Relaxed),
+                settled: self.sched_settled.load(Ordering::Relaxed),
+            })
+    }
+
+    /// Records the adaptive spin controller's latest state: the barrier
+    /// spin budget in force and its cumulative halve/double decisions.
+    pub fn record_spin_controller(&self, budget: u64, halves: u64, doubles: u64) {
+        self.spin_budget.store(budget, Ordering::Relaxed);
+        self.spin_halves.store(halves, Ordering::Relaxed);
+        self.spin_doubles.store(doubles, Ordering::Relaxed);
+        self.spin_present.store(true, Ordering::Release);
+    }
+
+    /// The adaptive spin controller's latest state, if it has ever
+    /// reported one.
+    pub fn spin_controller(&self) -> Option<SpinControllerSnapshot> {
+        self.spin_present
+            .load(Ordering::Acquire)
+            .then(|| SpinControllerSnapshot {
+                budget: self.spin_budget.load(Ordering::Relaxed),
+                halves: self.spin_halves.load(Ordering::Relaxed),
+                doubles: self.spin_doubles.load(Ordering::Relaxed),
+            })
+    }
+
     /// Aggregates everything into a plain-value [`MetricsSnapshot`]. Exact
     /// at quiescent points (between loops); mid-run it may be slightly
     /// stale, never torn per counter.
@@ -248,6 +317,13 @@ impl MetricsRegistry {
             deadline_misses: self.deadline_misses(),
             effective_workers: self.effective_workers(),
             serve: None,
+            controllers: {
+                let c = ControllersSnapshot {
+                    sched: self.sched_controller(),
+                    spin: self.spin_controller(),
+                };
+                (!c.is_empty()).then_some(c)
+            },
         }
     }
 }
@@ -318,6 +394,29 @@ mod tests {
         assert_eq!(snap.workers[0].pinned_core, None);
         assert_eq!(snap.workers[1].pinned_core, Some(5));
         assert_eq!(snap.workers[1].numa_node, Some(1));
+    }
+
+    #[test]
+    fn controller_state_is_absent_until_recorded() {
+        let reg = MetricsRegistry::new(2);
+        assert_eq!(reg.sched_controller(), None);
+        assert_eq!(reg.spin_controller(), None);
+        assert_eq!(reg.snapshot().controllers, None);
+        reg.record_sched_tune(8, 2, 3, true);
+        let sched = reg.sched_controller().unwrap();
+        assert_eq!(
+            (sched.k, sched.b, sched.decisions, sched.settled),
+            (8, 2, 3, true)
+        );
+        reg.record_spin_controller(1024, 1, 2);
+        let spin = reg.spin_controller().unwrap();
+        assert_eq!((spin.budget, spin.halves, spin.doubles), (1024, 1, 2));
+        let c = reg.snapshot().controllers.unwrap();
+        assert_eq!(c.sched, Some(sched));
+        assert_eq!(c.spin, Some(spin));
+        // Latest write wins.
+        reg.record_sched_tune(4, 1, 4, false);
+        assert_eq!(reg.sched_controller().unwrap().k, 4);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * [`MetricsSnapshot::to_prometheus`] — text exposition format, ready to
 //!   drop behind any scrape endpoint.
 
+use crate::controllers::ControllersSnapshot;
 use crate::counters::CounterSnapshot;
 use crate::histogram::{HistogramSnapshot, BUCKETS};
 use crate::host::escape;
@@ -27,8 +28,9 @@ use crate::serve::ServeSnapshot;
 /// and the optional `serve` block (per-tenant request accounting and
 /// latency quantiles from the serving frontend). Version 4 added the futex
 /// syscall counters (`barrier_futex_wait`, `futex_wake`) and per-worker
-/// placement (`pinned_core`, `numa_node`).
-pub const METRICS_SCHEMA_VERSION: u64 = 4;
+/// placement (`pinned_core`, `numa_node`). Version 5 added the optional
+/// `controllers` block (adaptive scheduling and spin controller state).
+pub const METRICS_SCHEMA_VERSION: u64 = 5;
 
 /// One worker's slice of a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +71,10 @@ pub struct MetricsSnapshot {
     /// Serving-frontend accounting, when a `LoopServer` owns the pool.
     /// `None` for plain (non-served) runs.
     pub serve: Option<ServeSnapshot>,
+    /// Self-tuning controller state (adaptive scheduling, adaptive spin),
+    /// when at least one controller has reported to the registry. `None`
+    /// for fully static runs.
+    pub controllers: Option<ControllersSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -83,6 +89,7 @@ impl MetricsSnapshot {
             deadline_misses: 0,
             effective_workers: p,
             serve: None,
+            controllers: None,
         }
     }
 
@@ -153,6 +160,9 @@ impl MetricsSnapshot {
             // Serve ledgers are attached per measurement window by the
             // server, not accumulated in the registry; keep the current one.
             serve: self.serve.clone(),
+            // Controller state is instantaneous: the latest opinion *is*
+            // the delta-window state.
+            controllers: self.controllers,
         }
     }
 
@@ -193,6 +203,12 @@ impl MetricsSnapshot {
             match &mut self.serve {
                 Some(mine) => mine.merge(theirs),
                 None => self.serve = Some(theirs.clone()),
+            }
+        }
+        if let Some(theirs) = &other.controllers {
+            match &mut self.controllers {
+                Some(mine) => mine.merge(theirs),
+                None => self.controllers = Some(*theirs),
             }
         }
         if other.perf_status == PerfStatus::Active {
@@ -263,6 +279,12 @@ impl MetricsSnapshot {
         out.push_str("  \"serve\": ");
         match &self.serve {
             Some(s) => out.push_str(&s.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n");
+        out.push_str("  \"controllers\": ");
+        match &self.controllers {
+            Some(c) => out.push_str(&c.to_json()),
             None => out.push_str("null"),
         }
         out.push_str(",\n");
@@ -488,6 +510,10 @@ impl MetricsSnapshot {
             out.push_str(&serve.to_prometheus());
         }
 
+        if let Some(controllers) = &self.controllers {
+            out.push_str(&controllers.to_prometheus());
+        }
+
         out
     }
 }
@@ -598,8 +624,9 @@ mod tests {
     fn json_export_is_parseable_shape() {
         let s = sample_snapshot();
         let j = s.to_json();
-        assert!(j.contains("\"schema_version\": 4"));
+        assert!(j.contains("\"schema_version\": 5"));
         assert!(j.contains("\"serve\": null"));
+        assert!(j.contains("\"controllers\": null"));
         assert!(j.contains("\"stalls\": 0"));
         assert!(j.contains("\"barrier_futex_wait\": 0"));
         assert!(j.contains("\"futex_wake\": 0"));
@@ -686,6 +713,43 @@ mod tests {
         assert_eq!(merged.admitted, 20);
         assert_eq!(merged.tenants.len(), 1);
         assert_eq!(merged.tenants[0].admitted, 20);
+    }
+
+    #[test]
+    fn controllers_block_round_trips_through_exports() {
+        use crate::controllers::{
+            ControllersSnapshot, SchedControllerSnapshot, SpinControllerSnapshot,
+        };
+        let mut s = sample_snapshot();
+        s.controllers = Some(ControllersSnapshot {
+            sched: Some(SchedControllerSnapshot {
+                k: 8,
+                b: 2,
+                decisions: 5,
+                settled: true,
+            }),
+            spin: Some(SpinControllerSnapshot {
+                budget: 4096,
+                halves: 0,
+                doubles: 2,
+            }),
+        });
+        let j = s.to_json();
+        assert!(j.contains("\"controllers\": {\"sched\": {\"k\": 8, \"b\": 2"));
+        assert!(j.contains("\"spin\": {\"budget\": 4096"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let p = s.to_prometheus();
+        assert!(p.contains("afs_sched_tune_k 8"));
+        assert!(p.contains("afs_sched_tune_settled 1"));
+        assert!(p.contains("afs_spin_budget 4096"));
+        // Merging keeps the newest controller opinion.
+        let mut m = MetricsSnapshot::empty(2);
+        m.merge(&s);
+        assert_eq!(m.controllers.unwrap().sched.unwrap().decisions, 5);
+        // The plain snapshot omits the families entirely.
+        let plain = MetricsSnapshot::empty(1).to_prometheus();
+        assert!(!plain.contains("afs_sched_tune_k"));
+        assert!(!plain.contains("afs_spin_budget"));
     }
 
     #[test]

@@ -141,6 +141,16 @@ impl NumaTopology {
     }
 }
 
+/// The machine's NUMA topology, detected once and cached for the process
+/// lifetime. Topology is a boot-time property, so callers on hot-ish paths
+/// (victim-order seeding, first-touch placement) share one detection
+/// instead of re-reading sysfs.
+pub fn topology() -> &'static NumaTopology {
+    use std::sync::OnceLock;
+    static TOPOLOGY: OnceLock<NumaTopology> = OnceLock::new();
+    TOPOLOGY.get_or_init(NumaTopology::detect)
+}
+
 /// Parses the kernel's cpulist format (`"0-3,8,10-11"`) into CPU indices.
 fn parse_cpulist(s: &str) -> Option<Vec<usize>> {
     let mut cpus = Vec::new();
@@ -199,6 +209,12 @@ mod tests {
         for cpu in 0..core_count() * 2 {
             let _ = topo.node_of_cpu(cpu);
         }
+    }
+
+    #[test]
+    fn cached_topology_is_one_instance() {
+        assert!(std::ptr::eq(topology(), topology()));
+        assert_eq!(*topology(), NumaTopology::detect());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! assert_eq!(metrics.total_iters(), 1000);
 //! ```
 
+pub mod adapt;
 pub mod affinity;
 pub mod barrier;
 pub mod fault;
@@ -53,6 +54,7 @@ pub mod spin;
 pub mod sync;
 mod watchdog;
 
+pub use adapt::{AdaptController, AdaptObservation, Tune};
 pub use barrier::SenseBarrier;
 pub use fault::{FaultPlan, PanicPolicy, PhaseError};
 pub use parallel::{

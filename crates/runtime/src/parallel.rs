@@ -14,6 +14,7 @@
 //! payload — comes back from [`try_parallel_for`] / [`try_parallel_phases`]
 //! (the non-`try` forms re-raise it via `resume_unwind`).
 
+use crate::adapt::AdaptController;
 use crate::fault::{FaultPlan, PanicPolicy, PhaseError};
 use crate::pool::{BarrierKind, Pool};
 use crate::source::{AfsSource, FetchAddSource, LockedSource, StaticSource, WorkSource};
@@ -54,8 +55,40 @@ enum Kind {
         k: KParam,
         history: std::sync::Arc<LeHistory>,
     },
+    /// Distributed AFS whose subdivision k and grab-ahead b are re-tuned
+    /// at every phase boundary by an [`AdaptController`] reading the
+    /// pool's counter deltas. The source is built once per (pool, region
+    /// stream) and *re-armed* between phases — queue words, bases and
+    /// stashes are reused, never reallocated.
+    Adaptive {
+        ctl: Arc<AdaptController>,
+        cached: Mutex<Option<AdaptiveCache>>,
+    },
     /// Lock-free static partition.
     Static,
+}
+
+/// The cached adaptive source plus the identity it was built against: a
+/// different pool size, sink, or registry forces a rebuild (normal reuse
+/// across the phases of one pool's regions only ever re-arms).
+struct AdaptiveCache {
+    src: Arc<AfsSource>,
+    p: usize,
+    traced: bool,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// A phase handle onto the region-lived adaptive source.
+struct SharedSource(Arc<AfsSource>);
+
+impl WorkSource for SharedSource {
+    fn next(&self, worker: usize) -> Option<Grab> {
+        self.0.next(worker)
+    }
+
+    fn warm(&self, worker: usize) {
+        self.0.warm(worker);
+    }
 }
 
 impl RuntimeScheduler {
@@ -94,6 +127,20 @@ impl RuntimeScheduler {
         }
     }
 
+    /// AFS with both tuning knobs fixed: local-grab divisor `k` and
+    /// grab-ahead `batch`. This is one *static* cell of the (k, b) grid
+    /// the adaptive policy searches — the bench harness sweeps these to
+    /// establish the envelope [`RuntimeScheduler::adaptive`] must land in.
+    pub fn afs_tuned(k: u64, batch: usize) -> Self {
+        assert!(k >= 1);
+        Self {
+            kind: Kind::Afs {
+                k: KParam::Fixed(k),
+                ahead: batch.clamp(1, crate::source::MAX_GRAB_AHEAD),
+            },
+        }
+    }
+
     /// Distributed AFS with "last executed" assignment across loop
     /// executions (the paper's §4.3 extension): migrations performed in one
     /// phase carry over to the next, so persistent imbalance stops causing
@@ -105,6 +152,36 @@ impl RuntimeScheduler {
                 k: KParam::EqualsP,
                 history: std::sync::Arc::new(LeHistory::new()),
             },
+        }
+    }
+
+    /// Self-tuning AFS for a pool of `p` workers: a fresh
+    /// [`AdaptController`] re-tunes the subdivision k (starting at the
+    /// paper's k = P) and the grab-ahead b (starting at 1) at every phase
+    /// boundary from the pool's always-on counters.
+    pub fn adaptive(p: usize) -> Self {
+        Self::adaptive_with(Arc::new(AdaptController::new(p)))
+    }
+
+    /// Self-tuning AFS driven by a caller-owned controller, so the (k, b)
+    /// trajectory can be inspected, seeded via
+    /// [`AdaptController::with_initial`], or pinned via
+    /// [`AdaptController::freeze`] — and so a serving frontend can share
+    /// one controller across many requests.
+    pub fn adaptive_with(ctl: Arc<AdaptController>) -> Self {
+        Self {
+            kind: Kind::Adaptive {
+                ctl,
+                cached: Mutex::new(None),
+            },
+        }
+    }
+
+    /// The adaptive controller, when this is an adaptive policy.
+    pub fn controller(&self) -> Option<&Arc<AdaptController>> {
+        match &self.kind {
+            Kind::Adaptive { ctl, .. } => Some(ctl),
+            _ => None,
         }
     }
 
@@ -195,16 +272,23 @@ impl RuntimeScheduler {
                 ahead,
             } => format!("AFS(k={k},ga={ahead})"),
             Kind::AfsLe { .. } => "AFS-LE".into(),
+            Kind::Adaptive { .. } => "ADAPTIVE".into(),
             Kind::Static => "STATIC".into(),
         }
     }
 
+    /// Builds (or, for the adaptive policy, re-tunes and re-arms) the
+    /// phase's work source. `lane` is the trace lane of the thread running
+    /// this call — the turn-taking worker in the fused driver, lane 0 for
+    /// the serial call sites (coordinator between rendezvous, region
+    /// setup) where worker 0 is provably idle.
     fn make_source(
         &self,
         n: u64,
         p: usize,
         trace: Option<&Arc<TraceSink>>,
         metrics: &Arc<MetricsRegistry>,
+        lane: usize,
     ) -> Box<dyn WorkSource + '_> {
         match &self.kind {
             Kind::Locked(s) => {
@@ -234,6 +318,48 @@ impl RuntimeScheduler {
                     None => src,
                 })
             }
+            Kind::Adaptive { ctl, cached } => {
+                // Phase boundary: read the finished phase's counter deltas,
+                // decide the next phase's (k, b), and surface the controller
+                // state to the metrics layer.
+                let tune = ctl.observe_registry(metrics);
+                metrics.record_sched_tune(tune.k, tune.b as u64, ctl.decisions(), ctl.settled());
+                if tune.changed {
+                    if let Some(sink) = trace {
+                        sink.record(
+                            lane,
+                            EventKind::SchedTune {
+                                k: tune.k as u32,
+                                b: tune.b as u32,
+                            },
+                        );
+                    }
+                }
+                let mut slot = cached.lock();
+                let reuse = slot.as_ref().is_some_and(|c| {
+                    c.p == p && c.traced == trace.is_some() && Arc::ptr_eq(&c.metrics, metrics)
+                });
+                if reuse {
+                    let cache = slot.as_ref().unwrap();
+                    cache.src.rearm(n, tune.k, tune.b);
+                    Box::new(SharedSource(Arc::clone(&cache.src)))
+                } else {
+                    let src = AfsSource::new(n, p, tune.k)
+                        .with_grab_ahead(tune.b)
+                        .with_metrics(Arc::clone(metrics));
+                    let src = Arc::new(match trace {
+                        Some(sink) => src.with_trace(Arc::clone(sink)),
+                        None => src,
+                    });
+                    *slot = Some(AdaptiveCache {
+                        src: Arc::clone(&src),
+                        p,
+                        traced: trace.is_some(),
+                        metrics: Arc::clone(metrics),
+                    });
+                    Box::new(SharedSource(src))
+                }
+            }
             Kind::Static => Box::new(StaticSource::new(n, p)),
         }
     }
@@ -245,7 +371,7 @@ impl RuntimeScheduler {
                 QueueTopology::PerProcessor => p,
             },
             Kind::FetchAdd { .. } => 1,
-            Kind::Afs { .. } | Kind::AfsLe { .. } | Kind::Static => p,
+            Kind::Afs { .. } | Kind::AfsLe { .. } | Kind::Adaptive { .. } | Kind::Static => p,
         }
     }
 }
@@ -550,7 +676,7 @@ where
         if region.halted() {
             break;
         }
-        let source = policy.make_source(len_of(phase), p, trace, &registry);
+        let source = policy.make_source(len_of(phase), p, trace, &registry, 0);
         let phase_metrics = Mutex::new(LoopMetrics::new(p, policy.queues(p)));
         let phase_start = Instant::now();
         let ran = pool.try_run(|worker| {
@@ -633,7 +759,7 @@ where
         .map(|_| SourceSlot(UnsafeCell::new(None)))
         .collect();
     // SAFETY: no worker exists yet; the coordinator owns slot 0.
-    unsafe { *slots[0].0.get() = Some(policy.make_source(len_of(0), p, trace, &registry)) };
+    unsafe { *slots[0].0.get() = Some(policy.make_source(len_of(0), p, trace, &registry, 0)) };
     let barrier = pool.phase_barrier();
     // Phase boundaries happen inside barrier turn closures (exclusive, all
     // workers arrived), so the turn-taker timestamps them: `prev_ns` holds
@@ -689,7 +815,7 @@ where
                         // into the barrier: the error is recorded, the slot
                         // stays `None`, and the release proceeds.
                         let built = catch_unwind(AssertUnwindSafe(|| {
-                            policy.make_source(len_of(phase + 1), p, trace, &registry)
+                            policy.make_source(len_of(phase + 1), p, trace, &registry, worker)
                         }));
                         match built {
                             Ok(src) => unsafe { *slots[phase + 1].0.get() = Some(src) },
@@ -765,6 +891,7 @@ mod tests {
             RuntimeScheduler::afs_k_equals_p(),
             RuntimeScheduler::afs_with_k(2),
             RuntimeScheduler::afs_last_exec(),
+            RuntimeScheduler::adaptive(4),
             RuntimeScheduler::from_core(afs_core::schedulers::ChunkSelf::new(8)),
             RuntimeScheduler::from_core(afs_core::schedulers::AdaptiveGss::new()),
         ]
@@ -904,5 +1031,87 @@ mod tests {
             });
             assert_eq!(total.load(Ordering::SeqCst), 100, "{}", policy.name());
         }
+    }
+
+    #[test]
+    fn adaptive_ticks_once_per_phase_and_covers_every_iteration() {
+        let pool = Pool::new(4);
+        let policy = RuntimeScheduler::adaptive(4);
+        let ctl = Arc::clone(policy.controller().unwrap());
+        let phases = 6usize;
+        let n = 512u64;
+        let counts: Vec<AtomicU8> = (0..n as usize * phases).map(|_| AtomicU8::new(0)).collect();
+        let m = parallel_phases(
+            &pool,
+            phases,
+            |_| n,
+            &policy,
+            |ph, i| {
+                counts[ph * n as usize + i as usize].fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert!(
+            counts.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+            "adaptive dropped or duplicated iterations"
+        );
+        assert_eq!(m.total_iters(), n * phases as u64);
+        // One controller observation per phase boundary (source build).
+        assert_eq!(ctl.phases(), phases as u64);
+        // The decision is surfaced through the pool's metrics snapshot.
+        let sched = pool
+            .metrics()
+            .snapshot()
+            .controllers
+            .expect("adaptive runs must publish controller state")
+            .sched
+            .expect("sched block present");
+        let (k, b) = ctl.current();
+        assert_eq!(sched.k, k);
+        assert_eq!(sched.b, b as u64);
+    }
+
+    #[test]
+    fn adaptive_survives_pool_size_changes_and_varying_lengths() {
+        // One policy value reused across pools of different widths: the
+        // cached source must rebuild (not rearm) when `p` changes, and
+        // rearm across phases of different lengths without losing work.
+        let policy = RuntimeScheduler::adaptive(4);
+        for p in [4usize, 2, 1] {
+            let pool = Pool::new(p);
+            let total = AtomicU64::new(0);
+            let m = parallel_phases(
+                &pool,
+                4,
+                |ph| [97u64, 0, 1024, 3][ph],
+                &policy,
+                |_, _| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(total.load(Ordering::Relaxed), 1124, "p={p}");
+            assert_eq!(m.total_iters(), 1124, "p={p}");
+        }
+    }
+
+    #[test]
+    fn frozen_adaptive_matches_the_equivalent_static_policy() {
+        // A frozen controller must behave exactly like the static AFS
+        // policy it is pinned to: same per-worker iteration counts, same
+        // grab mix — the differential that makes the adaptive path safe to
+        // reason about. Single worker keeps the run deterministic.
+        let pool = Pool::new(1);
+        let ctl = Arc::new(AdaptController::with_initial(1, 1, 2));
+        ctl.freeze();
+        let adaptive = RuntimeScheduler::adaptive_with(ctl);
+        let fixed = RuntimeScheduler {
+            kind: Kind::Afs {
+                k: KParam::Fixed(1),
+                ahead: 2,
+            },
+        };
+        let ma = parallel_phases(&pool, 3, |_| 300, &adaptive, |_, _| {});
+        let mf = parallel_phases(&pool, 3, |_| 300, &fixed, |_, _| {});
+        assert_eq!(ma.iters_per_worker, mf.iters_per_worker);
+        assert_eq!(ma.sync, mf.sync);
     }
 }

@@ -879,6 +879,13 @@ impl Pool {
             phase_total_ns: hist.total_ns,
         });
         s.spins.store(budget, Ordering::Relaxed);
+        // Surface the controller's state next to the counters it read, so
+        // snapshots show which budget was in force and how it got there.
+        s.metrics.record_spin_controller(
+            budget as u64,
+            ctl.halve_decisions(),
+            ctl.double_decisions(),
+        );
         budget
     }
 
@@ -1368,6 +1375,15 @@ mod tests {
                 "budget {b} escaped the clamp"
             );
         }
+        // The controller surfaces its state through the metrics snapshot.
+        let spin_state = pool
+            .metrics()
+            .snapshot()
+            .controllers
+            .expect("adaptive spin must publish controller state")
+            .spin
+            .expect("spin block present");
+        assert_eq!(spin_state.budget, u64::from(pool.current_spin_budget()));
         // Classic pools never spin; the controller must not attach.
         let cv = Pool::builder(2)
             .barrier(BarrierKind::Condvar)

@@ -140,6 +140,16 @@ struct Stash(UnsafeCell<Vec<Grab>>);
 // sequential, so no two threads access one slot concurrently.
 unsafe impl Sync for Stash {}
 
+/// Per-queue partition bases, rewritten only by [`AfsSource::rearm`].
+struct Bases(UnsafeCell<Vec<u64>>);
+
+// SAFETY: the bases vector is written only by `rearm`, which the drivers
+// call exclusively at phase boundaries — after every worker's final grab of
+// the old phase and before any worker's first grab of the new one, with the
+// phase barrier's release edge ordering the write against both sides. All
+// other accesses are reads from inside a phase.
+unsafe impl Sync for Bases {}
+
 /// True distributed AFS with lock-free queues.
 ///
 /// Plain AFS queues are always a single contiguous range (local grabs take
@@ -160,11 +170,17 @@ pub struct AfsSource {
     /// Queue `i`'s packed `(head, tail)` offsets, relative to `bases[i]`.
     words: Vec<CachePadded<AtomicU64>>,
     /// First iteration index of each queue's static partition.
-    bases: Vec<u64>,
-    k: u64,
+    bases: Bases,
+    /// Local grab divisor (atomic so [`AfsSource::rearm`] can re-tune it
+    /// between phases; plain loads elsewhere).
+    k: AtomicU64,
     p: usize,
-    /// Local chunks claimed per CAS (1 = plain AFS).
-    ahead: usize,
+    /// Local chunks claimed per CAS (1 = plain AFS). Atomic for the same
+    /// reason as `k`.
+    ahead: AtomicUsize,
+    /// NUMA node index of each worker slot: same-node victims are probed
+    /// before cross-node ones on the steal fallback path.
+    node_of: Vec<usize>,
     /// Per-worker stash of pre-claimed sub-chunks (drained before any new
     /// CAS; empty whenever `ahead == 1`).
     stash: Vec<CachePadded<Stash>>,
@@ -190,15 +206,22 @@ impl AfsSource {
             parts.iter().all(|r| r.len() <= u32::MAX as u64),
             "per-queue partition exceeds the packed 32-bit cursor range"
         );
+        // Worker slot w pins to core w (modulo core count) on pinned
+        // pools, so the slot's node is the node of that core. Single-node
+        // hosts get an all-equal map, which degrades the probe order to
+        // the plain wrap-around scan below.
+        let topo = crate::affinity::topology();
+        let node_of = (0..p).map(|w| topo.node_of_cpu(w)).collect();
         Self {
             words: parts
                 .iter()
                 .map(|r| CachePadded::new(AtomicU64::new(pack_queue(0, r.len() as u32))))
                 .collect(),
-            bases: parts.iter().map(|r| r.start).collect(),
-            k,
+            bases: Bases(UnsafeCell::new(parts.iter().map(|r| r.start).collect())),
+            k: AtomicU64::new(k),
             p,
-            ahead: 1,
+            ahead: AtomicUsize::new(1),
+            node_of,
             stash: (0..p)
                 .map(|_| CachePadded::new(Stash(UnsafeCell::new(Vec::new()))))
                 .collect(),
@@ -237,8 +260,60 @@ impl AfsSource {
     /// the CAS claims the whole batch range exclusively, and the stash
     /// partitions it. `batch` is clamped to `1..=`[`MAX_GRAB_AHEAD`].
     pub fn with_grab_ahead(mut self, batch: usize) -> Self {
-        self.ahead = batch.clamp(1, MAX_GRAB_AHEAD);
+        *self.ahead.get_mut() = batch.clamp(1, MAX_GRAB_AHEAD);
         self
+    }
+
+    /// Overrides the worker→node map (tests only: lets a single-node host
+    /// exercise the two-pass cross-node probe order deterministically).
+    #[doc(hidden)]
+    pub fn with_node_map(mut self, node_of: Vec<usize>) -> Self {
+        assert_eq!(node_of.len(), self.p);
+        self.node_of = node_of;
+        self
+    }
+
+    /// The current local grab divisor.
+    pub fn k(&self) -> u64 {
+        self.k.load(Ordering::Relaxed)
+    }
+
+    /// The current grab-ahead batch.
+    pub fn grab_ahead(&self) -> usize {
+        self.ahead.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the source for a fresh loop of `n` iterations with a new
+    /// subdivision `k` and grab-ahead `batch`, reusing every allocation
+    /// (queue words, bases, stashes): the adaptive policy re-tunes between
+    /// phases without rebuilding the source.
+    ///
+    /// Must be called from the drivers' exclusive phase-boundary window —
+    /// after all workers' final grabs of the previous phase and before any
+    /// first grab of the next (the same window that builds fresh sources
+    /// for static policies).
+    pub fn rearm(&self, n: u64, k: u64, batch: usize) {
+        assert!(k >= 1);
+        // SAFETY: see `Bases` — `rearm` runs exclusively at a phase
+        // boundary, so no worker is reading the vector concurrently.
+        let bases = unsafe { &mut *self.bases.0.get() };
+        for (i, base) in bases.iter_mut().enumerate().take(self.p) {
+            let r = static_partition(n, self.p, i);
+            assert!(
+                r.len() <= u32::MAX as u64,
+                "per-queue partition exceeds the packed 32-bit cursor range"
+            );
+            *base = r.start;
+            self.words[i].store(pack_queue(0, r.len() as u32), Ordering::Release);
+            // Stashes are empty after a drained phase; clear defensively in
+            // case the previous phase was abandoned mid-flight (a panic).
+            // SAFETY: same exclusive window as the bases write.
+            unsafe { &mut *self.stash[i].0.get() }.clear();
+        }
+        self.k.store(k, Ordering::Release);
+        self.ahead
+            .store(batch.clamp(1, MAX_GRAB_AHEAD), Ordering::Release);
+        self.last_victim.store(0, Ordering::Relaxed);
     }
 
     /// Deterministically injects `yield_now` between CAS attempts (seeded
@@ -275,12 +350,18 @@ impl AfsSource {
     }
 
     /// Cheap fallback victim choice: the first non-empty queue after
-    /// `start`, wrapping. Used once `MAX_FULL_SCANS` most-loaded scans have
-    /// been wasted on steal races.
-    fn probe_from(&self, start: usize) -> Option<usize> {
-        (0..self.p)
-            .map(|off| (start + 1 + off) % self.p)
-            .find(|&i| self.queue_len(i) > 0)
+    /// `start`, wrapping — but seeded by the NUMA topology: queues on
+    /// `worker`'s own node are probed first, cross-node queues only when
+    /// every same-node victim is empty. On a single-node host every queue
+    /// is same-node, so the first pass *is* the original scan and the
+    /// order is unchanged. Used once `MAX_FULL_SCANS` most-loaded scans
+    /// have been wasted on steal races.
+    fn probe_from(&self, worker: usize, start: usize) -> Option<usize> {
+        let home = self.node_of.get(worker).copied().unwrap_or(0);
+        let seq = || (0..self.p).map(|off| (start + 1 + off) % self.p);
+        seq()
+            .find(|&i| self.node_of[i] == home && self.queue_len(i) > 0)
+            .or_else(|| seq().find(|&i| self.node_of[i] != home && self.queue_len(i) > 0))
     }
 
     #[inline]
@@ -320,6 +401,8 @@ impl AfsSource {
             }
             return Some(g);
         }
+        let k = self.k.load(Ordering::Relaxed);
+        let ahead = self.ahead.load(Ordering::Relaxed);
         loop {
             let word = self.words[worker].load(Ordering::Acquire);
             let len = packed_queue_len(word);
@@ -331,8 +414,8 @@ impl AfsSource {
             let mut takes = [0u64; MAX_GRAB_AHEAD];
             let mut planned = 0usize;
             let (mut rem, mut total) = (len, 0u64);
-            while planned < self.ahead && rem > 0 {
-                let t = afs_local_chunk(rem, self.k);
+            while planned < ahead && rem > 0 {
+                let t = afs_local_chunk(rem, k);
                 takes[planned] = t;
                 planned += 1;
                 rem -= t;
@@ -349,7 +432,10 @@ impl AfsSource {
                 .is_ok()
             {
                 let (head, _) = unpack_queue(word);
-                let mut start = self.bases[worker] + head as u64;
+                // SAFETY: `Bases` is only written at exclusive phase
+                // boundaries; inside a phase this is a plain shared read.
+                let base = unsafe { (*self.bases.0.get()).as_slice()[worker] };
+                let mut start = base + head as u64;
                 for &take in &takes[..planned] {
                     stash.push(Grab {
                         range: IterRange::new(start, start + take),
@@ -388,7 +474,9 @@ impl AfsSource {
                 .is_ok()
             {
                 let (_, tail) = unpack_queue(word);
-                let end = self.bases[victim] + tail as u64;
+                // SAFETY: see `Bases` — written only at phase boundaries.
+                let base = unsafe { (*self.bases.0.get()).as_slice()[victim] };
+                let end = base + tail as u64;
                 let access = if victim == worker {
                     AccessKind::Local
                 } else {
@@ -415,9 +503,10 @@ impl WorkSource for AfsSource {
         // block is then first-touched on this worker's node, not the
         // coordinator's. SAFETY: same exclusivity as `next` — only the
         // thread driving `worker` calls `warm(worker)`.
+        let ahead = self.ahead.load(Ordering::Relaxed);
         let stash = unsafe { &mut *self.stash[worker].0.get() };
-        if self.ahead > 1 && stash.capacity() < self.ahead {
-            stash.reserve_exact(self.ahead - stash.capacity());
+        if ahead > 1 && stash.capacity() < ahead {
+            stash.reserve_exact(ahead - stash.capacity());
         }
     }
 
@@ -444,7 +533,7 @@ impl WorkSource for AfsSource {
                 full_scans += 1;
                 self.most_loaded()?
             } else {
-                self.probe_from(self.last_victim.load(Ordering::Relaxed))?
+                self.probe_from(worker, self.last_victim.load(Ordering::Relaxed))?
             };
             self.last_victim.store(victim, Ordering::Relaxed);
             if let Some(g) = self.try_steal(worker, victim) {
@@ -711,9 +800,152 @@ mod tests {
     fn grab_ahead_batch_is_clamped() {
         // Out-of-range batches clamp instead of panicking or over-claiming.
         let src = AfsSource::new(100, 1, 1).with_grab_ahead(0);
-        assert_eq!(src.ahead, 1);
+        assert_eq!(src.grab_ahead(), 1);
         let src = AfsSource::new(100, 1, 1).with_grab_ahead(1000);
-        assert_eq!(src.ahead, MAX_GRAB_AHEAD);
+        assert_eq!(src.grab_ahead(), MAX_GRAB_AHEAD);
+        let src = AfsSource::new(100, 1, 1);
+        src.rearm(100, 1, 99);
+        assert_eq!(src.grab_ahead(), MAX_GRAB_AHEAD);
+    }
+
+    #[test]
+    fn rearmed_source_matches_a_fresh_one() {
+        // A rearmed source must hand out exactly the chunk sequence a
+        // freshly built source with the same (n, k, b) would — queues,
+        // bases and stashes are reused, not semantically different.
+        let src = AfsSource::new(512, 4, 4).with_grab_ahead(2);
+        let order: Vec<usize> = (0..600).map(|i| (i * 7 + i / 5) % 4).collect();
+        for &w in &order {
+            if src.next(w).is_none() {
+                break;
+            }
+        }
+        for (n, k, b) in [(300u64, 2u64, 1usize), (512, 4, 8), (7, 1, 3)] {
+            src.rearm(n, k, b);
+            assert_eq!((src.k(), src.grab_ahead()), (k, b.clamp(1, MAX_GRAB_AHEAD)));
+            let fresh = AfsSource::new(n, 4, k).with_grab_ahead(b);
+            for &w in &order {
+                let (x, y) = (src.next(w), fresh.next(w));
+                match (x, y) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.range, x.queue, x.access), (y.range, y.queue, y.access));
+                    }
+                    (None, None) => break,
+                    (x, y) => panic!("divergence (n={n} k={k} b={b}): {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rearm_covers_exactly_once_concurrently() {
+        use std::sync::atomic::AtomicU8;
+        let n = 8_000u64;
+        let p = 8;
+        let src = AfsSource::new(n, p, p as u64);
+        for round in 0..3 {
+            src.rearm(n, 1 << round, 1 + round as usize);
+            let seen: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+            std::thread::scope(|s| {
+                for w in 0..p {
+                    let src = &src;
+                    let seen = &seen;
+                    s.spawn(move || {
+                        while let Some(g) = src.next(w) {
+                            for i in g.range.iter() {
+                                let prev = seen[i as usize].fetch_add(1, Ordering::SeqCst);
+                                assert_eq!(prev, 0, "iteration {i} handed out twice");
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn probe_prefers_same_node_victims() {
+        // Two synthetic nodes: workers {0,1} on node 0, {2,3} on node 1.
+        let src = AfsSource::new(400, 4, 4).with_node_map(vec![0, 0, 1, 1]);
+        // Drain queue 1 only (its owner pulling local chunks).
+        while src.try_local(1).is_some() {}
+        // Probing from start=0 scans 1,2,3,0: the plain order would pick 2
+        // (first non-empty), the node-aware order picks 0 — the only
+        // remaining same-node victim.
+        assert_eq!(src.probe_from(0, 0), Some(0));
+        // A worker on node 1 probing the same start picks 2 (same-node).
+        assert_eq!(src.probe_from(2, 0), Some(2));
+        // Once the whole home node is empty, the cross-node pass kicks in.
+        while src.try_local(0).is_some() {}
+        assert_eq!(src.probe_from(0, 0), Some(2));
+    }
+
+    #[test]
+    fn single_node_map_leaves_probe_order_unchanged() {
+        // On a single-node map the first probe pass is exactly the old
+        // wrap-around scan: same victim for every (worker, start).
+        let flat = AfsSource::new(400, 4, 4).with_node_map(vec![0; 4]);
+        let reference = |start: usize, skip: &[usize]| {
+            (0..4usize)
+                .map(|off| (start + 1 + off) % 4)
+                .find(|i| !skip.contains(i))
+        };
+        for start in 0..4 {
+            for w in 0..4 {
+                assert_eq!(flat.probe_from(w, start), reference(start, &[]));
+            }
+        }
+        while flat.try_local(2).is_some() {}
+        for start in 0..4 {
+            for w in 0..4 {
+                assert_eq!(flat.probe_from(w, start), reference(start, &[2]));
+            }
+        }
+    }
+
+    #[test]
+    fn node_map_does_not_change_handed_out_chunks() {
+        // The node map only re-orders the steal *fallback* probe; on a
+        // deterministic drive the grabs (and hence iteration/sync counts)
+        // are identical with and without it.
+        let plain = AfsSource::new(512, 4, 4);
+        let mapped = AfsSource::new(512, 4, 4).with_node_map(vec![0, 1, 0, 1]);
+        let order: Vec<usize> = (0..600).map(|i| (i * 5 + i / 3) % 4).collect();
+        for &w in &order {
+            let (x, y) = (plain.next(w), mapped.next(w));
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.range, x.queue, x.access), (y.range, y.queue, y.access));
+                }
+                (None, None) => break,
+                (x, y) => panic!("divergence: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn node_mapped_source_concurrent_coverage() {
+        use std::sync::atomic::AtomicU8;
+        let n = 10_000u64;
+        let p = 8;
+        let src = AfsSource::new(n, p, p as u64).with_node_map(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let seen: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..p {
+                let src = &src;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(g) = src.next(w) {
+                        for i in g.range.iter() {
+                            let prev = seen[i as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "iteration {i} handed out twice");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
     }
 
     #[test]

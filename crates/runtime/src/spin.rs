@@ -68,6 +68,10 @@ pub struct SpinController {
     /// Integer EWMA of the mean phase length in nanoseconds (0 = no
     /// samples yet).
     ewma_phase_ns: AtomicU64,
+    /// Park-dominated regions that halved the budget.
+    halves: AtomicU64,
+    /// Yield-dominated regions that doubled the budget.
+    doubles: AtomicU64,
     last: Mutex<LastSeen>,
 }
 
@@ -81,6 +85,8 @@ impl SpinController {
             max,
             current: AtomicU32::new(initial.clamp(min, max)),
             ewma_phase_ns: AtomicU64::new(0),
+            halves: AtomicU64::new(0),
+            doubles: AtomicU64::new(0),
             last: Mutex::new(LastSeen::default()),
         }
     }
@@ -94,6 +100,16 @@ impl SpinController {
     /// phase sample arrives).
     pub fn phase_ewma_ns(&self) -> u64 {
         self.ewma_phase_ns.load(Ordering::Relaxed)
+    }
+
+    /// Park-dominated regions that halved the budget so far.
+    pub fn halve_decisions(&self) -> u64 {
+        self.halves.load(Ordering::Relaxed)
+    }
+
+    /// Yield-dominated regions that doubled the budget so far.
+    pub fn double_decisions(&self) -> u64 {
+        self.doubles.load(Ordering::Relaxed)
     }
 
     /// Feeds one reading of the cumulative counters and returns the new
@@ -124,8 +140,10 @@ impl SpinController {
         if waited > 0 {
             if d_park * 2 > waited {
                 budget /= 2;
+                self.halves.fetch_add(1, Ordering::Relaxed);
             } else if d_yield * 2 > waited {
                 budget = budget.saturating_mul(2);
+                self.doubles.fetch_add(1, Ordering::Relaxed);
             }
         }
         // Never spin longer than a whole phase: the wait being hidden is
@@ -217,6 +235,18 @@ mod tests {
         let b = c.current();
         // Same totals again: zero deltas, no change.
         assert_eq!(c.observe(o), b);
+    }
+
+    #[test]
+    fn decisions_are_counted() {
+        let c = SpinController::new(4096, 64, 65_536);
+        assert_eq!((c.halve_decisions(), c.double_decisions()), (0, 0));
+        c.observe(obs(0, 0, 100, 1, 10_000_000)); // park-dominated
+        assert_eq!((c.halve_decisions(), c.double_decisions()), (1, 0));
+        c.observe(obs(0, 100, 100, 2, 20_000_000)); // yield-dominated
+        assert_eq!((c.halve_decisions(), c.double_decisions()), (1, 1));
+        c.observe(obs(100, 100, 100, 3, 30_000_000)); // spin-dominated: no-op
+        assert_eq!((c.halve_decisions(), c.double_decisions()), (1, 1));
     }
 
     #[test]

@@ -212,12 +212,26 @@ impl Batch {
     fn build(shared: Arc<ServerShared>, reqs: Vec<Admitted>, dispatch_ns: u64) -> Batch {
         let p = shared.pool.workers();
         let metrics = shared.pool.metrics();
+        // One controller observation per dispatched batch: every adaptive
+        // unit in this batch runs with the same freshly tuned (k, b), and
+        // the decision is surfaced through the pool's metrics snapshot.
+        let tune = if reqs
+            .iter()
+            .any(|a| a.req.policy == crate::request::ServePolicy::Adaptive)
+        {
+            let ctl = &shared.adapt;
+            let t = ctl.observe_registry(metrics);
+            metrics.record_sched_tune(t.k, t.b as u64, ctl.decisions(), ctl.settled());
+            (t.k, t.b)
+        } else {
+            (p as u64, 1)
+        };
         let mut units = Vec::new();
         for (ri, a) in reqs.iter().enumerate() {
             let phases = a.req.phases.max(1);
             for ph in 0..phases {
                 units.push(Unit {
-                    source: a.req.policy.build(a.req.n, p, metrics),
+                    source: a.req.policy.build(a.req.n, p, metrics, tune),
                     req_idx: ri,
                     last: ph + 1 == phases,
                 });

@@ -83,6 +83,13 @@ pub enum ServePolicy {
     },
     /// Static partition: no run-time scheduling at all.
     Static,
+    /// Self-tuning AFS: the server's shared
+    /// [`afs_runtime::adapt::AdaptController`] re-tunes the subdivision k
+    /// and grab-ahead b from the pool's counters, once per dispatched
+    /// batch. Requests from all tenants feed one controller, so the
+    /// server converges on parameters for the *mix* it is actually
+    /// serving.
+    Adaptive,
 }
 
 impl ServePolicy {
@@ -94,13 +101,23 @@ impl ServePolicy {
             ServePolicy::SelfSched => "self",
             ServePolicy::Css { .. } => "css",
             ServePolicy::Static => "static",
+            ServePolicy::Adaptive => "adaptive",
         }
     }
 
     /// Builds a fresh work source for an `n`-iteration phase on `p`
     /// workers. AFS sources feed CAS-retry/stash accounting into the
-    /// pool's registry, like the runtime drivers do.
-    pub(crate) fn build(self, n: u64, p: usize, metrics: &Arc<MetricsRegistry>) -> OwnedSource {
+    /// pool's registry, like the runtime drivers do. `tune` is the
+    /// `(k, b)` pair in force for [`ServePolicy::Adaptive`] requests
+    /// (decided once per batch by the server's controller); other
+    /// policies ignore it.
+    pub(crate) fn build(
+        self,
+        n: u64,
+        p: usize,
+        metrics: &Arc<MetricsRegistry>,
+        tune: (u64, usize),
+    ) -> OwnedSource {
         match self {
             ServePolicy::Afs => {
                 OwnedSource::Afs(AfsSource::new(n, p, p as u64).with_metrics(Arc::clone(metrics)))
@@ -115,6 +132,11 @@ impl ServePolicy {
                 OwnedSource::FetchAdd(FetchAddSource::new(n, chunk.max(1)))
             }
             ServePolicy::Static => OwnedSource::Static(StaticSource::new(n, p)),
+            ServePolicy::Adaptive => OwnedSource::Afs(
+                AfsSource::new(n, p, tune.0)
+                    .with_grab_ahead(tune.1)
+                    .with_metrics(Arc::clone(metrics)),
+            ),
         }
     }
 }
@@ -264,8 +286,9 @@ mod tests {
             ServePolicy::SelfSched,
             ServePolicy::Css { chunk: 8 },
             ServePolicy::Static,
+            ServePolicy::Adaptive,
         ] {
-            let src = policy.build(100, 2, &reg);
+            let src = policy.build(100, 2, &reg, (4, 2));
             let mut total = 0u64;
             for w in 0..2 {
                 while let Some(g) = src.next(w) {

@@ -145,6 +145,10 @@ pub(crate) struct ServerShared {
     pub(crate) shed_shutdown: AtomicU64,
     pub(crate) dispatches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
+    /// One self-tuning controller for every [`ServePolicy::Adaptive`]
+    /// request the server runs: the (k, b) trajectory spans batches, so
+    /// the server converges on the request mix it actually serves.
+    pub(crate) adapt: Arc<afs_runtime::adapt::AdaptController>,
     trace: Option<TraceLanes>,
 }
 
@@ -264,6 +268,9 @@ impl ServerBuilder {
         if let Some(seed) = self.queue_seed {
             queue = queue.with_yield_injection(seed);
         }
+        let adapt = Arc::new(afs_runtime::adapt::AdaptController::new(
+            self.pool.workers(),
+        ));
         let shared = Arc::new(ServerShared {
             pool: self.pool,
             queue,
@@ -278,6 +285,7 @@ impl ServerBuilder {
             shed_shutdown: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            adapt,
             trace,
         });
         let discipline = self.discipline;

@@ -233,11 +233,11 @@ fn request_ids_are_unique_under_concurrency() {
     while !server.dispatch_next().is_empty() {}
 }
 
-/// The serve ledger rides the metrics snapshot (schema v4) into both
+/// The serve ledger rides the metrics snapshot (schema v5) into both
 /// exports, alongside the pool's own families.
 #[test]
 fn serve_ledger_rides_the_metrics_snapshot() {
-    assert_eq!(METRICS_SCHEMA_VERSION, 4);
+    assert_eq!(METRICS_SCHEMA_VERSION, 5);
     let pool = Arc::new(Pool::new(2));
     let server = LoopServer::builder(Arc::clone(&pool))
         .tenant("small")
@@ -271,6 +271,39 @@ fn serve_ledger_rides_the_metrics_snapshot() {
         prom.contains("afs_grabs_total"),
         "pool families still there"
     );
+}
+
+/// Adaptive requests complete like any other policy, and the server's
+/// shared controller surfaces its (k, b) decision through the snapshot's
+/// controllers block.
+#[test]
+fn adaptive_requests_complete_and_publish_controller_state() {
+    let pool = Arc::new(Pool::new(2));
+    let server = LoopServer::builder(Arc::clone(&pool)).tenant("t").build();
+    for _ in 0..8 {
+        let r = LoopRequest {
+            tenant: 0,
+            kernel: ServeKernel::Touch,
+            n: 256,
+            phases: 2,
+            policy: ServePolicy::Adaptive,
+        };
+        assert!(server.admit(r).is_accepted());
+    }
+    server.drain();
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.serve.as_ref().unwrap().completed, 8);
+    // Every iteration of every phase ran: 8 requests × 2 phases × 256.
+    assert_eq!(snap.totals().iters, 8 * 2 * 256);
+    let sched = snap
+        .controllers
+        .expect("adaptive serving publishes controller state")
+        .sched
+        .expect("sched block present");
+    assert!(sched.k >= 1);
+    assert!(sched.b >= 1);
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("afs_sched_tune_k"));
 }
 
 /// Request lifecycle events land on the serve lane: one admit per

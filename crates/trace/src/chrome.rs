@@ -280,6 +280,19 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                         ),
                     );
                 }
+                EventKind::SchedTune { k, b } => {
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"sched tune\",\"cat\":\"sched\",\"ph\":\"i\",\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"k\":{k},\"b\":{b}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
                 EventKind::BarrierRelease => {
                     // The first release of a pool's life has no arrive;
                     // draw a span only for matched pairs.

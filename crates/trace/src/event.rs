@@ -128,6 +128,16 @@ pub enum EventKind {
         /// queue full, 1 = tenant backlog, 2 = shutting down).
         reason: u32,
     },
+    /// The adaptive scheduling controller re-tuned the AFS parameters at a
+    /// phase boundary: the next phase runs with subdivision `k` and
+    /// grab-ahead `b`. Recorded on the lane of the worker (or coordinator)
+    /// that ran the decision, preserving the single-writer rule.
+    SchedTune {
+        /// The new subdivision parameter.
+        k: u32,
+        /// The new grab-ahead batch.
+        b: u32,
+    },
 }
 
 impl EventKind {
@@ -232,5 +242,6 @@ mod tests {
             .grab_access(),
             None
         );
+        assert_eq!(EventKind::SchedTune { k: 8, b: 2 }.grab_access(), None);
     }
 }

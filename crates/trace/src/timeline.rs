@@ -83,11 +83,13 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                 // inside it changes how the worker waits, not whether.
                 EventKind::BarrierRelease | EventKind::BarrierPark { .. } => {}
                 // Watchdog observations mark faults, not lane activity;
-                // request lifecycle marks belong to the serving layer.
+                // request lifecycle marks belong to the serving layer, and
+                // a scheduling re-tune is a phase-boundary annotation.
                 EventKind::StallDetected { .. }
                 | EventKind::RequestAdmit { .. }
                 | EventKind::RequestDispatch { .. }
-                | EventKind::RequestShed { .. } => {}
+                | EventKind::RequestShed { .. }
+                | EventKind::SchedTune { .. } => {}
             }
         }
     }
