@@ -62,8 +62,9 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Schema version of `BENCH_adaptive.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version of `BENCH_adaptive.json`: the workspace-wide constant
+/// (see [`afs_metrics::METRICS_SCHEMA_VERSION`]), never a private number.
+pub const SCHEMA_VERSION: u64 = afs_metrics::METRICS_SCHEMA_VERSION;
 
 /// Workers for every cell: the paper's P=8 configuration.
 pub const P: usize = 8;

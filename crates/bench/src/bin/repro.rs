@@ -37,6 +37,15 @@
 //!                      # bench run (counters, histograms, perf events where
 //!                      # the kernel allows). FILE defaults to metrics.json;
 //!                      # a .prom suffix selects Prometheus text exposition
+//! repro --telemetry ADDR
+//!                      # start a live telemetry endpoint (e.g.
+//!                      # 127.0.0.1:9100) for the duration of the run:
+//!                      # GET /metrics, /snapshot.json, /healthz, /tune.
+//!                      # Every pool any --bench-* run creates reports in;
+//!                      # each scrape takes a fresh snapshot
+//! repro --flight DIR   # arm the black-box flight recorder: every pool
+//!                      # dumps DIR/flight-*.json when a stall, phase
+//!                      # panic, spawn degradation or shed spike trips it
 //! repro --check-bench FILE [--baseline FILE] [--tolerance X] [--strict]
 //!                      # validate a BENCH_*.json document; with --baseline,
 //!                      # also compare cell by cell and report regressions
@@ -163,6 +172,10 @@ fn main() {
     let mut want_metrics_path = false;
     let mut check_bench: Option<String> = None;
     let mut want_check_bench = false;
+    let mut telemetry_addr: Option<String> = None;
+    let mut want_telemetry = false;
+    let mut flight_dir: Option<std::path::PathBuf> = None;
+    let mut want_flight = false;
     let mut baseline: Option<String> = None;
     let mut want_baseline = false;
     let mut tolerance = 0.30f64;
@@ -178,6 +191,16 @@ fn main() {
         if want_check_bench {
             check_bench = Some(a.clone());
             want_check_bench = false;
+            continue;
+        }
+        if want_telemetry {
+            telemetry_addr = Some(a.clone());
+            want_telemetry = false;
+            continue;
+        }
+        if want_flight {
+            flight_dir = Some(std::path::PathBuf::from(a));
+            want_flight = false;
             continue;
         }
         if want_baseline {
@@ -220,6 +243,8 @@ fn main() {
                 want_metrics_path = true;
             }
             "--check-bench" => want_check_bench = true,
+            "--telemetry" => want_telemetry = true,
+            "--flight" => want_flight = true,
             "--baseline" => want_baseline = true,
             "--tolerance" => want_tolerance = true,
             "--strict" => strict = true,
@@ -247,6 +272,7 @@ fn main() {
                      [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-barrier] \
                      [--bench-faults] \
                      [--bench-serve] [--bench-adaptive] [--metrics [FILE.json|FILE.prom]] \
+                     [--telemetry ADDR] [--flight DIR] \
                      [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
                 );
@@ -269,6 +295,14 @@ fn main() {
         eprintln!("--check-bench needs a file argument");
         std::process::exit(2);
     }
+    if want_telemetry {
+        eprintln!("--telemetry needs an ADDR argument (e.g. 127.0.0.1:9100)");
+        std::process::exit(2);
+    }
+    if want_flight {
+        eprintln!("--flight needs a directory argument");
+        std::process::exit(2);
+    }
     if want_baseline {
         eprintln!("--baseline needs a file argument");
         std::process::exit(2);
@@ -280,6 +314,35 @@ fn main() {
     if let Some(file) = &check_bench {
         run_check(file, baseline.as_deref(), tolerance, strict);
     }
+    if let Some(dir) = &flight_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("--flight: cannot create {}: {err}", dir.display());
+            std::process::exit(2);
+        }
+        // Every pool built from here on arms its flight recorder at this
+        // directory; the first pool whose trigger trips claims the dump.
+        std::env::set_var("AFS_FLIGHT_DIR", dir);
+    }
+    // The telemetry endpoint outlives every bench below; dropping the
+    // handle at the end of main stops the listener.
+    let _telemetry = telemetry_addr.as_deref().map(|addr| {
+        // Opt the process into the hub so every pool a bench builds
+        // reports into the live scrape (retired pools fold into the
+        // base accumulator, so mid-run scrapes cover the whole run).
+        afs_scope::hub().enable();
+        let source = afs_scope::TelemetrySource::new(|| afs_scope::hub().scrape())
+            .with_recorders(|| afs_scope::hub().recorders());
+        match afs_scope::TelemetryServer::start(addr, source) {
+            Ok(srv) => {
+                eprintln!("telemetry: listening on http://{}/", srv.local_addr());
+                srv
+            }
+            Err(err) => {
+                eprintln!("telemetry: cannot bind {addr}: {err}");
+                std::process::exit(2);
+            }
+        }
+    });
     // Metrics accumulated across every --bench-* run of this invocation.
     let mut bench_metrics: Option<MetricsSnapshot> = None;
     let mut merge_metrics = |snapshot: &MetricsSnapshot| match &mut bench_metrics {

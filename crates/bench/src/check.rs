@@ -84,13 +84,19 @@ fn bool_of(v: &Value, key: &str) -> Option<bool> {
     v.get(key).and_then(Value::as_bool)
 }
 
-/// Checks the version-1/2 additions when present. Version 0 files (no
+/// Known schema versions: the historical per-bench numbers (1, 2) plus the
+/// current workspace-wide constant. Claiming anything else is an error.
+fn known_schema_version(n: f64) -> bool {
+    n == 1.0 || n == 2.0 || n == afs_metrics::METRICS_SCHEMA_VERSION as f64
+}
+
+/// Checks the version-1+ additions when present. Version 0 files (no
 /// `schema_version`) are fine; claiming a version we don't know is not.
 fn validate_envelope(doc: &Value, errs: &mut Vec<String>) {
     match doc.get("schema_version") {
         None => {} // version 0: pre-host files, still decodable
         Some(v) => match v.as_f64() {
-            Some(n) if n != 1.0 && n != 2.0 => errs.push(format!("unknown schema_version {n}")),
+            Some(n) if !known_schema_version(n) => errs.push(format!("unknown schema_version {n}")),
             None => errs.push("schema_version must be a number".into()),
             Some(_) => {
                 let Some(host) = doc.get("host") else {
@@ -450,10 +456,13 @@ fn validate_serve_envelope(doc: &Value, errs: &mut Vec<String>) {
 /// The kernels bench grew its own envelope at schema version 2: the
 /// barrier round-trip rows and two raw-speed gates (futex must not lose to
 /// condvar, the adaptive spin budget must land within 10% of the best
-/// static budget). Earlier versions predate all of it and stay valid.
+/// static budget). Earlier versions predate all of it and stay valid;
+/// every version from 2 on (including the current workspace-wide number)
+/// must carry it.
 fn validate_kernels_envelope(doc: &Value, errs: &mut Vec<String>) {
-    if doc.get("schema_version").and_then(Value::as_f64) != Some(2.0) {
-        return;
+    match doc.get("schema_version").and_then(Value::as_f64) {
+        Some(n) if n >= 2.0 => {}
+        _ => return,
     }
     let checked = bool_of(doc, "checked");
     if checked.is_none() {
@@ -763,6 +772,25 @@ fn prefix(which: &str, errs: Vec<String>) -> Vec<String> {
 mod tests {
     use super::*;
     use afs_trace::json::parse;
+
+    /// Satellite of the observability PR: the schema version has exactly
+    /// one source of truth. Every bench writer aliases
+    /// `afs_metrics::METRICS_SCHEMA_VERSION`, so bumping the constant
+    /// once moves every emitted document — and the validator accepts it.
+    #[test]
+    fn schema_version_has_a_single_source_of_truth() {
+        let v = afs_metrics::METRICS_SCHEMA_VERSION;
+        assert_eq!(crate::grabs::SCHEMA_VERSION, v);
+        assert_eq!(crate::kernels::SCHEMA_VERSION, v);
+        assert_eq!(crate::faults::SCHEMA_VERSION, v);
+        assert_eq!(crate::serve::SCHEMA_VERSION, v);
+        assert_eq!(crate::adaptive::SCHEMA_VERSION, v);
+        assert!(known_schema_version(v as f64));
+        assert!(
+            !known_schema_version((v + 1) as f64),
+            "future versions still reject until the constant moves"
+        );
+    }
 
     fn grabs_doc(quick: bool, mean: f64) -> String {
         format!(

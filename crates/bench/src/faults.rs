@@ -31,9 +31,11 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-/// Schema version of `BENCH_faults.json`. This bench was born at version 1
-/// (`schema_version` + `host` block); there are no version-0 files.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version of `BENCH_faults.json`: the workspace-wide constant (see
+/// [`afs_metrics::METRICS_SCHEMA_VERSION`]). This bench was born at
+/// version 1 (`schema_version` + `host` block); there are no version-0
+/// files.
+pub const SCHEMA_VERSION: u64 = afs_metrics::METRICS_SCHEMA_VERSION;
 
 /// Workers for every row: the paper's P=8 configuration.
 pub const P: usize = 8;
@@ -351,7 +353,10 @@ mod tests {
         let json = synthetic().to_json();
         let v = afs_trace::json::parse(&json).expect("valid JSON");
         assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("faults"));
-        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(1.0));
+        assert_eq!(
+            v.get("schema_version").and_then(|s| s.as_f64()),
+            Some(SCHEMA_VERSION as f64)
+        );
         assert_eq!(
             v.get("panic_containment").and_then(|b| b.as_bool()),
             Some(true)

@@ -37,10 +37,11 @@ use afs_runtime::source::{AfsSource, FetchAddSource, LockedAfsSource, LockedSour
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Schema version of `BENCH_grabs.json`. Version 1 added the `host`
-/// block; files without a `schema_version` key are version 0 and stay
-/// decodable.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version of `BENCH_grabs.json`: the workspace-wide constant (see
+/// [`afs_metrics::METRICS_SCHEMA_VERSION`]). Historically: version 1 added
+/// the `host` block; files without a `schema_version` key are version 0
+/// and stay decodable.
+pub const SCHEMA_VERSION: u64 = afs_metrics::METRICS_SCHEMA_VERSION;
 
 /// Worker counts measured. The interesting point is the largest (most
 /// contended); the smaller ones show how the gap opens.
@@ -519,7 +520,10 @@ mod tests {
             v.get("bench").and_then(|b| b.as_str()),
             Some("grab_latency")
         );
-        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(1.0));
+        assert_eq!(
+            v.get("schema_version").and_then(|s| s.as_f64()),
+            Some(SCHEMA_VERSION as f64)
+        );
         let host = v.get("host").expect("host block");
         assert_eq!(host.get("cpus").and_then(|c| c.as_f64()), Some(8.0));
         assert_eq!(

@@ -29,12 +29,13 @@ use afs_runtime::{BarrierKind, Pool, RuntimeScheduler};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Schema version of `BENCH_kernels.json`. Version 1 added the `host`
-/// block; version 2 added the `futex` barrier column, the
+/// Schema version of `BENCH_kernels.json`: the workspace-wide constant
+/// (see [`afs_metrics::METRICS_SCHEMA_VERSION`]). Historically: version 1
+/// added the `host` block; version 2 added the `futex` barrier column, the
 /// `barrier_samples` round-trip microbench rows, the adaptive-spin
 /// ablation and the `checked` envelope. Files without a `schema_version`
 /// key are version 0 and stay decodable.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = afs_metrics::METRICS_SCHEMA_VERSION;
 
 /// Workers for every cell: the paper's P=8 configuration.
 pub const P: usize = 8;
@@ -717,7 +718,10 @@ mod tests {
         let json = synthetic().to_json();
         let v = afs_trace::json::parse(&json).expect("valid JSON");
         assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("kernels"));
-        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(2.0));
+        assert_eq!(
+            v.get("schema_version").and_then(|s| s.as_f64()),
+            Some(SCHEMA_VERSION as f64)
+        );
         let host = v.get("host").expect("host block");
         assert_eq!(host.get("cpus").and_then(|c| c.as_f64()), Some(8.0));
         assert_eq!(

@@ -35,9 +35,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Schema version of `BENCH_serve.json`. Born at 1 (`schema_version` +
+/// Schema version of `BENCH_serve.json`: the workspace-wide constant (see
+/// [`afs_metrics::METRICS_SCHEMA_VERSION`]). Born at 1 (`schema_version` +
 /// `host` envelope, like the faults bench).
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = afs_metrics::METRICS_SCHEMA_VERSION;
 
 /// Pool workers for every cell. Small enough to leave cores for the two
 /// client threads and the dispatcher on an 8-way host.
@@ -549,7 +550,10 @@ mod tests {
         let json = synthetic().to_json();
         let v = afs_trace::json::parse(&json).expect("valid JSON");
         assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("serve"));
-        assert_eq!(v.get("schema_version").and_then(|s| s.as_f64()), Some(1.0));
+        assert_eq!(
+            v.get("schema_version").and_then(|s| s.as_f64()),
+            Some(SCHEMA_VERSION as f64)
+        );
         assert_eq!(v.get("checked").and_then(|c| c.as_bool()), Some(true));
         assert_eq!(v.get("batch_over_fcfs").and_then(|b| b.as_f64()), Some(1.5));
         let samples = v.get("samples").and_then(|s| s.as_array()).unwrap();

@@ -245,6 +245,75 @@ mod tests {
     #[test]
     fn quantile_of_empty_is_zero() {
         assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+        // The empty histogram is total: any q, even out of range, is 0.
+        assert_eq!(HistogramSnapshot::default().quantile(-1.0), 0.0);
+        assert_eq!(HistogramSnapshot::default().quantile(2.0), 0.0);
+        assert_eq!(HistogramSnapshot::default().quantile(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn quantile_clamps_q_to_unit_interval() {
+        let h = AtomicHistogram::new();
+        for ns in [10, 100, 1000, 10_000] {
+            h.record(ns);
+        }
+        let s = h.get();
+        assert_eq!(s.quantile(-0.5), s.quantile(0.0), "q below 0 clamps to 0");
+        assert_eq!(s.quantile(1.5), s.quantile(1.0), "q above 1 clamps to 1");
+        assert!(s.quantile(0.0) <= s.quantile(1.0));
+        assert_eq!(s.quantile(1.0), s.max_ns as f64);
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_one_bucket_stays_inside_it() {
+        // Every sample lands in [256, 512); the estimate must never leave
+        // the bucket, for any q, and must clamp to the observed max.
+        let h = AtomicHistogram::new();
+        for i in 0..50u64 {
+            h.record(300 + i);
+        }
+        let s = h.get();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let est = s.quantile(q);
+            assert!(
+                (256.0..=349.0).contains(&est),
+                "q={q}: est {est} escaped the [256, 349] envelope"
+            );
+        }
+        assert_eq!(s.quantile(1.0), 349.0);
+    }
+
+    #[test]
+    fn merge_then_quantile_agrees_with_quantile_of_merged() {
+        // Recording A then B into one histogram and add()-ing two
+        // histograms of A and B must be indistinguishable to quantile().
+        let mut state = 7u64;
+        let (ha, hb, hboth) = (
+            AtomicHistogram::new(),
+            AtomicHistogram::new(),
+            AtomicHistogram::new(),
+        );
+        for i in 0..5_000 {
+            let ns = 1 + splitmix64(&mut state) % 2_000_000;
+            if i % 2 == 0 {
+                ha.record(ns);
+            } else {
+                hb.record(ns);
+            }
+            hboth.record(ns);
+        }
+        let mut merged = ha.get();
+        merged.add(&hb.get());
+        let direct = hboth.get();
+        assert_eq!(merged.samples, direct.samples);
+        assert_eq!(merged.max_ns, direct.max_ns);
+        for q in [0.0, 0.05, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                direct.quantile(q),
+                "q={q}: merge-then-quantile vs quantile-of-merged"
+            );
+        }
     }
 
     #[test]

@@ -127,6 +127,18 @@ impl MetricsRegistry {
         &self.workers[w]
     }
 
+    /// Sum of every worker's counters, read in place. Unlike
+    /// [`MetricsRegistry::snapshot`] this allocates nothing, so it is cheap
+    /// enough to call at every phase boundary (the flight recorder diffs
+    /// successive totals to get per-phase deltas).
+    pub fn totals(&self) -> crate::counters::CounterSnapshot {
+        let mut t = crate::counters::CounterSnapshot::default();
+        for w in &self.workers {
+            t.add(&w.get());
+        }
+        t
+    }
+
     /// The phase-duration histogram (one sample per barrier-to-barrier
     /// phase).
     pub fn phase_hist(&self) -> &AtomicHistogram {

@@ -21,16 +21,25 @@ use crate::perf::PerfSample;
 use crate::registry::PerfStatus;
 use crate::serve::ServeSnapshot;
 
-/// Schema version stamped into JSON exports. Version 2 added the fault /
-/// robustness fields: per-worker `pinned` and `heartbeats`, and the
-/// registry-level `stalls_detected`, `deadline_misses` and
-/// `effective_workers`. Version 3 added per-worker `stalls` attribution
-/// and the optional `serve` block (per-tenant request accounting and
-/// latency quantiles from the serving frontend). Version 4 added the futex
-/// syscall counters (`barrier_futex_wait`, `futex_wake`) and per-worker
-/// placement (`pinned_core`, `numa_node`). Version 5 added the optional
-/// `controllers` block (adaptive scheduling and spin controller state).
-pub const METRICS_SCHEMA_VERSION: u64 = 5;
+/// Schema version stamped into every JSON document this workspace emits —
+/// the metrics export, the bench result files, flight-recorder dumps, and
+/// the telemetry endpoint's JSON routes. This constant is the **single
+/// source of truth**: bench writers and `afs-scope` re-export it rather
+/// than keeping their own numbers, so a schema bump happens in exactly one
+/// place.
+///
+/// Version 2 added the fault / robustness fields: per-worker `pinned` and
+/// `heartbeats`, and the registry-level `stalls_detected`,
+/// `deadline_misses` and `effective_workers`. Version 3 added per-worker
+/// `stalls` attribution and the optional `serve` block (per-tenant request
+/// accounting and latency quantiles from the serving frontend). Version 4
+/// added the futex syscall counters (`barrier_futex_wait`, `futex_wake`)
+/// and per-worker placement (`pinned_core`, `numa_node`). Version 5 added
+/// the optional `controllers` block (adaptive scheduling and spin
+/// controller state). Version 6 is the live-observability release: one
+/// shared constant across all writers, flight-recorder dump documents, and
+/// the `/snapshot.json` / `/healthz` / `/tune` telemetry routes.
+pub const METRICS_SCHEMA_VERSION: u64 = 6;
 
 /// One worker's slice of a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -624,7 +633,7 @@ mod tests {
     fn json_export_is_parseable_shape() {
         let s = sample_snapshot();
         let j = s.to_json();
-        assert!(j.contains("\"schema_version\": 5"));
+        assert!(j.contains(&format!("\"schema_version\": {METRICS_SCHEMA_VERSION}")));
         assert!(j.contains("\"serve\": null"));
         assert!(j.contains("\"controllers\": null"));
         assert!(j.contains("\"stalls\": 0"));

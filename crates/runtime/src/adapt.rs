@@ -329,7 +329,9 @@ impl AdaptController {
             .unwrap_or(g.retry_ewma_pm);
         let park_pm = (d_park * 1000).checked_div(waited).unwrap_or(0);
         let workers = obs.iters.len().max(1) as u64;
-        let imbal_pm = (d_max * workers * 1000).checked_div(d_total).unwrap_or(1000);
+        let imbal_pm = (d_max * workers * 1000)
+            .checked_div(d_total)
+            .unwrap_or(1000);
         if g.seeded {
             g.steal_ewma_pm = (g.steal_ewma_pm * 3 + steal_pm) / 4;
             g.retry_ewma_pm = (g.retry_ewma_pm * 3 + retry_pm) / 4;

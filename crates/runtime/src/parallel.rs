@@ -702,19 +702,32 @@ where
         });
         let took = phase_start.elapsed();
         registry.phase_hist().record_duration(took);
+        pool.recorder()
+            .record_phase(phase as u64, took.as_nanos() as u64, &registry);
         if deadline.is_some_and(|d| took > d) {
             registry.record_deadline_miss();
         }
         total.merge(&phase_metrics.into_inner());
         // Body panics are contained inside drain_phase; an Err here means a
         // panic in the driver itself and leaves nothing sound to continue.
-        ran?;
+        ran.map_err(|e| flag_phase_error(pool, e))?;
     }
     registry.loop_hist().record_duration(region_start.elapsed());
     match region.take() {
-        Some(e) => Err(e),
+        Some(e) => Err(flag_phase_error(pool, e)),
         None => Ok(total),
     }
+}
+
+/// Arms the pool's flight recorder with a contained-panic trigger before
+/// the error propagates; the phase that panicked was already recorded, so
+/// the dump (written at the next flush point) carries its lead-up.
+fn flag_phase_error(pool: &Pool, e: PhaseError) -> PhaseError {
+    pool.recorder().trigger(afs_scope::Trigger::PhaseError {
+        worker: e.worker(),
+        phase: e.phase(),
+    });
+    e
 }
 
 /// A per-phase work-source slot for the fused driver. Plain memory,
@@ -747,6 +760,7 @@ where
     let p = pool.workers();
     let trace = pool.trace();
     let registry = Arc::clone(pool.metrics());
+    let recorder = Arc::clone(pool.recorder());
     let faults = pool.fault_plan().cloned();
     let region = RegionFailure::new(pool.panic_policy());
     let deadline_ns = pool.phase_deadline().map(|d| d.as_nanos() as u64);
@@ -804,6 +818,9 @@ where
                     let now = region_start.elapsed().as_nanos() as u64;
                     let prev = prev_ns.swap(now, Ordering::Relaxed);
                     registry.phase_hist().record(now - prev);
+                    // Turn-exclusive (all arrived, none released): the
+                    // canonical once-per-phase point for the black box.
+                    recorder.record_phase(phase as u64, now - prev, &registry);
                     if deadline_ns.is_some_and(|d| now - prev > d) {
                         registry.record_deadline_miss();
                     }
@@ -833,15 +850,16 @@ where
     let end_ns = region_start.elapsed().as_nanos() as u64;
     let last_phase_ns = end_ns - prev_ns.load(Ordering::Relaxed);
     registry.phase_hist().record(last_phase_ns);
+    recorder.record_phase((phases - 1) as u64, last_phase_ns, &registry);
     if deadline_ns.is_some_and(|d| last_phase_ns > d) {
         registry.record_deadline_miss();
     }
     registry.loop_hist().record(end_ns);
     // Body panics are contained inside drain_phase; an Err here means a
     // panic in the driver itself.
-    ran?;
+    ran.map_err(|e| flag_phase_error(pool, e))?;
     match region.take() {
-        Some(e) => Err(e),
+        Some(e) => Err(flag_phase_error(pool, e)),
         None => Ok(total.into_inner()),
     }
 }

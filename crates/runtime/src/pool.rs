@@ -55,6 +55,7 @@ use crate::pad::CachePadded;
 use crate::spin::{SpinController, SpinObservation};
 use crate::watchdog::Watchdog;
 use afs_metrics::{MetricsRegistry, WaitOutcome};
+use afs_scope::{FlightRecorder, Trigger};
 use afs_trace::{EventKind, TraceSink};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -440,6 +441,10 @@ pub struct Pool {
     policy: PanicPolicy,
     deadline: Option<Duration>,
     watchdog: Option<Watchdog>,
+    /// Always-on black box (see `afs_scope`): phase summaries accumulate
+    /// in a bounded ring; a trigger (stall, contained panic, spawn
+    /// degradation, shed spike) dumps it to the configured directory.
+    recorder: Arc<FlightRecorder>,
 }
 
 /// Configures and builds a [`Pool`].
@@ -468,6 +473,7 @@ pub struct PoolBuilder {
     watchdog: Option<Duration>,
     deadline: Option<Duration>,
     fail_spawn_after: Option<usize>,
+    flight_dir: Option<std::path::PathBuf>,
 }
 
 impl PoolBuilder {
@@ -583,6 +589,16 @@ impl PoolBuilder {
         self
     }
 
+    /// Directory the pool's flight recorder dumps into when a trigger
+    /// fires (stall, contained panic, spawn degradation, shed spike).
+    /// Without this, the `AFS_FLIGHT_DIR` environment variable is
+    /// consulted at build time; with neither, triggers count but nothing
+    /// is written.
+    pub fn flight_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
     /// Spawns the workers and returns the pool.
     ///
     /// Panics if `p == 0` or an attached sink has fewer than `p` lanes.
@@ -680,9 +696,25 @@ impl PoolBuilder {
         assert!(live >= 1, "failed to spawn any worker");
         shared.live.store(live, Ordering::Relaxed);
         shared.metrics.set_effective_workers(live);
+        let recorder = Arc::new(FlightRecorder::new());
+        match self.flight_dir {
+            Some(dir) => recorder.set_dump_dir(dir, false),
+            // The env path is how `repro --flight DIR` reaches every pool a
+            // bench run creates; env-configured recorders share one
+            // process-wide dump claim so such a run leaves exactly one file.
+            None => {
+                if let Ok(dir) = std::env::var("AFS_FLIGHT_DIR") {
+                    if !dir.is_empty() {
+                        recorder.set_dump_dir(dir, true);
+                    }
+                }
+            }
+        }
         if live < p {
             eprintln!("afs-runtime: pool degraded to {live} of {p} requested workers");
+            recorder.trigger(Trigger::SpawnDegraded { live, requested: p });
         }
+        afs_scope::hub().install(&shared.metrics, &recorder);
         let mut pool = Pool {
             shared,
             handles,
@@ -694,6 +726,7 @@ impl PoolBuilder {
             policy: self.policy,
             deadline: self.deadline,
             watchdog: None,
+            recorder,
         };
         if self.pin {
             // One sync round so every worker has started (and pinned)
@@ -719,6 +752,7 @@ impl PoolBuilder {
                 Arc::clone(&pool.shared.running),
                 pool.trace.clone(),
                 live,
+                Arc::clone(&pool.recorder),
             ));
         }
         pool
@@ -744,6 +778,7 @@ impl Pool {
             watchdog: None,
             deadline: None,
             fail_spawn_after: None,
+            flight_dir: None,
         }
     }
 
@@ -789,6 +824,12 @@ impl Pool {
     /// subtract (`delta_since`) to attribute activity to that region.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.shared.metrics
+    }
+
+    /// The pool's black-box flight recorder (always on; dumps only when a
+    /// trigger fires and a dump directory is configured).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// The fault plan attached at construction, if any.
@@ -1184,6 +1225,12 @@ impl Drop for Pool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        // Everything is quiescent: write any pending flight-recorder dump
+        // (covers triggers with no later phase boundary) and fold the final
+        // counters into the telemetry hub so post-run scrapes still see
+        // this pool's totals.
+        self.recorder.flush();
+        afs_scope::hub().retire(&self.shared.metrics);
     }
 }
 

@@ -18,6 +18,7 @@
 //! lanes still count stalls in metrics; they just skip the trace event.
 
 use afs_metrics::MetricsRegistry;
+use afs_scope::{FlightRecorder, Trigger};
 use afs_trace::{EventKind, TraceSink};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -39,12 +40,23 @@ impl Watchdog {
         running: Arc<AtomicBool>,
         sink: Option<Arc<TraceSink>>,
         p: usize,
+        recorder: Arc<FlightRecorder>,
     ) -> Watchdog {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("afs-watchdog".into())
-            .spawn(move || watch(interval, &metrics, &running, sink.as_deref(), p, &stop2))
+            .spawn(move || {
+                watch(
+                    interval,
+                    &metrics,
+                    &running,
+                    sink.as_deref(),
+                    p,
+                    &recorder,
+                    &stop2,
+                )
+            })
             .ok();
         Watchdog { stop, handle }
     }
@@ -66,6 +78,7 @@ fn watch(
     running: &AtomicBool,
     sink: Option<&TraceSink>,
     p: usize,
+    recorder: &FlightRecorder,
     stop: &(Mutex<bool>, Condvar),
 ) {
     let (lock, cv) = stop;
@@ -90,6 +103,11 @@ fn watch(
             let hb = metrics.worker(w).heartbeat();
             if armed && hb == *seen && !metrics.worker(w).is_waiting() {
                 metrics.record_stall(w);
+                // Arm the flight recorder: the dump is written at the next
+                // phase boundary (or pool drop), so it contains the record
+                // of the phase that stalled — the lead-up, not just the
+                // verdict.
+                recorder.trigger(Trigger::Stall { worker: w });
                 if let Some(sink) = sink {
                     if sink.workers() > p {
                         sink.record(p, EventKind::StallDetected { worker: w as u32 });

@@ -267,7 +267,7 @@ fn exports_from_a_real_run_are_wellformed() {
     let doc = afs_trace::json::parse(&j).expect("metrics JSON must parse");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_f64()),
-        Some(5.0)
+        Some(afs_metrics::METRICS_SCHEMA_VERSION as f64)
     );
     let totals = doc.get("totals").expect("totals object");
     assert_eq!(

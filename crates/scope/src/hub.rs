@@ -1,0 +1,178 @@
+//! The process-global telemetry hub.
+//!
+//! `repro --telemetry ADDR` must expose *every* pool a bench run creates —
+//! and benches create and drop pools freely (one per policy × kernel
+//! cell). Threading a server handle through every bench signature would
+//! touch dozens of call sites for a purely observational feature, so the
+//! hub inverts the dependency: the CLI [`TelemetryHub::enable`]s the hub
+//! once, and `afs-runtime`'s pool builder registers each registry/recorder
+//! pair as
+//! a side effect of `build()`. When the hub is disabled (the default, and
+//! always in unit tests) registration is a no-op — nothing global leaks
+//! between tests.
+//!
+//! Entries are held as [`Weak`] references: the hub never extends a pool's
+//! lifetime. A pool that wants its final counters to outlive it calls
+//! [`TelemetryHub::retire`] on drop, which folds a last snapshot into the
+//! hub's base accumulator — so a scrape taken *after* a bench cell
+//! finished still sees its totals, and a scrape taken mid-cell sees base +
+//! live registries merged.
+
+use crate::recorder::FlightRecorder;
+use afs_metrics::{MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// A live pool's entry: weak so the hub never keeps a pool alive.
+struct HubEntry {
+    registry: Weak<MetricsRegistry>,
+    recorder: Weak<FlightRecorder>,
+}
+
+/// Process-global registration point for live telemetry. See the module
+/// docs for the lifecycle.
+pub struct TelemetryHub {
+    enabled: AtomicBool,
+    pools: Mutex<Vec<HubEntry>>,
+    /// Folded-in snapshots of already-dropped pools. `None` until the
+    /// first pool retires: merging into a zero-worker placeholder would
+    /// poison the pessimistic (`min`) fields like `effective_workers`.
+    base: Mutex<Option<MetricsSnapshot>>,
+}
+
+static HUB: OnceLock<TelemetryHub> = OnceLock::new();
+
+/// The process-wide hub (created on first use, disabled until
+/// [`TelemetryHub::enable`]).
+pub fn hub() -> &'static TelemetryHub {
+    HUB.get_or_init(|| TelemetryHub {
+        enabled: AtomicBool::new(false),
+        pools: Mutex::new(Vec::new()),
+        base: Mutex::new(None),
+    })
+}
+
+impl TelemetryHub {
+    /// Turns registration on. Meant to be called once, by the CLI, before
+    /// any pool is built. There is deliberately no `disable`: the flag
+    /// guards a process-scoped observational feature, not a resource.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Whether pools should register themselves.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Registers a pool's registry and recorder. No-op while disabled.
+    pub fn install(&self, registry: &Arc<MetricsRegistry>, recorder: &Arc<FlightRecorder>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut pools = self.pools.lock().unwrap();
+        pools.retain(|e| e.registry.strong_count() > 0);
+        pools.push(HubEntry {
+            registry: Arc::downgrade(registry),
+            recorder: Arc::downgrade(recorder),
+        });
+    }
+
+    /// Folds `registry`'s final snapshot into the base accumulator and
+    /// drops its entry. Called by the pool on drop; no-op while disabled.
+    pub fn retire(&self, registry: &Arc<MetricsRegistry>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut pools = self.pools.lock().unwrap();
+        let before = pools.len();
+        pools.retain(|e| match e.registry.upgrade() {
+            Some(live) => !Arc::ptr_eq(&live, registry),
+            None => false,
+        });
+        if pools.len() < before {
+            let snap = registry.snapshot();
+            match &mut *self.base.lock().unwrap() {
+                Some(base) => base.merge(&snap),
+                slot => *slot = Some(snap),
+            }
+        }
+    }
+
+    /// A merged snapshot of everything the hub has seen: retired pools'
+    /// folded totals plus every live registry, rendered fresh.
+    pub fn scrape(&self) -> MetricsSnapshot {
+        let mut out = self.base.lock().unwrap().clone();
+        let pools = self.pools.lock().unwrap();
+        for entry in pools.iter() {
+            if let Some(reg) = entry.registry.upgrade() {
+                let snap = reg.snapshot();
+                match &mut out {
+                    Some(base) => base.merge(&snap),
+                    slot => *slot = Some(snap),
+                }
+            }
+        }
+        out.unwrap_or_else(|| MetricsSnapshot::empty(0))
+    }
+
+    /// The currently-live flight recorders.
+    pub fn recorders(&self) -> Vec<Arc<FlightRecorder>> {
+        self.pools
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.recorder.upgrade())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The hub is process-global state; everything is exercised in one test
+    // to keep the sequence deterministic under the parallel test runner.
+    // (Other tests construct `TelemetryServer`s with explicit sources and
+    // never touch the hub.)
+    #[test]
+    fn hub_lifecycle_install_scrape_retire() {
+        let h = hub();
+        // Disabled: install is a no-op.
+        let reg = Arc::new(MetricsRegistry::new(1));
+        let rec = Arc::new(FlightRecorder::new());
+        h.install(&reg, &rec);
+        assert_eq!(h.recorders().len(), 0);
+
+        h.enable();
+        assert!(h.is_enabled());
+        h.install(&reg, &rec);
+        assert_eq!(h.recorders().len(), 1);
+        reg.worker(0).record_iters(42);
+        assert_eq!(h.scrape().totals().iters, 42);
+
+        // Retire folds the final totals into the base accumulator.
+        h.retire(&reg);
+        assert_eq!(h.recorders().len(), 0);
+        assert_eq!(h.scrape().totals().iters, 42);
+
+        // A second pool merges on top of the retired base.
+        let reg2 = Arc::new(MetricsRegistry::new(2));
+        let rec2 = Arc::new(FlightRecorder::new());
+        h.install(&reg2, &rec2);
+        reg2.worker(1).record_iters(8);
+        assert_eq!(h.scrape().totals().iters, 50);
+        h.retire(&reg2);
+        assert_eq!(h.scrape().totals().iters, 50);
+
+        // Dropping a pool without retiring must not pin it: weak entries
+        // fall away on the next scrape.
+        let reg3 = Arc::new(MetricsRegistry::new(1));
+        let rec3 = Arc::new(FlightRecorder::new());
+        h.install(&reg3, &rec3);
+        drop(reg3);
+        drop(rec3);
+        assert_eq!(h.recorders().len(), 0);
+        assert_eq!(h.scrape().totals().iters, 50);
+    }
+}

@@ -1,0 +1,399 @@
+//! Prometheus text-exposition conformance checking.
+//!
+//! The exporter in `afs-metrics` is hand-rolled (no client library), so
+//! nothing structurally prevents a drive-by edit from emitting a family
+//! with two `# TYPE` lines, an unescaped label value, or a counter that
+//! does not end in `_total` — all of which real scrapers reject or
+//! misparse. [`check_exposition`] validates the rules this workspace
+//! commits to, and the conformance tests run it against both the file
+//! export and a live `/metrics` scrape:
+//!
+//! * every sample's family has exactly one `# HELP` and one `# TYPE` line;
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`;
+//! * label values escape `\`, `"` and newlines;
+//! * `counter` families end in `_total` and their values are finite and
+//!   non-negative;
+//! * `histogram` families emit `_bucket`/`_sum`/`_count` series with a
+//!   terminal `le="+Inf"` bucket.
+//!
+//! Returns a list of human-readable violations — empty means conformant.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One metric family's comment-line bookkeeping.
+#[derive(Debug, Default)]
+struct Family {
+    help: u32,
+    ty: u32,
+    kind: String,
+}
+
+/// Checks `text` against the exposition rules above; returns all
+/// violations found (empty = conformant).
+pub fn check_exposition(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+
+    // Pass 1: collect HELP/TYPE bookkeeping.
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            match rest.split_whitespace().next() {
+                Some(name) => families.entry(name.to_string()).or_default().help += 1,
+                None => errors.push(format!("line {n}: HELP with no metric name")),
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(kind)) => {
+                    let fam = families.entry(name.to_string()).or_default();
+                    fam.ty += 1;
+                    fam.kind = kind.to_string();
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        errors.push(format!("line {n}: unknown TYPE '{kind}' for {name}"));
+                    }
+                }
+                _ => errors.push(format!("line {n}: malformed TYPE line")),
+            }
+        }
+    }
+
+    for (name, fam) in &families {
+        if fam.help != 1 {
+            errors.push(format!(
+                "family {name}: {} HELP lines (want exactly 1)",
+                fam.help
+            ));
+        }
+        if fam.ty != 1 {
+            errors.push(format!(
+                "family {name}: {} TYPE lines (want exactly 1)",
+                fam.ty
+            ));
+        }
+        if fam.kind == "counter" && !name.ends_with("_total") {
+            errors.push(format!("family {name}: counter does not end in _total"));
+        }
+    }
+
+    // Pass 2: samples.
+    let mut seen_series = BTreeSet::new();
+    let mut inf_buckets: BTreeSet<String> = BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, rest) = match split_name(line) {
+            Some(pair) => pair,
+            None => {
+                errors.push(format!("line {n}: cannot parse sample name"));
+                continue;
+            }
+        };
+        if !valid_metric_name(name) {
+            errors.push(format!("line {n}: invalid metric name '{name}'"));
+        }
+        let family = resolve_family(name, &families);
+        match family {
+            Some(fam) => {
+                let f = &families[fam];
+                if f.help != 1 || f.ty != 1 {
+                    // Already reported per-family above.
+                } else if f.kind == "counter" {
+                    match rest.value.parse::<f64>() {
+                        Ok(v) if v.is_finite() && v >= 0.0 => {}
+                        _ => errors.push(format!(
+                            "line {n}: counter {name} has non-finite or negative value '{}'",
+                            rest.value
+                        )),
+                    }
+                }
+                if name.ends_with("_bucket")
+                    && rest.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+                {
+                    inf_buckets.insert(fam.to_string());
+                }
+            }
+            None => errors.push(format!("line {n}: sample {name} has no HELP/TYPE family")),
+        }
+        for (k, _) in &rest.labels {
+            if !valid_label_name(k) {
+                errors.push(format!("line {n}: invalid label name '{k}'"));
+            }
+        }
+        for err in &rest.label_errors {
+            errors.push(format!("line {n}: {err}"));
+        }
+        if rest.value.parse::<f64>().is_err() && rest.value != "NaN" {
+            errors.push(format!("line {n}: unparseable value '{}'", rest.value));
+        }
+        let series = format!("{name}{{{}}}", rest.raw_labels);
+        if !seen_series.insert(series.clone()) {
+            errors.push(format!("line {n}: duplicate series {series}"));
+        }
+    }
+
+    // Histograms need a terminal +Inf bucket (scrapers derive _count from
+    // it).
+    for (name, fam) in &families {
+        if fam.kind == "histogram" && !inf_buckets.contains(name) {
+            errors.push(format!(
+                "family {name}: histogram has no le=\"+Inf\" bucket"
+            ));
+        }
+    }
+
+    errors
+}
+
+/// A parsed sample line's tail: labels (decoded), the raw label text (for
+/// series identity), any escape violations, and the value text.
+struct SampleRest {
+    labels: Vec<(String, String)>,
+    raw_labels: String,
+    label_errors: Vec<String>,
+    value: String,
+}
+
+fn split_name(line: &str) -> Option<(&str, SampleRest)> {
+    let name_end = line.find(['{', ' '])?;
+    let name = &line[..name_end];
+    if line.as_bytes()[name_end] == b' ' {
+        return Some((
+            name,
+            SampleRest {
+                labels: Vec::new(),
+                raw_labels: String::new(),
+                label_errors: Vec::new(),
+                value: line[name_end + 1..].trim().to_string(),
+            },
+        ));
+    }
+    // Labels: scan to the matching close brace respecting quoted strings.
+    let body = &line[name_end + 1..];
+    let mut labels = Vec::new();
+    let mut label_errors = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    let mut close = None;
+    'outer: while let Some((i, c)) = chars.next() {
+        match c {
+            '}' => {
+                close = Some(i);
+                break 'outer;
+            }
+            ',' | ' ' => {}
+            _ => {
+                // label name up to '='
+                let start = i;
+                let mut eq = None;
+                if c != '=' {
+                    for (j, d) in chars.by_ref() {
+                        if d == '=' {
+                            eq = Some(j);
+                            break;
+                        }
+                    }
+                } else {
+                    eq = Some(i);
+                }
+                let Some(eq) = eq else {
+                    label_errors.push("label with no '='".to_string());
+                    break 'outer;
+                };
+                let key = body[start..eq].trim().to_string();
+                match chars.next() {
+                    Some((_, '"')) => {}
+                    _ => {
+                        label_errors.push(format!("label {key} value not quoted"));
+                        break 'outer;
+                    }
+                }
+                let mut value = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, '\\')) => value.push('\\'),
+                            Some((_, '"')) => value.push('"'),
+                            Some((_, 'n')) => value.push('\n'),
+                            // Record the violation but keep scanning to the
+                            // closing quote, so the rest of the line (and
+                            // its errors) still parse.
+                            other => {
+                                label_errors.push(format!(
+                                    "label {key}: invalid escape '\\{}'",
+                                    other.map(|(_, c)| c).unwrap_or(' ')
+                                ));
+                                if let Some((_, c)) = other {
+                                    value.push(c);
+                                }
+                            }
+                        },
+                        Some((_, '"')) => break,
+                        Some((_, '\n')) | None => {
+                            label_errors.push(format!("label {key}: unterminated value"));
+                            break 'outer;
+                        }
+                        Some((_, c)) => value.push(c),
+                    }
+                }
+                labels.push((key, value));
+            }
+        }
+    }
+    let close = close?;
+    let raw_labels = body[..close].to_string();
+    let value = body[close + 1..].trim().to_string();
+    Some((
+        name,
+        SampleRest {
+            labels,
+            raw_labels,
+            label_errors,
+            value,
+        },
+    ))
+}
+
+/// Maps a sample name to its HELP/TYPE family: itself, or for
+/// histogram/summary series the name with `_bucket`/`_sum`/`_count`
+/// stripped.
+fn resolve_family<'a>(name: &'a str, families: &BTreeMap<String, Family>) -> Option<&'a str> {
+    if families.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(fam) = families.get(base) {
+                if fam.kind == "histogram" || fam.kind == "summary" {
+                    return Some(base);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_conformant_exposition() {
+        let text = "\
+# HELP afs_iters_total Iterations executed.
+# TYPE afs_iters_total counter
+afs_iters_total{worker=\"0\"} 12
+# HELP afs_phase_duration_ns Phase durations.
+# TYPE afs_phase_duration_ns histogram
+afs_phase_duration_ns_bucket{le=\"2\"} 1
+afs_phase_duration_ns_bucket{le=\"+Inf\"} 1
+afs_phase_duration_ns_sum 2
+afs_phase_duration_ns_count 1
+# HELP afs_gauge A gauge.
+# TYPE afs_gauge gauge
+afs_gauge NaN
+";
+        assert_eq!(check_exposition(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn flags_missing_and_duplicate_comment_lines() {
+        let text = "\
+# TYPE afs_a_total counter
+afs_a_total 1
+# HELP afs_b_total b
+# HELP afs_b_total b again
+# TYPE afs_b_total counter
+afs_b_total 2
+";
+        let errs = check_exposition(text);
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("afs_a_total") && e.contains("0 HELP")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("afs_b_total") && e.contains("2 HELP")));
+    }
+
+    #[test]
+    fn flags_counter_without_total_suffix_and_negative_value() {
+        let text = "\
+# HELP afs_bad b
+# TYPE afs_bad counter
+afs_bad 1
+# HELP afs_neg_total n
+# TYPE afs_neg_total counter
+afs_neg_total -3
+";
+        let errs = check_exposition(text);
+        assert!(errs.iter().any(|e| e.contains("does not end in _total")));
+        assert!(errs.iter().any(|e| e.contains("negative value")));
+    }
+
+    #[test]
+    fn flags_bad_escapes_and_orphan_samples() {
+        let text = "\
+# HELP afs_l_total l
+# TYPE afs_l_total counter
+afs_l_total{tenant=\"a\\qb\"} 1
+afs_orphan_total 2
+";
+        let errs = check_exposition(text);
+        assert!(errs.iter().any(|e| e.contains("invalid escape")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("afs_orphan_total") && e.contains("no HELP/TYPE")));
+    }
+
+    #[test]
+    fn accepts_escaped_label_values_and_flags_duplicates() {
+        let text = "\
+# HELP afs_l_total l
+# TYPE afs_l_total counter
+afs_l_total{tenant=\"a\\\\b\\\"c\\nd\"} 1
+afs_l_total{tenant=\"a\\\\b\\\"c\\nd\"} 1
+";
+        let errs = check_exposition(text);
+        assert!(
+            !errs.iter().any(|e| e.contains("invalid escape")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("duplicate series")));
+    }
+
+    #[test]
+    fn flags_histogram_without_inf_bucket() {
+        let text = "\
+# HELP afs_h h
+# TYPE afs_h histogram
+afs_h_bucket{le=\"2\"} 1
+afs_h_sum 2
+afs_h_count 1
+";
+        let errs = check_exposition(text);
+        assert!(errs.iter().any(|e| e.contains("no le=\"+Inf\" bucket")));
+    }
+}

@@ -19,6 +19,8 @@
 use crate::request::OwnedSource;
 use crate::server::{Admitted, ServerShared};
 use afs_runtime::{SenseBarrier, TryDispatchError};
+use afs_scope::ServeEventKind;
+use afs_trace::event::EventKind;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -191,6 +193,8 @@ struct Unit {
     source: OwnedSource,
     /// Index into [`Batch::reqs`].
     req_idx: usize,
+    /// Zero-based phase index within the request (span annotation).
+    phase: u32,
     /// Whether this is the request's final phase (completion stamps fire
     /// at its barrier turn).
     last: bool,
@@ -233,6 +237,7 @@ impl Batch {
                 units.push(Unit {
                     source: a.req.policy.build(a.req.n, p, metrics, tune),
                     req_idx: ri,
+                    phase: ph,
                     last: ph + 1 == phases,
                 });
             }
@@ -275,7 +280,15 @@ impl Batch {
                 tenant.iters.fetch_add(iters, Ordering::Relaxed);
             }
             let completes = unit.last.then_some(unit.req_idx);
+            let (span_id, span_phase) = (a.id, unit.phase);
             self.barrier.arrive_then_as(w, (g + 1) as u64, || {
+                // The turn slot runs on exactly one worker, after every
+                // worker finished this phase — the moment the phase
+                // retired, which is what the span instant marks.
+                self.shared.trace_record(EventKind::RequestPhase {
+                    id: span_id,
+                    phase: span_phase,
+                });
                 if let Some(ri) = completes {
                     self.complete(ri);
                 }
@@ -297,6 +310,12 @@ impl Batch {
         tenant.completed.fetch_add(1, Ordering::Relaxed);
         tenant.pending.fetch_sub(1, Ordering::Relaxed);
         self.shared.completed.fetch_add(1, Ordering::Relaxed);
+        self.shared.trace_record(EventKind::RequestComplete {
+            tenant: a.req.tenant as u32,
+            id: a.id,
+        });
+        self.shared
+            .serve_event(ServeEventKind::Complete, a.req.tenant, a.id, 0);
     }
 }
 
@@ -317,6 +336,7 @@ pub(crate) fn execute(
             .queue_ns
             .record(dispatch_ns.saturating_sub(a.admit_ns));
         shared.trace_dispatch(a.req.tenant, a.id);
+        shared.serve_event(ServeEventKind::Dispatch, a.req.tenant, a.id, 0);
     }
     shared.dispatches.fetch_add(1, Ordering::Relaxed);
     if reqs.len() > 1 {

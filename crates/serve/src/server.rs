@@ -24,6 +24,7 @@ use crate::queue::MpmcQueue;
 use crate::request::{Admit, LoopRequest, ShedReason};
 use afs_metrics::{AtomicHistogram, MetricsSnapshot, ServeSnapshot, TenantServeSnapshot};
 use afs_runtime::Pool;
+use afs_scope::{ServeEventKind, ServeRecord, TelemetryServer, TelemetrySource};
 use afs_trace::event::EventKind;
 use afs_trace::sink::TraceSink;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -166,7 +167,7 @@ impl ServerShared {
             .sum()
     }
 
-    fn trace_record(&self, kind: EventKind) {
+    pub(crate) fn trace_record(&self, kind: EventKind) {
         if let Some(tl) = &self.trace {
             let _guard = tl.lock.lock().unwrap_or_else(|e| e.into_inner());
             tl.sink.record(tl.lane, kind);
@@ -179,6 +180,58 @@ impl ServerShared {
             id,
         });
     }
+
+    /// Feeds one serve lifecycle event to the pool's flight recorder —
+    /// the black box keeps the last N of these, and shed events drive its
+    /// shed-spike trigger.
+    pub(crate) fn serve_event(&self, kind: ServeEventKind, tenant: usize, id: u64, code: u32) {
+        self.pool.recorder().record_serve_event(ServeRecord {
+            t_ns: self.now_ns(),
+            kind,
+            tenant: tenant as u32,
+            id,
+            code,
+        });
+    }
+}
+
+/// The serving ledger read straight off `ServerShared` — shared by
+/// [`LoopServer::serve_snapshot`] and the telemetry endpoint's scrape
+/// closure (which holds the `Arc<ServerShared>`, not the server).
+pub(crate) fn serve_snapshot_of(s: &ServerShared, discipline: Discipline) -> ServeSnapshot {
+    let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
+    ServeSnapshot {
+        discipline: discipline.label().to_string(),
+        admitted: load(&s.admitted),
+        completed: load(&s.completed),
+        shed_queue_full: load(&s.shed_queue_full),
+        shed_tenant_backlog: load(&s.shed_tenant_backlog),
+        shed_shutdown: load(&s.shed_shutdown),
+        dispatches: load(&s.dispatches),
+        batched_requests: load(&s.batched_requests),
+        tenants: s
+            .tenants
+            .iter()
+            .map(|t| TenantServeSnapshot {
+                name: t.name.clone(),
+                admitted: load(&t.admitted),
+                completed: load(&t.completed),
+                shed: load(&t.shed),
+                iters: load(&t.iters),
+                queue_ns: t.queue_ns.get(),
+                service_ns: t.service_ns.get(),
+                sojourn_ns: t.sojourn_ns.get(),
+            })
+            .collect(),
+    }
+}
+
+/// Pool snapshot with the serve ledger attached — the one-document view
+/// served by `/snapshot.json` and `/metrics`.
+pub(crate) fn metrics_snapshot_of(s: &ServerShared, discipline: Discipline) -> MetricsSnapshot {
+    let mut snap = s.pool.metrics().snapshot();
+    snap.serve = Some(serve_snapshot_of(s, discipline));
+    snap
 }
 
 /// Configures and builds a [`LoopServer`].
@@ -190,6 +243,7 @@ pub struct ServerBuilder {
     manual: bool,
     trace: Option<Arc<TraceSink>>,
     queue_seed: Option<u64>,
+    telemetry: Option<String>,
 }
 
 impl ServerBuilder {
@@ -232,6 +286,20 @@ impl ServerBuilder {
     /// The sink needs at least `p + 2` lanes.
     pub fn trace(mut self, sink: Arc<TraceSink>) -> ServerBuilder {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Starts a live telemetry HTTP endpoint on `addr` (e.g.
+    /// `"127.0.0.1:9100"`, or port `0` for an OS-assigned port readable
+    /// via [`LoopServer::telemetry_addr`]). The endpoint serves
+    /// `/metrics` (Prometheus text), `/snapshot.json` (the combined
+    /// pool + serve document), `/healthz` (watchdog stall state and pool
+    /// liveness), and `/tune` (the adaptive controller's current `(k, b)`
+    /// and spin-budget trajectory). Each scrape takes a fresh snapshot —
+    /// no cached state. If the bind fails the server still builds; the
+    /// failure is reported on stderr and the endpoint is absent.
+    pub fn telemetry(mut self, addr: impl Into<String>) -> ServerBuilder {
+        self.telemetry = Some(addr.into());
         self
     }
 
@@ -289,6 +357,19 @@ impl ServerBuilder {
             trace,
         });
         let discipline = self.discipline;
+        let telemetry = self.telemetry.and_then(|addr| {
+            let snap = Arc::clone(&shared);
+            let rec = Arc::clone(&shared);
+            let source = TelemetrySource::new(move || metrics_snapshot_of(&snap, discipline))
+                .with_recorders(move || vec![Arc::clone(rec.pool.recorder())]);
+            match TelemetryServer::start(addr.as_str(), source) {
+                Ok(srv) => Some(srv),
+                Err(e) => {
+                    eprintln!("afs-serve: telemetry bind on {addr} failed ({e}); serving without");
+                    None
+                }
+            }
+        });
         let dispatcher = (!self.manual).then(|| {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -302,6 +383,7 @@ impl ServerBuilder {
             discipline,
             state: Mutex::new(DispatchState::new(tenants)),
             dispatcher,
+            telemetry,
         }
     }
 }
@@ -345,6 +427,9 @@ pub struct LoopServer {
     /// Manual-mode staging state (the threaded dispatcher owns its own).
     state: Mutex<DispatchState>,
     dispatcher: Option<JoinHandle<()>>,
+    /// Live telemetry endpoint, when [`ServerBuilder::telemetry`] asked
+    /// for one and the bind succeeded. Stopped on drop.
+    telemetry: Option<TelemetryServer>,
 }
 
 impl LoopServer {
@@ -358,7 +443,15 @@ impl LoopServer {
             manual: false,
             trace: None,
             queue_seed: None,
+            telemetry: None,
         }
+    }
+
+    /// The bound address of the live telemetry endpoint, when one was
+    /// requested and its bind succeeded. With port `0` this is how the
+    /// caller learns the OS-assigned port.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(|t| t.local_addr())
     }
 
     /// The discipline this server dispatches under.
@@ -409,6 +502,7 @@ impl LoopServer {
                     tenant: tenant_idx as u32,
                     id,
                 });
+                s.serve_event(ServeEventKind::Admit, tenant_idx, id, 0);
                 Admit::Accepted { id }
             }
             Err(_) => {
@@ -431,6 +525,7 @@ impl LoopServer {
             tenant: tenant as u32,
             reason: reason.code(),
         });
+        s.serve_event(ServeEventKind::Shed, tenant, 0, reason.code());
         Admit::Shed(reason)
     }
 
@@ -496,40 +591,13 @@ impl LoopServer {
     /// The serving ledger: per-tenant counts and latency histograms,
     /// plus shed/dispatch totals.
     pub fn serve_snapshot(&self) -> ServeSnapshot {
-        let s = &*self.shared;
-        let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
-        ServeSnapshot {
-            discipline: self.discipline.label().to_string(),
-            admitted: load(&s.admitted),
-            completed: load(&s.completed),
-            shed_queue_full: load(&s.shed_queue_full),
-            shed_tenant_backlog: load(&s.shed_tenant_backlog),
-            shed_shutdown: load(&s.shed_shutdown),
-            dispatches: load(&s.dispatches),
-            batched_requests: load(&s.batched_requests),
-            tenants: s
-                .tenants
-                .iter()
-                .map(|t| TenantServeSnapshot {
-                    name: t.name.clone(),
-                    admitted: load(&t.admitted),
-                    completed: load(&t.completed),
-                    shed: load(&t.shed),
-                    iters: load(&t.iters),
-                    queue_ns: t.queue_ns.get(),
-                    service_ns: t.service_ns.get(),
-                    sojourn_ns: t.sojourn_ns.get(),
-                })
-                .collect(),
-        }
+        serve_snapshot_of(&self.shared, self.discipline)
     }
 
     /// The pool's metrics snapshot with this server's ledger attached —
     /// one schema-v3 document carrying both views.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = self.shared.pool.metrics().snapshot();
-        snap.serve = Some(self.serve_snapshot());
-        snap
+        metrics_snapshot_of(&self.shared, self.discipline)
     }
 
     /// Stops admission, drains everything already admitted, joins the

@@ -253,6 +253,20 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                             us(ev.t),
                         ),
                     );
+                    // Async span open: the request's whole sojourn. Matched
+                    // by (cat, id) with the `e` from `RequestComplete`; the
+                    // nested "service" span subtracts queue wait from it.
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"b\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant}}}}}",
+                            us(ev.t),
+                        ),
+                    );
                 }
                 EventKind::RequestDispatch { tenant, id } => {
                     push(
@@ -263,6 +277,60 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                             "{{\"name\":\"request dispatch\",\"cat\":\"serve\",\"ph\":\"i\",\
                              \"s\":\"t\",\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
                              \"args\":{{\"tenant\":{tenant},\"id\":{id}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                    // Nested async span: time on the pool. The gap between
+                    // the outer "request" open and this open is queue wait.
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"service\",\"cat\":\"serve\",\"ph\":\"b\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
+                EventKind::RequestPhase { id, phase } => {
+                    // Nestable instant on the request's async track: marks
+                    // the barrier turn that retired phase `phase`.
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"phase {phase}\",\"cat\":\"serve\",\"ph\":\"n\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"phase\":{phase}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
+                EventKind::RequestComplete { tenant, id } => {
+                    // Close inner "service" first, then the outer
+                    // "request" — the seq tie-break keeps that order at
+                    // equal timestamps.
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"service\",\"cat\":\"serve\",\"ph\":\"e\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3}}}",
+                            us(ev.t),
+                        ),
+                    );
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"e\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant}}}}}",
                             us(ev.t),
                         ),
                     );
@@ -423,6 +491,50 @@ mod tests {
         assert!(json.contains("request shed"));
         assert!(json.contains("\"args\":{\"tenant\":1,\"id\":42}"));
         assert!(json.contains("\"args\":{\"tenant\":0,\"reason\":1}"));
+    }
+
+    #[test]
+    fn request_lifecycle_emits_async_span_pairs() {
+        let sink = TraceSink::new(3);
+        sink.record(2, K::RequestAdmit { tenant: 1, id: 42 });
+        sink.record(2, K::RequestDispatch { tenant: 1, id: 42 });
+        sink.record(2, K::RequestPhase { id: 42, phase: 0 });
+        sink.record(2, K::RequestPhase { id: 42, phase: 1 });
+        sink.record(2, K::RequestComplete { tenant: 1, id: 42 });
+        let json = chrome_trace(&sink, "t");
+        // One open and one close for each of the "request" and "service"
+        // spans, matched by id.
+        assert_eq!(
+            json.matches("\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"b\"")
+                .count(),
+            1
+        );
+        assert_eq!(
+            json.matches("\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"e\"")
+                .count(),
+            1
+        );
+        assert_eq!(
+            json.matches("\"name\":\"service\",\"cat\":\"serve\",\"ph\":\"b\"")
+                .count(),
+            1
+        );
+        assert_eq!(
+            json.matches("\"name\":\"service\",\"cat\":\"serve\",\"ph\":\"e\"")
+                .count(),
+            1
+        );
+        assert_eq!(json.matches("\"ph\":\"n\"").count(), 2);
+        assert!(json.contains("\"name\":\"phase 1\""));
+        assert!(json.contains("\"id\":42"));
+        // The inner close sorts before the outer close.
+        let service_e = json
+            .find("\"name\":\"service\",\"cat\":\"serve\",\"ph\":\"e\"")
+            .unwrap();
+        let request_e = json
+            .find("\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"e\"")
+            .unwrap();
+        assert!(service_e < request_e, "inner span must close first");
     }
 
     #[test]

@@ -128,6 +128,26 @@ pub enum EventKind {
         /// queue full, 1 = tenant backlog, 2 = shutting down).
         reason: u32,
     },
+    /// One phase of an admitted request finished executing on the pool
+    /// (the in-batch barrier turned for it). Recorded on the dispatcher's
+    /// lane; together with [`EventKind::RequestAdmit`] /
+    /// [`EventKind::RequestComplete`] it decomposes a request's sojourn
+    /// into queue wait, per-phase execution, and barrier sync.
+    RequestPhase {
+        /// Server-assigned request id.
+        id: u64,
+        /// Zero-based phase index within the request.
+        phase: u32,
+    },
+    /// An admitted request finished its final phase: completion stamps
+    /// were taken in the barrier turn slot. Closes the async span opened
+    /// by [`EventKind::RequestAdmit`]. Recorded on the dispatcher's lane.
+    RequestComplete {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Server-assigned request id.
+        id: u64,
+    },
     /// The adaptive scheduling controller re-tuned the AFS parameters at a
     /// phase boundary: the next phase runs with subdivision `k` and
     /// grab-ahead `b`. Recorded on the lane of the worker (or coordinator)
@@ -240,6 +260,14 @@ mod tests {
                 reason: 1
             }
             .grab_access(),
+            None
+        );
+        assert_eq!(
+            EventKind::RequestPhase { id: 7, phase: 2 }.grab_access(),
+            None
+        );
+        assert_eq!(
+            EventKind::RequestComplete { tenant: 1, id: 7 }.grab_access(),
             None
         );
         assert_eq!(EventKind::SchedTune { k: 8, b: 2 }.grab_access(), None);

@@ -89,6 +89,8 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                 | EventKind::RequestAdmit { .. }
                 | EventKind::RequestDispatch { .. }
                 | EventKind::RequestShed { .. }
+                | EventKind::RequestPhase { .. }
+                | EventKind::RequestComplete { .. }
                 | EventKind::SchedTune { .. } => {}
             }
         }
