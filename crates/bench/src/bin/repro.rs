@@ -32,6 +32,12 @@
 //!                      # gates the within-10%-of-best-static and
 //!                      # beats-worst-static envelopes, writes
 //!                      # BENCH_adaptive.json
+//! repro --bench-chaos  # chaos gate: a live LoopServer under seeded fault
+//!                      # plans (delayed starts, stalls, preemption,
+//!                      # panic-at-iteration) x every dispatch discipline,
+//!                      # with the robustness invariants checked per cell
+//!                      # (exact ledger, isolation, dispatcher survival,
+//!                      # bounded tails), writes BENCH_chaos.json
 //! repro --bench-kernels --metrics [FILE]
 //!                      # also export the always-on runtime metrics of the
 //!                      # bench run (counters, histograms, perf events where
@@ -165,6 +171,7 @@ fn main() {
     let mut bench_faults = false;
     let mut bench_serve = false;
     let mut bench_adaptive = false;
+    let mut bench_chaos = false;
     let mut format = "table";
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut want_trace_dir = false;
@@ -237,6 +244,7 @@ fn main() {
             "--bench-faults" => bench_faults = true,
             "--bench-serve" => bench_serve = true,
             "--bench-adaptive" => bench_adaptive = true,
+            "--bench-chaos" => bench_chaos = true,
             "--trace" => want_trace_dir = true,
             "--metrics" => {
                 metrics_path = Some(std::path::PathBuf::from("metrics.json"));
@@ -271,7 +279,8 @@ fn main() {
                     "usage: repro [--quick] [--plot|--json|--csv] [--list] \
                      [--trace DIR] [--bench-grabs] [--bench-kernels] [--bench-barrier] \
                      [--bench-faults] \
-                     [--bench-serve] [--bench-adaptive] [--metrics [FILE.json|FILE.prom]] \
+                     [--bench-serve] [--bench-adaptive] [--bench-chaos] \
+                     [--metrics [FILE.json|FILE.prom]] \
                      [--telemetry ADDR] [--flight DIR] \
                      [--check-bench FILE [--baseline FILE] [--tolerance X] [--strict]] \
                      [ids... | all | ablations]"
@@ -440,6 +449,25 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if bench_chaos {
+        let result = afs_bench::chaos::run(quick);
+        print!("{}", result.render());
+        let path = std::path::Path::new("BENCH_chaos.json");
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if !result.ok() {
+            eprintln!(
+                "bench-chaos: a robustness invariant failed under fault \
+                 injection (see the verdict column above)"
+            );
+            std::process::exit(1);
+        }
+    }
     if bench_adaptive {
         let result = afs_bench::adaptive::run(quick);
         print!("{}", result.render());
@@ -472,7 +500,8 @@ fn main() {
         || bench_barrier
         || bench_faults
         || bench_serve
-        || bench_adaptive)
+        || bench_adaptive
+        || bench_chaos)
         && ids.is_empty()
     {
         return;

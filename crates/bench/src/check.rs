@@ -37,6 +37,8 @@ pub enum BenchKind {
     Serve,
     /// `BENCH_adaptive.json` (`"bench": "adaptive"`).
     Adaptive,
+    /// `BENCH_chaos.json` (`"bench": "chaos"`).
+    Chaos,
 }
 
 impl fmt::Display for BenchKind {
@@ -47,6 +49,7 @@ impl fmt::Display for BenchKind {
             BenchKind::Faults => "faults",
             BenchKind::Serve => "serve",
             BenchKind::Adaptive => "adaptive",
+            BenchKind::Chaos => "chaos",
         })
     }
 }
@@ -425,6 +428,146 @@ fn validate_adaptive_envelope(doc: &Value, errs: &mut Vec<String>) {
     }
 }
 
+fn validate_chaos_sample(i: usize, s: &Value, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("samples[{i}].{field}");
+    match str_of(s, "scenario") {
+        Some("clean") | Some("delay") | Some("stall") | Some("preempt") | Some("panic") => {}
+        _ => errs.push(format!(
+            "{}: must be clean|delay|stall|preempt|panic",
+            at("scenario")
+        )),
+    }
+    match str_of(s, "discipline") {
+        Some("fcfs") | Some("drr") | Some("batch") => {}
+        _ => errs.push(format!("{}: must be fcfs|drr|batch", at("discipline"))),
+    }
+    for field in ["offered", "wall_ns"] {
+        if num_of(s, field).is_none_or(|v| v < 1.0) {
+            errs.push(format!("{}: must be a number >= 1", at(field)));
+        }
+    }
+    for field in [
+        "admitted",
+        "completed",
+        "timed_out",
+        "failed",
+        "expired",
+        "shed_final",
+        "shed_verdicts",
+        "dispatches",
+        "batched_requests",
+        "supervisor_restarts",
+        "expected_failures",
+        "p999_bound_ns",
+    ] {
+        if num_of(s, field).is_none_or(|v| v < 0.0) {
+            errs.push(format!("{}: must be a number >= 0", at(field)));
+        }
+    }
+    for field in ["ledger_exact", "isolated", "probe_ok", "tail_bounded"] {
+        if bool_of(s, field).is_none() {
+            errs.push(format!("{}: must be a boolean", at(field)));
+        }
+    }
+    match (
+        num_of(s, "p50_ns"),
+        num_of(s, "p99_ns"),
+        num_of(s, "p999_ns"),
+    ) {
+        (Some(p50), Some(p99), Some(p999)) if p50 >= 0.0 && p50 <= p99 && p99 <= p999 => {}
+        (Some(_), Some(_), Some(_)) => errs.push(format!(
+            "{}: quantiles must be ordered 0 <= p50 <= p99 <= p999",
+            at("p50_ns")
+        )),
+        _ => errs.push(format!("{}/p99_ns/p999_ns: must be numbers", at("p50_ns"))),
+    }
+    // The hard invariants, recomputed from the raw counts — a document
+    // claiming `ledger_exact` while the arithmetic disagrees is corrupt.
+    if let (Some(admitted), Some(completed), Some(failed), Some(expired)) = (
+        num_of(s, "admitted"),
+        num_of(s, "completed"),
+        num_of(s, "failed"),
+        num_of(s, "expired"),
+    ) {
+        if admitted != completed + failed + expired {
+            errs.push(format!(
+                "{}: ledger does not balance \
+                 (admitted {admitted} != completed {completed} + failed {failed} \
+                 + expired {expired})",
+                at("admitted")
+            ));
+        }
+    }
+    if let (Some(failed), Some(expected)) = (num_of(s, "failed"), num_of(s, "expected_failures")) {
+        if failed != expected {
+            errs.push(format!(
+                "{}: contained failures ({failed}) must equal injected \
+                 poisons ({expected}) — cross-request damage",
+                at("failed")
+            ));
+        }
+    }
+    // These verdicts are pass/fail at every run size: a chaos file
+    // recording a broken ledger, bleed-over or a dead dispatcher must
+    // never validate (like panic_containment in the faults bench).
+    for (field, why) in [
+        ("ledger_exact", "a request was lost or double-counted"),
+        ("isolated", "a fault damaged a co-batched request"),
+        ("probe_ok", "the dispatcher died under fault injection"),
+    ] {
+        if bool_of(s, field) == Some(false) {
+            errs.push(format!("{}: {why}", at(field)));
+        }
+    }
+}
+
+/// The chaos gate's envelope: the aggregate verdicts must be present and
+/// true, and checked (full) runs must also hold every cell's tail bound.
+/// Full runs are never allowed to opt out of the check.
+fn validate_chaos_envelope(doc: &Value, errs: &mut Vec<String>) {
+    let checked = bool_of(doc, "checked");
+    if checked.is_none() {
+        errs.push("chaos bench requires a checked boolean".into());
+    }
+    if bool_of(doc, "quick") == Some(false) && checked == Some(false) {
+        errs.push("full chaos runs must gate the tail bound (checked=false)".into());
+    }
+    if num_of(doc, "total_requests").is_none_or(|t| t < 1.0) {
+        errs.push("chaos bench requires total_requests >= 1".into());
+    }
+    for (field, why) in [
+        ("ledger_exact", "a cell's request ledger did not balance"),
+        ("isolation", "a cell showed cross-request damage"),
+        ("dispatcher_alive", "a cell's dispatcher died"),
+    ] {
+        match bool_of(doc, field) {
+            Some(true) => {}
+            Some(false) => errs.push(format!("{field} is false: {why}")),
+            None => errs.push(format!("chaos bench requires a {field} boolean")),
+        }
+    }
+    if checked == Some(true) {
+        for (i, s) in doc
+            .get("samples")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            if bool_of(s, "tail_bounded") == Some(false) {
+                errs.push(format!(
+                    "checked chaos run: p999 sojourn blew its allowance on \
+                     samples[{i}] ({}/{}: {} ns > {} ns)",
+                    str_of(s, "scenario").unwrap_or("?"),
+                    str_of(s, "discipline").unwrap_or("?"),
+                    num_of(s, "p999_ns").unwrap_or(0.0),
+                    num_of(s, "p999_bound_ns").unwrap_or(0.0),
+                ));
+            }
+        }
+    }
+}
+
 /// The serve bench's headline gate lives in the envelope, not a row: the
 /// batching discipline must hold its saturation-throughput win over
 /// per-request FCFS on checked (full) runs, and full runs are never
@@ -547,6 +690,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
         Some("faults") => Some(BenchKind::Faults),
         Some("serve") => Some(BenchKind::Serve),
         Some("adaptive") => Some(BenchKind::Adaptive),
+        Some("chaos") => Some(BenchKind::Chaos),
         Some(other) => {
             errs.push(format!("unknown bench tag {other:?}"));
             None
@@ -575,6 +719,9 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
     if kind == Some(BenchKind::Adaptive) {
         validate_adaptive_envelope(doc, &mut errs);
     }
+    if kind == Some(BenchKind::Chaos) {
+        validate_chaos_envelope(doc, &mut errs);
+    }
     match doc.get("samples").and_then(Value::as_array) {
         None => errs.push("samples must be an array".into()),
         Some([]) => errs.push("samples must not be empty".into()),
@@ -586,6 +733,7 @@ pub fn validate(doc: &Value) -> Result<BenchKind, Vec<String>> {
                     Some(BenchKind::Faults) => validate_faults_sample(i, s, &mut errs),
                     Some(BenchKind::Serve) => validate_serve_sample(i, s, &mut errs),
                     Some(BenchKind::Adaptive) => validate_adaptive_sample(i, s, &mut errs),
+                    Some(BenchKind::Chaos) => validate_chaos_sample(i, s, &mut errs),
                     None => {}
                 }
             }
@@ -662,6 +810,17 @@ fn cell(kind: BenchKind, s: &Value) -> Option<(String, f64)> {
             // Median-over-reps, matching the envelope gate: on shared
             // hosts the min of many reps is an extreme order statistic.
             Some((key, num_of(s, "median_ns")?))
+        }
+        BenchKind::Chaos => {
+            let key = format!("{}/{}", str_of(s, "scenario")?, str_of(s, "discipline")?);
+            // The invariants are gated absolutely by the validator;
+            // cross-run regressions are judged on wall nanoseconds per
+            // completed request, like the serve bench.
+            let done = num_of(s, "completed")?;
+            if done < 1.0 {
+                return None;
+            }
+            Some((key, num_of(s, "wall_ns")? / done))
         }
     }
 }
@@ -785,6 +944,7 @@ mod tests {
         assert_eq!(crate::faults::SCHEMA_VERSION, v);
         assert_eq!(crate::serve::SCHEMA_VERSION, v);
         assert_eq!(crate::adaptive::SCHEMA_VERSION, v);
+        assert_eq!(crate::chaos::SCHEMA_VERSION, v);
         assert!(known_schema_version(v as f64));
         assert!(
             !known_schema_version((v + 1) as f64),
@@ -1154,6 +1314,98 @@ mod tests {
         );
         // 2 static cells + 2 adaptive rows on each side.
         assert_eq!(c.compared, 4);
+    }
+
+    fn chaos_doc(quick: bool, checked: bool, tail_ok: bool, wall_ns: u64) -> String {
+        format!(
+            r#"{{"bench": "chaos", "schema_version": 1,
+                 "host": {{"cpus": 8, "kernel": "6.1", "os": "linux", "arch": "x86_64", "pin_capable": true}},
+                 "quick": {quick}, "p": 4, "checked": {checked}, "total_requests": 24018,
+                 "ledger_exact": true, "isolation": true, "dispatcher_alive": true,
+                 "samples": [
+                   {{"scenario": "clean", "discipline": "fcfs", "offered": 12009,
+                     "admitted": 12000, "completed": 11990, "timed_out": 3, "failed": 0,
+                     "expired": 10, "shed_final": 9, "shed_verdicts": 450,
+                     "dispatches": 9000, "batched_requests": 0, "supervisor_restarts": 0,
+                     "wall_ns": {wall_ns}, "p50_ns": 30000.0, "p99_ns": 900000.0,
+                     "p999_ns": 4000000.0, "p999_bound_ns": 100000000.0,
+                     "expected_failures": 0, "ledger_exact": true, "isolated": true,
+                     "probe_ok": true, "tail_bounded": true}},
+                   {{"scenario": "panic", "discipline": "batch", "offered": 12009,
+                     "admitted": 12000, "completed": 11989, "timed_out": 3, "failed": 1,
+                     "expired": 10, "shed_final": 9, "shed_verdicts": 450,
+                     "dispatches": 800, "batched_requests": 11000, "supervisor_restarts": 0,
+                     "wall_ns": {wall_ns}, "p50_ns": 30000.0, "p99_ns": 900000.0,
+                     "p999_ns": 4000000.0, "p999_bound_ns": 100000000.0,
+                     "expected_failures": 1, "ledger_exact": true, "isolated": true,
+                     "probe_ok": true, "tail_bounded": {tail_ok}}}
+                 ]}}"#
+        )
+    }
+
+    #[test]
+    fn chaos_documents_validate_and_gate_the_invariants() {
+        let good = parse(&chaos_doc(false, true, true, 2_000_000_000)).unwrap();
+        assert_eq!(validate(&good), Ok(BenchKind::Chaos));
+
+        // An unbalanced ledger is a hard failure even when the row claims
+        // ledger_exact (the validator recomputes the arithmetic).
+        let mut unbalanced = chaos_doc(false, true, true, 2_000_000_000);
+        unbalanced = unbalanced.replace("\"completed\": 11990,", "\"completed\": 11900,");
+        let errs = validate(&parse(&unbalanced).unwrap()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("does not balance")),
+            "{errs:?}"
+        );
+
+        // So is a failure count that disagrees with the injected poisons.
+        let mut bleeding = chaos_doc(false, true, true, 2_000_000_000);
+        bleeding = bleeding.replace(
+            "\"failed\": 1,\n                     \"expired\": 10",
+            "\"failed\": 2,\n                     \"expired\": 9",
+        );
+        let errs = validate(&parse(&bleeding).unwrap()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("cross-request damage")),
+            "{errs:?}"
+        );
+
+        // A dead dispatcher never validates, at any run size.
+        let mut dead = chaos_doc(true, false, true, 2_000_000_000);
+        dead = dead.replace("\"dispatcher_alive\": true", "\"dispatcher_alive\": false");
+        let errs = validate(&parse(&dead).unwrap()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("dispatcher died")),
+            "{errs:?}"
+        );
+
+        // A checked run with a blown tail is a hard failure.
+        let fat = parse(&chaos_doc(false, true, false, 2_000_000_000)).unwrap();
+        let errs = validate(&fat).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("allowance")), "{errs:?}");
+
+        // A full run cannot dodge the gate by flipping checked off.
+        let dodge = parse(&chaos_doc(false, false, false, 2_000_000_000)).unwrap();
+        let errs = validate(&dodge).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("must gate")), "{errs:?}");
+
+        // Quick smoke runs skip the tail gate but keep the hard ones.
+        let quick = parse(&chaos_doc(true, false, false, 2_000_000_000)).unwrap();
+        assert_eq!(validate(&quick), Ok(BenchKind::Chaos));
+    }
+
+    #[test]
+    fn chaos_documents_compare_on_ns_per_completed_request() {
+        let base = parse(&chaos_doc(false, true, true, 2_000_000_000)).unwrap();
+        let slow = parse(&chaos_doc(false, true, true, 4_000_000_000)).unwrap();
+        let c = compare(&slow, &base, 0.30).unwrap();
+        assert!(!c.ok());
+        assert!(
+            c.regressions.iter().any(|r| r.contains("clean/fcfs")),
+            "{:?}",
+            c.regressions
+        );
+        assert_eq!(c.compared, 2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod ablations;
 pub mod adaptive;
 pub mod barrier;
+pub mod chaos;
 pub mod check;
 pub mod experiments;
 pub mod faults;

@@ -68,6 +68,7 @@ fn gen_request(state: &mut u64) -> LoopRequest {
             n: 16 + splitmix(state) % 113,
             phases: 1,
             policy: ServePolicy::Afs,
+            deadline: None,
         }
     } else {
         LoopRequest {
@@ -76,6 +77,7 @@ fn gen_request(state: &mut u64) -> LoopRequest {
             n: 256 + splitmix(state) % 257,
             phases: 1 + (splitmix(state) % 2) as u32,
             policy: ServePolicy::Afs,
+            deadline: None,
         }
     }
 }

@@ -22,6 +22,14 @@ pub struct TenantServeSnapshot {
     pub admitted: u64,
     /// Requests fully executed (complete stamp recorded).
     pub completed: u64,
+    /// Requests completed after their deadline (subset of `completed`).
+    pub timed_out: u64,
+    /// Requests whose body panicked; contained, counted here instead of
+    /// `completed`.
+    pub failed: u64,
+    /// Requests whose deadline elapsed while queued; retired without a
+    /// dispatch.
+    pub expired: u64,
     /// Requests refused at admission (any reason).
     pub shed: u64,
     /// Loop iterations executed on behalf of this tenant.
@@ -62,6 +70,9 @@ impl TenantServeSnapshot {
     pub fn add(&mut self, other: &TenantServeSnapshot) {
         self.admitted += other.admitted;
         self.completed += other.completed;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
+        self.expired += other.expired;
         self.shed += other.shed;
         self.iters += other.iters;
         self.queue_ns.add(&other.queue_ns);
@@ -81,12 +92,26 @@ pub struct ServeSnapshot {
     pub admitted: u64,
     /// Requests completed across all tenants.
     pub completed: u64,
+    /// Requests completed after deadline (subset of `completed`).
+    pub timed_out: u64,
+    /// Requests whose body panicked, contained per-request.
+    pub failed: u64,
+    /// Requests expired in queue (deadline passed before dispatch).
+    pub expired: u64,
     /// Sheds because the shared admission queue was full.
     pub shed_queue_full: u64,
     /// Sheds because the tenant exceeded its private backlog cap.
     pub shed_tenant_backlog: u64,
     /// Sheds because the server was shutting down.
     pub shed_shutdown: u64,
+    /// Sheds because the sojourn predictor found the request's deadline
+    /// unreachable.
+    pub shed_deadline_hopeless: u64,
+    /// Sheds because the tenant's predicted sojourn overran its SLO
+    /// budget.
+    pub shed_slo_budget: u64,
+    /// Pool rebuilds performed by the supervisor.
+    pub supervisor_restarts: u64,
     /// Pool dispatches issued (a batch of fused requests counts once).
     pub dispatches: u64,
     /// Requests that shared a dispatch with at least one other request.
@@ -98,7 +123,11 @@ pub struct ServeSnapshot {
 impl ServeSnapshot {
     /// Total requests shed, all reasons.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_tenant_backlog + self.shed_shutdown
+        self.shed_queue_full
+            + self.shed_tenant_backlog
+            + self.shed_shutdown
+            + self.shed_deadline_hopeless
+            + self.shed_slo_budget
     }
 
     /// Fraction of offered requests that were shed (0 when nothing was
@@ -122,9 +151,15 @@ impl ServeSnapshot {
         }
         self.admitted += other.admitted;
         self.completed += other.completed;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
+        self.expired += other.expired;
         self.shed_queue_full += other.shed_queue_full;
         self.shed_tenant_backlog += other.shed_tenant_backlog;
         self.shed_shutdown += other.shed_shutdown;
+        self.shed_deadline_hopeless += other.shed_deadline_hopeless;
+        self.shed_slo_budget += other.shed_slo_budget;
+        self.supervisor_restarts += other.supervisor_restarts;
         self.dispatches += other.dispatches;
         self.batched_requests += other.batched_requests;
         for theirs in &other.tenants {
@@ -141,16 +176,25 @@ impl ServeSnapshot {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
             "{{\"discipline\": \"{}\", \"admitted\": {}, \"completed\": {}, \
-             \"shed\": {{\"queue_full\": {}, \"tenant_backlog\": {}, \"shutdown\": {}}}, \
-             \"shed_rate\": {:.6}, \"dispatches\": {}, \"batched_requests\": {}, \
+             \"timed_out\": {}, \"failed\": {}, \"expired\": {}, \
+             \"shed\": {{\"queue_full\": {}, \"tenant_backlog\": {}, \"shutdown\": {}, \
+             \"deadline_hopeless\": {}, \"slo_budget\": {}}}, \
+             \"shed_rate\": {:.6}, \"supervisor_restarts\": {}, \
+             \"dispatches\": {}, \"batched_requests\": {}, \
              \"tenants\": [",
             escape(&self.discipline),
             self.admitted,
             self.completed,
+            self.timed_out,
+            self.failed,
+            self.expired,
             self.shed_queue_full,
             self.shed_tenant_backlog,
             self.shed_shutdown,
+            self.shed_deadline_hopeless,
+            self.shed_slo_budget,
             self.shed_rate(),
+            self.supervisor_restarts,
             self.dispatches,
             self.batched_requests,
         ));
@@ -159,13 +203,17 @@ impl ServeSnapshot {
                 out.push_str(", ");
             }
             out.push_str(&format!(
-                "{{\"name\": \"{}\", \"admitted\": {}, \"completed\": {}, \"shed\": {}, \
+                "{{\"name\": \"{}\", \"admitted\": {}, \"completed\": {}, \
+                 \"timed_out\": {}, \"failed\": {}, \"expired\": {}, \"shed\": {}, \
                  \"iters\": {}, \"queue_p50_ns\": {:.1}, \"p50_ns\": {:.1}, \
                  \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \"mean_ns\": {:.1}, \
                  \"max_ns\": {}}}",
                 escape(&t.name),
                 t.admitted,
                 t.completed,
+                t.timed_out,
+                t.failed,
+                t.expired,
                 t.shed,
                 t.iters,
                 t.queue_ns.quantile(0.50),
@@ -193,12 +241,30 @@ impl ServeSnapshot {
             for (outcome, v) in [
                 ("admitted", t.admitted),
                 ("completed", t.completed),
+                ("timed_out", t.timed_out),
+                ("failed", t.failed),
+                ("expired", t.expired),
                 ("shed", t.shed),
             ] {
                 out.push_str(&format!(
                     "afs_serve_requests_total{{tenant=\"{name}\",outcome=\"{outcome}\"}} {v}\n"
                 ));
             }
+        }
+
+        out.push_str(
+            "# HELP afs_serve_outcome_total Admitted requests by final outcome.\n\
+             # TYPE afs_serve_outcome_total counter\n",
+        );
+        for (outcome, v) in [
+            ("ok", self.completed.saturating_sub(self.timed_out)),
+            ("timed_out", self.timed_out),
+            ("failed", self.failed),
+            ("expired", self.expired),
+        ] {
+            out.push_str(&format!(
+                "afs_serve_outcome_total{{outcome=\"{outcome}\"}} {v}\n"
+            ));
         }
 
         out.push_str(
@@ -209,11 +275,22 @@ impl ServeSnapshot {
             ("queue_full", self.shed_queue_full),
             ("tenant_backlog", self.shed_tenant_backlog),
             ("shutdown", self.shed_shutdown),
+            ("deadline_hopeless", self.shed_deadline_hopeless),
+            ("slo_budget", self.shed_slo_budget),
         ] {
             out.push_str(&format!(
                 "afs_serve_shed_total{{reason=\"{reason}\"}} {v}\n"
             ));
         }
+
+        out.push_str(
+            "# HELP afs_supervisor_restarts_total Pool rebuilds by the supervisor.\n\
+             # TYPE afs_supervisor_restarts_total counter\n",
+        );
+        out.push_str(&format!(
+            "afs_supervisor_restarts_total {}\n",
+            self.supervisor_restarts
+        ));
 
         out.push_str(
             "# HELP afs_serve_dispatches_total Pool dispatches issued by the server.\n\
@@ -287,14 +364,46 @@ mod tests {
         let s = ServeSnapshot {
             discipline: "fcfs".into(),
             admitted: 90,
-            shed_queue_full: 7,
+            shed_queue_full: 5,
             shed_tenant_backlog: 2,
             shed_shutdown: 1,
+            shed_deadline_hopeless: 1,
+            shed_slo_budget: 1,
             ..ServeSnapshot::default()
         };
         assert_eq!(s.shed_total(), 10);
         assert!((s.shed_rate() - 0.1).abs() < 1e-12);
         assert_eq!(ServeSnapshot::default().shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn outcome_and_supervisor_families_export() {
+        let s = ServeSnapshot {
+            discipline: "fcfs".into(),
+            admitted: 10,
+            completed: 7,
+            timed_out: 2,
+            failed: 2,
+            expired: 1,
+            supervisor_restarts: 3,
+            shed_deadline_hopeless: 4,
+            shed_slo_budget: 5,
+            ..ServeSnapshot::default()
+        };
+        let p = s.to_prometheus();
+        assert!(p.contains("afs_serve_outcome_total{outcome=\"ok\"} 5"));
+        assert!(p.contains("afs_serve_outcome_total{outcome=\"timed_out\"} 2"));
+        assert!(p.contains("afs_serve_outcome_total{outcome=\"failed\"} 2"));
+        assert!(p.contains("afs_serve_outcome_total{outcome=\"expired\"} 1"));
+        assert!(p.contains("afs_supervisor_restarts_total 3"));
+        assert!(p.contains("afs_serve_shed_total{reason=\"deadline_hopeless\"} 4"));
+        assert!(p.contains("afs_serve_shed_total{reason=\"slo_budget\"} 5"));
+        let j = s.to_json();
+        assert!(j.contains("\"failed\": 2"));
+        assert!(j.contains("\"expired\": 1"));
+        assert!(j.contains("\"supervisor_restarts\": 3"));
+        assert!(j.contains("\"deadline_hopeless\": 4"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

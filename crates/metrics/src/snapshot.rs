@@ -38,8 +38,11 @@ use crate::serve::ServeSnapshot;
 /// the optional `controllers` block (adaptive scheduling and spin
 /// controller state). Version 6 is the live-observability release: one
 /// shared constant across all writers, flight-recorder dump documents, and
-/// the `/snapshot.json` / `/healthz` / `/tune` telemetry routes.
-pub const METRICS_SCHEMA_VERSION: u64 = 6;
+/// the `/snapshot.json` / `/healthz` / `/tune` telemetry routes. Version 7
+/// is the robustness release: serve outcome accounting (`timed_out`,
+/// `failed`, `expired`), the deadline/SLO shed reasons
+/// (`deadline_hopeless`, `slo_budget`), and `supervisor_restarts`.
+pub const METRICS_SCHEMA_VERSION: u64 = 7;
 
 /// One worker's slice of a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -832,8 +832,10 @@ impl Pool {
         &self.recorder
     }
 
-    /// The fault plan attached at construction, if any.
-    pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+    /// The fault plan attached at construction, if any. Public so external
+    /// drivers (the serving frontend's batch driver) can consult the same
+    /// plan the runtime's loop drivers apply.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
     }
 

@@ -194,27 +194,35 @@ fn handle_connection(mut stream: TcpStream, source: &TelemetrySource) -> std::io
 }
 
 /// Health is derived, not stored: a pool is degraded when the watchdog has
-/// flagged a stall or fewer workers started than were requested. The body
-/// also carries the flight-recorder trigger tallies so a probe can tell
-/// *why* without reading a dump.
+/// flagged a stall, fewer workers started than were requested, or a shed
+/// spike is active *right now* (the recorder's serve ring shows the
+/// threshold exceeded within the current window — distinct from the
+/// latched `shed_spike` trigger tally, which never clears). The body also
+/// carries the flight-recorder trigger tallies so a probe can tell *why*
+/// without reading a dump.
 fn healthz(source: &TelemetrySource) -> (u16, String) {
     let snap = (source.snapshot)();
     let recorders = (source.recorders)();
     let mut triggers = [0u64; 4];
     let mut dumped = false;
+    let mut shed_spike_active = false;
     for r in &recorders {
         let c = r.trigger_counts();
         for i in 0..4 {
             triggers[i] += c[i];
         }
         dumped |= r.dumped();
+        shed_spike_active |= r.shed_spike_active();
     }
-    let degraded = snap.stalls_detected > 0 || snap.effective_workers < snap.workers.len();
+    let degraded = snap.stalls_detected > 0
+        || snap.effective_workers < snap.workers.len()
+        || shed_spike_active;
     let status = if degraded { "degraded" } else { "ok" };
     let body = format!(
         "{{\"status\": \"{status}\", \"schema_version\": {METRICS_SCHEMA_VERSION}, \
          \"workers\": {}, \"effective_workers\": {}, \"stalls_detected\": {}, \
          \"deadline_misses\": {}, \"recorders\": {}, \
+         \"shed_spike_active\": {shed_spike_active}, \
          \"triggers\": {{\"stall\": {}, \"phase_error\": {}, \"spawn_degraded\": {}, \
          \"shed_spike\": {}}}, \"dumped\": {dumped}}}\n",
         snap.workers.len(),
@@ -358,6 +366,43 @@ mod tests {
         assert_eq!(status, 503);
         assert!(body.contains("\"status\": \"degraded\""));
         assert!(body.contains("\"stall\": 1"));
+    }
+
+    #[test]
+    fn healthz_degrades_on_an_active_shed_spike() {
+        use crate::recorder::{ServeEventKind, ServeRecord};
+        let reg = Arc::new(MetricsRegistry::new(2));
+        let rec = Arc::new(FlightRecorder::new());
+        rec.set_shed_spike(3, 4);
+        let srv = server_over(Arc::clone(&reg), Arc::clone(&rec));
+        for id in 0..3 {
+            rec.record_serve_event(ServeRecord {
+                t_ns: id,
+                kind: ServeEventKind::Shed,
+                tenant: 0,
+                id,
+                code: 2,
+            });
+        }
+        let (status, body) = get(srv.local_addr(), "/healthz").unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("\"status\": \"degraded\""));
+        assert!(body.contains("\"shed_spike_active\": true"));
+        // Completions push the sheds out of the window: the spike clears
+        // and health recovers, even though the latched trigger tally stays.
+        for id in 0..4 {
+            rec.record_serve_event(ServeRecord {
+                t_ns: 100 + id,
+                kind: ServeEventKind::Complete,
+                tenant: 0,
+                id,
+                code: 0,
+            });
+        }
+        let (status, body) = get(srv.local_addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"shed_spike_active\": false"));
+        assert!(body.contains("\"shed_spike\": 1"));
     }
 
     #[test]

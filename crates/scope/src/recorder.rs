@@ -139,8 +139,15 @@ pub enum ServeEventKind {
     Dispatch,
     /// A request was refused at admission; `code` is the shed reason.
     Shed,
-    /// A request's completion stamp was recorded.
+    /// A request's completion stamp was recorded. `code` is 1 when the
+    /// request completed after its deadline (timed out), 0 otherwise.
     Complete,
+    /// A request's body panicked and the batch driver contained it;
+    /// `code` packs `(worker << 16) | phase`.
+    Failed,
+    /// A queued request's deadline elapsed before dispatch; it was
+    /// retired without touching the pool.
+    Expired,
 }
 
 impl ServeEventKind {
@@ -151,6 +158,8 @@ impl ServeEventKind {
             ServeEventKind::Dispatch => "dispatch",
             ServeEventKind::Shed => "shed",
             ServeEventKind::Complete => "complete",
+            ServeEventKind::Failed => "failed",
+            ServeEventKind::Expired => "expired",
         }
     }
 }
@@ -391,6 +400,24 @@ impl FlightRecorder {
         self.shed_threshold
             .store(threshold.max(1), Ordering::Relaxed);
         self.shed_window.store(window.max(1), Ordering::Relaxed);
+    }
+
+    /// Whether a shed-rate spike is active *right now*: the last
+    /// `window` serve events contain at least `threshold` sheds.
+    /// Recomputed from the ring on every call — unlike
+    /// [`FlightRecorder::trigger_counts`], which remembers that a spike
+    /// happened, this answers whether the storm is still blowing (the
+    /// health endpoint's question).
+    pub fn shed_spike_active(&self) -> bool {
+        let window = self.shed_window.load(Ordering::Relaxed);
+        let threshold = self.shed_threshold.load(Ordering::Relaxed);
+        let ring = self.serve.lock().unwrap();
+        let sheds = ring
+            .last_n(window as usize)
+            .iter()
+            .filter(|r| r.kind == ServeEventKind::Shed)
+            .count() as u32;
+        sheds >= threshold
     }
 
     /// Records the phase that just ended: `wall_ns` of wall time, counter
@@ -718,6 +745,41 @@ mod tests {
         });
         assert!(rec.triggered());
         assert_eq!(rec.trigger_counts()[3], 1);
+    }
+
+    #[test]
+    fn shed_spike_active_tracks_the_live_window() {
+        let rec = FlightRecorder::new();
+        rec.set_shed_spike(3, 4);
+        for i in 0..3 {
+            rec.record_serve_event(ServeRecord {
+                t_ns: i,
+                kind: ServeEventKind::Shed,
+                tenant: 0,
+                id: 0,
+                code: 0,
+            });
+        }
+        assert!(rec.shed_spike_active(), "3 sheds in last 4 events");
+        // Healthy traffic pushes the sheds out of the window: the latched
+        // trigger count stays, but the live spike clears.
+        for i in 3..7 {
+            rec.record_serve_event(ServeRecord {
+                t_ns: i,
+                kind: ServeEventKind::Complete,
+                tenant: 0,
+                id: i,
+                code: 0,
+            });
+        }
+        assert!(!rec.shed_spike_active(), "window is all completes now");
+        assert!(rec.triggered(), "the spike that happened stays on record");
+    }
+
+    #[test]
+    fn new_serve_event_kinds_have_stable_labels() {
+        assert_eq!(ServeEventKind::Failed.label(), "failed");
+        assert_eq!(ServeEventKind::Expired.label(), "expired");
     }
 
     #[test]

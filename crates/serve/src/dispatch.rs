@@ -15,15 +15,27 @@
 //! arrive at a request's final phase boundary records the service and
 //! sojourn stamps *before* releasing the party, so a completed request's
 //! latency is visible the instant any thread observes its completion.
+//!
+//! Panic containment: each worker drains each unit inside
+//! `catch_unwind`, so a loop body that panics (fault injection, a future
+//! closure kernel) poisons only its own request. The first panic wins a
+//! CAS into the request's failure slot; every worker still arrives at
+//! every barrier (the fused chain keeps turning), survivors skip the
+//! failed request's later phases, and the final-phase turn slot retires
+//! the request as failed instead of completed. Co-batched requests
+//! complete exactly-once, and the dispatcher thread never unwinds.
 
 use crate::request::OwnedSource;
 use crate::server::{Admitted, ServerShared};
-use afs_runtime::{SenseBarrier, TryDispatchError};
+use afs_runtime::{Pool, SenseBarrier, TryDispatchError};
 use afs_scope::ServeEventKind;
 use afs_trace::event::EventKind;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Sentinel in a request's failure slot: no worker has panicked in it.
+const NOT_FAILED: u64 = u64::MAX;
 
 /// How the dispatcher picks the next pool dispatch from its backlog.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -204,18 +216,35 @@ struct Unit {
 /// and the stamps. Shared with every pool worker through the job `Arc`.
 pub(crate) struct Batch {
     shared: Arc<ServerShared>,
+    /// The pool this batch was built against, captured once at dispatch.
+    /// The server's pool slot may be swapped by the supervisor mid-batch;
+    /// this batch keeps running (and stamping) against the pool it was
+    /// actually handed to.
+    pool: Arc<Pool>,
     reqs: Vec<Admitted>,
     units: Vec<Unit>,
     barrier: SenseBarrier,
+    /// Per-request failure slot: [`NOT_FAILED`] while healthy, else
+    /// `(worker << 32) | phase` of the first panic (first CAS wins).
+    failed: Vec<AtomicU64>,
+    /// Per-request retirement latch: set exactly once, in the barrier
+    /// turn slot (or the dispatcher's escape hatch), when the request
+    /// leaves the ledger as completed or failed.
+    retired: Vec<AtomicBool>,
     /// Dispatch stamp (shared by every request in the batch — they were
     /// handed to the pool together).
     dispatch_ns: u64,
 }
 
 impl Batch {
-    fn build(shared: Arc<ServerShared>, reqs: Vec<Admitted>, dispatch_ns: u64) -> Batch {
-        let p = shared.pool.workers();
-        let metrics = shared.pool.metrics();
+    fn build(
+        shared: Arc<ServerShared>,
+        pool: Arc<Pool>,
+        reqs: Vec<Admitted>,
+        dispatch_ns: u64,
+    ) -> Batch {
+        let p = pool.workers();
+        let metrics = pool.metrics();
         // One controller observation per dispatched batch: every adaptive
         // unit in this batch runs with the same freshly tuned (k, b), and
         // the decision is surfaced through the pool's metrics snapshot.
@@ -242,12 +271,16 @@ impl Batch {
                 });
             }
         }
-        let barrier = shared.pool.phase_barrier();
+        let barrier = pool.phase_barrier();
+        let n_reqs = reqs.len();
         Batch {
             shared,
+            pool,
             reqs,
             units,
             barrier,
+            failed: (0..n_reqs).map(|_| AtomicU64::new(NOT_FAILED)).collect(),
+            retired: (0..n_reqs).map(|_| AtomicBool::new(false)).collect(),
             dispatch_ns,
         }
     }
@@ -255,29 +288,69 @@ impl Batch {
     /// The per-worker body: drain each unit's source, then rendezvous.
     /// Units are totally ordered; the barrier generation is the unit
     /// index, so every worker walks the same chain.
+    ///
+    /// Each unit's drain runs inside `catch_unwind`: a panicking body
+    /// CASes `(worker, phase)` into its request's failure slot and the
+    /// worker proceeds to the barrier anyway, so the chain keeps turning
+    /// for every co-batched request. A failure in phase `k` is published
+    /// before the worker's phase-`k` arrive, so every worker observes it
+    /// by phase `k+1` and skips the failed request's remaining phases.
     fn run_worker(&self, w: usize) {
-        let counters = self.shared.pool.metrics().worker(w);
+        let counters = self.pool.metrics().worker(w);
+        let faults = self.pool.fault_plan();
+        if let Some(f) = faults {
+            f.on_region_start(w);
+        }
+        // Grab attempts by this worker across the whole batch region —
+        // the coordinate the fault plan's stall/preemption coins key on.
+        let mut grabs = 0u64;
         for (g, unit) in self.units.iter().enumerate() {
             let a = &self.reqs[unit.req_idx];
             let tenant = &self.shared.tenants[a.req.tenant];
-            let workset = &tenant.workset[..];
-            let mask = workset.len() - 1;
-            let kernel = a.req.kernel;
-            let mut iters = 0u64;
-            loop {
-                counters.record_heartbeat();
-                let Some(grab) = unit.source.next(w) else {
-                    break;
-                };
-                counters.record_access(grab.access);
-                for i in grab.range.start..grab.range.end {
-                    crate::request::run_iter(workset, mask, i, kernel);
+            if self.failed[unit.req_idx].load(Ordering::Acquire) == NOT_FAILED {
+                let phase = unit.phase as usize;
+                let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let workset = &tenant.workset[..];
+                    let mask = workset.len() - 1;
+                    let kernel = a.req.kernel;
+                    let mut iters = 0u64;
+                    loop {
+                        counters.record_heartbeat();
+                        if let Some(f) = faults {
+                            f.on_grab(w, phase, grabs);
+                        }
+                        grabs += 1;
+                        let Some(grab) = unit.source.next(w) else {
+                            break;
+                        };
+                        counters.record_access(grab.access);
+                        for i in grab.range.start..grab.range.end {
+                            if let Some(f) = faults {
+                                f.maybe_panic(w, phase, i);
+                            }
+                            crate::request::run_iter(workset, mask, i, kernel);
+                        }
+                        iters += grab.range.len();
+                    }
+                    iters
+                }));
+                match drained {
+                    Ok(iters) => {
+                        counters.record_iters(iters);
+                        if iters > 0 {
+                            tenant.iters.fetch_add(iters, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        let packed = ((w as u64) << 32) | unit.phase as u64;
+                        let _ = self.failed[unit.req_idx].compare_exchange(
+                            NOT_FAILED,
+                            packed,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                    }
                 }
-                iters += grab.range.len();
-            }
-            counters.record_iters(iters);
-            if iters > 0 {
-                tenant.iters.fetch_add(iters, Ordering::Relaxed);
             }
             let completes = unit.last.then_some(unit.req_idx);
             let (span_id, span_phase) = (a.id, unit.phase);
@@ -290,32 +363,106 @@ impl Batch {
                     phase: span_phase,
                 });
                 if let Some(ri) = completes {
-                    self.complete(ri);
+                    self.retire(ri);
                 }
             });
         }
     }
 
-    /// Completion stamps for request `ri`. Runs in the barrier turn slot:
+    /// Retires request `ri` out of the ledger: completed when its failure
+    /// slot is clean, failed otherwise. Runs in the barrier turn slot —
     /// exactly once, after every worker finished the final phase, before
-    /// any is released.
+    /// any is released. The latch also guards the dispatcher's escape
+    /// hatch ([`Batch::fail_unretired`]) so the two paths cannot double-
+    /// count a request.
+    fn retire(&self, ri: usize) {
+        if self.retired[ri].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        match self.failed[ri].load(Ordering::Acquire) {
+            NOT_FAILED => self.complete(ri),
+            packed => self.fail(ri, (packed >> 32) as u32, packed as u32),
+        }
+    }
+
+    /// Completion stamps for request `ri`. A request that finished after
+    /// its deadline still completed — the work ran exactly once — but is
+    /// additionally counted timed-out, the `Outcome::TimedOut` lane.
     fn complete(&self, ri: usize) {
         let a = &self.reqs[ri];
         let now = self.shared.now_ns();
         let tenant = &self.shared.tenants[a.req.tenant];
-        tenant
-            .service_ns
-            .record(now.saturating_sub(self.dispatch_ns));
-        tenant.sojourn_ns.record(now.saturating_sub(a.admit_ns));
+        let service = now.saturating_sub(self.dispatch_ns);
+        tenant.service_ns.record(service);
+        let sojourn = now.saturating_sub(a.admit_ns);
+        tenant.sojourn_ns.record(sojourn);
+        // The admission predictor wants pure service time: sojourn folds
+        // queue wait back in and would double-count the backlog term.
+        self.shared.observe_service(a, service);
+        let late = a
+            .req
+            .deadline
+            .is_some_and(|d| sojourn > d.as_nanos() as u64);
+        if late {
+            tenant.timed_out.fetch_add(1, Ordering::Relaxed);
+            self.shared.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
         tenant.completed.fetch_add(1, Ordering::Relaxed);
         tenant.pending.fetch_sub(1, Ordering::Relaxed);
+        tenant
+            .backlog_iters
+            .fetch_sub(a.req.iters(), Ordering::Relaxed);
         self.shared.completed.fetch_add(1, Ordering::Relaxed);
         self.shared.trace_record(EventKind::RequestComplete {
             tenant: a.req.tenant as u32,
             id: a.id,
         });
-        self.shared
-            .serve_event(ServeEventKind::Complete, a.req.tenant, a.id, 0);
+        self.shared.serve_event(
+            ServeEventKind::Complete,
+            a.req.tenant,
+            a.id,
+            u32::from(late),
+        );
+    }
+
+    /// Failure stamps for request `ri`: the contained-panic exit lane.
+    /// No latency histograms — a poisoned request has no service time
+    /// worth aggregating — but the pending/backlog books are balanced
+    /// exactly as completion would, so the ledger stays exact.
+    fn fail(&self, ri: usize, worker: u32, phase: u32) {
+        let a = &self.reqs[ri];
+        let tenant = &self.shared.tenants[a.req.tenant];
+        tenant.failed.fetch_add(1, Ordering::Relaxed);
+        tenant.pending.fetch_sub(1, Ordering::Relaxed);
+        tenant
+            .backlog_iters
+            .fetch_sub(a.req.iters(), Ordering::Relaxed);
+        self.shared.failed.fetch_add(1, Ordering::Relaxed);
+        self.shared.trace_record(EventKind::RequestFailed {
+            tenant: a.req.tenant as u32,
+            id: a.id,
+            worker,
+            phase,
+        });
+        self.shared.serve_event(
+            ServeEventKind::Failed,
+            a.req.tenant,
+            a.id,
+            (worker << 16) | (phase & 0xFFFF),
+        );
+    }
+
+    /// Escape hatch for a panic that got past per-request containment
+    /// (e.g. a pool running [`afs_runtime::PanicPolicy::SkipRemaining`]
+    /// aborting the chain): every request the barrier turns never
+    /// retired is failed here, on the dispatcher, so the ledger still
+    /// balances and the dispatcher still does not die.
+    pub(crate) fn fail_unretired(&self, worker: u32, phase: u32) {
+        for ri in 0..self.reqs.len() {
+            if !self.retired[ri].swap(true, Ordering::AcqRel) {
+                self.fail(ri, worker, phase);
+            }
+        }
     }
 }
 
@@ -330,6 +477,7 @@ pub(crate) fn execute(
     mut while_waiting: impl FnMut(),
 ) -> usize {
     debug_assert!(!reqs.is_empty());
+    let pool = shared.pool();
     let dispatch_ns = shared.now_ns();
     for a in &reqs {
         shared.tenants[a.req.tenant]
@@ -345,22 +493,29 @@ pub(crate) fn execute(
             .fetch_add(reqs.len() as u64, Ordering::Relaxed);
     }
     let count = reqs.len();
-    let batch = Arc::new(Batch::build(Arc::clone(shared), reqs, dispatch_ns));
+    let batch = Arc::new(Batch::build(
+        Arc::clone(shared),
+        Arc::clone(&pool),
+        reqs,
+        dispatch_ns,
+    ));
     let job: Arc<dyn Fn(usize) + Send + Sync> = {
         let b = Arc::clone(&batch);
         Arc::new(move |w| b.run_worker(w))
     };
     loop {
-        match shared.pool.try_dispatch(Arc::clone(&job)) {
+        match pool.try_dispatch(Arc::clone(&job)) {
             Ok(ticket) => {
                 while !ticket.is_complete() {
                     while_waiting();
                     std::thread::yield_now();
                 }
                 if let Err(e) = ticket.wait() {
-                    // Serve kernels are panic-free by construction; a
-                    // failure here is a driver bug, not a tenant fault.
-                    panic!("serve batch failed: {e}");
+                    // A panic escaped per-request containment (the pool's
+                    // own catch_unwind caught it instead). Whatever the
+                    // barrier turns never retired is failed here so the
+                    // ledger balances; the dispatcher itself survives.
+                    batch.fail_unretired(e.worker() as u32, e.phase() as u32);
                 }
                 return count;
             }
@@ -387,6 +542,7 @@ mod tests {
                 n,
                 phases: 1,
                 policy: ServePolicy::Afs,
+                deadline: None,
             },
             id: 0,
             admit_ns: 0,

@@ -21,7 +21,14 @@
 //!   (iteration-weighted fairness), or batching (small loops fused into
 //!   one pool dispatch, chained through a sense barrier);
 //! * [`LoopServer`] — owns the pipeline; snapshots ride inside the
-//!   metrics document (schema v3) and its Prometheus exposition.
+//!   metrics document (schema v3) and its Prometheus exposition;
+//! * failure containment — a panicking request retires as
+//!   [`Outcome::Failed`] without killing its batchmates or the
+//!   dispatcher; deadlines and per-tenant SLO budgets shed hopeless work
+//!   at admission ([`ShedReason::DeadlineHopeless`] /
+//!   [`ShedReason::SloBudget`]) or expire it in queue; a
+//!   [`Supervisor`] (see [`ServerBuilder::supervise`]) replaces a
+//!   wounded pool outright.
 //!
 //! ```
 //! use afs_runtime::Pool;
@@ -40,6 +47,7 @@
 //!         n: 64,
 //!         phases: 1,
 //!         policy: ServePolicy::Afs,
+//!         deadline: None,
 //!     });
 //!     assert!(verdict.is_accepted());
 //! }
@@ -52,15 +60,18 @@ pub mod dispatch;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod supervise;
 
 pub use dispatch::Discipline;
 pub use queue::MpmcQueue;
-pub use request::{Admit, LoopRequest, ServeKernel, ServePolicy, ShedReason};
+pub use request::{Admit, LoopRequest, Outcome, ServeKernel, ServePolicy, ShedReason};
 pub use server::{LoopServer, ServerBuilder, TenantSpec};
+pub use supervise::{Supervisor, SupervisorConfig};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::dispatch::Discipline;
-    pub use crate::request::{Admit, LoopRequest, ServeKernel, ServePolicy, ShedReason};
+    pub use crate::request::{Admit, LoopRequest, Outcome, ServeKernel, ServePolicy, ShedReason};
     pub use crate::server::{LoopServer, ServerBuilder, TenantSpec};
+    pub use crate::supervise::{Supervisor, SupervisorConfig};
 }

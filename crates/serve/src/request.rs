@@ -7,9 +7,10 @@
 //! policy ([`ServePolicy`]) picks which scheduler hands iterations to
 //! workers. Keeping the kernel enumerable (rather than a boxed closure)
 //! keeps requests `Send + 'static` without allocation, makes load
-//! generation seedable, and — the real reason — guarantees the loop body
-//! cannot panic, so the serving batch driver never has to unwind a
-//! half-arrived barrier party.
+//! generation seedable, and keeps the loop body panic-free by
+//! construction. The batch driver still armors against panics (fault
+//! injection, future closure kernels): a body that does unwind fails
+//! only its own request ([`Outcome::Failed`]), never the dispatcher.
 
 use afs_core::policy::Grab;
 use afs_metrics::MetricsRegistry;
@@ -178,6 +179,13 @@ pub struct LoopRequest {
     pub phases: u32,
     /// Scheduling policy for every phase of this request.
     pub policy: ServePolicy,
+    /// Optional completion deadline, measured from admission. Admission
+    /// sheds the request as [`ShedReason::DeadlineHopeless`] when the
+    /// sojourn predictor says it cannot make it; a queued request whose
+    /// deadline elapses before dispatch retires as
+    /// [`Outcome::Expired`] without touching the pool; one that
+    /// completes late is stamped [`Outcome::TimedOut`].
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl LoopRequest {
@@ -199,6 +207,15 @@ pub enum ShedReason {
     TenantBacklog = 1,
     /// The server is shutting down.
     ShuttingDown = 2,
+    /// The request carried a deadline the sojourn predictor says cannot
+    /// be met: predicted wait behind the tenant's current backlog already
+    /// exceeds it. Shedding now is kinder than expiring later.
+    DeadlineHopeless = 3,
+    /// Admitting the request would push the tenant's predicted sojourn
+    /// past its configured latency SLO budget
+    /// (`TenantSpec::slo`). Protects the tenant's own tail: better to
+    /// refuse one request than to late-serve the next hundred.
+    SloBudget = 4,
 }
 
 impl ShedReason {
@@ -213,6 +230,44 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::TenantBacklog => "tenant_backlog",
             ShedReason::ShuttingDown => "shutdown",
+            ShedReason::DeadlineHopeless => "deadline_hopeless",
+            ShedReason::SloBudget => "slo_budget",
+        }
+    }
+}
+
+/// How an *admitted* request left the system. Shed requests never get an
+/// outcome — they were refused at the door; this enum classifies the ones
+/// that made it in. The serve ledger invariant is
+/// `admitted == ok + timed_out + failed + expired + stranded-at-shutdown`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion within its deadline (or had none).
+    Ok,
+    /// Its loop body panicked on a worker; the batch driver contained the
+    /// blast to this one request, which leaves the ledger as failed.
+    Failed {
+        /// Worker whose body panicked.
+        worker: u32,
+        /// Zero-based phase index the panic happened in.
+        phase: u32,
+    },
+    /// Ran to completion, but after its deadline had already passed.
+    /// The work was done — the result was just late.
+    TimedOut,
+    /// Its deadline elapsed while it was still queued; the dispatcher
+    /// retired it without touching the pool.
+    Expired,
+}
+
+impl Outcome {
+    /// Stable label for exports (`afs_serve_outcome_total{outcome=...}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Failed { .. } => "failed",
+            Outcome::TimedOut => "timed_out",
+            Outcome::Expired => "expired",
         }
     }
 }
@@ -247,6 +302,25 @@ mod tests {
         assert_eq!(ShedReason::QueueFull.code(), 0);
         assert_eq!(ShedReason::TenantBacklog.code(), 1);
         assert_eq!(ShedReason::ShuttingDown.code(), 2);
+        assert_eq!(ShedReason::DeadlineHopeless.code(), 3);
+        assert_eq!(ShedReason::SloBudget.code(), 4);
+        assert_eq!(ShedReason::DeadlineHopeless.label(), "deadline_hopeless");
+        assert_eq!(ShedReason::SloBudget.label(), "slo_budget");
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(Outcome::Ok.label(), "ok");
+        assert_eq!(
+            Outcome::Failed {
+                worker: 1,
+                phase: 0
+            }
+            .label(),
+            "failed"
+        );
+        assert_eq!(Outcome::TimedOut.label(), "timed_out");
+        assert_eq!(Outcome::Expired.label(), "expired");
     }
 
     #[test]
@@ -257,6 +331,7 @@ mod tests {
             n: 128,
             phases: 3,
             policy: ServePolicy::Afs,
+            deadline: None,
         };
         assert_eq!(r.iters(), 384);
         assert!(!Admit::Shed(ShedReason::QueueFull).is_accepted());

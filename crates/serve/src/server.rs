@@ -22,13 +22,14 @@
 use crate::dispatch::{execute, Discipline, DispatchState};
 use crate::queue::MpmcQueue;
 use crate::request::{Admit, LoopRequest, ShedReason};
+use crate::supervise::{PoolFactory, Supervisor, SupervisorConfig};
 use afs_metrics::{AtomicHistogram, MetricsSnapshot, ServeSnapshot, TenantServeSnapshot};
 use afs_runtime::Pool;
 use afs_scope::{ServeEventKind, ServeRecord, TelemetryServer, TelemetrySource};
 use afs_trace::event::EventKind;
 use afs_trace::sink::TraceSink;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -45,16 +46,21 @@ pub struct TenantSpec {
     /// workset is what gives requests something to have affinity *to*:
     /// successive requests from the same tenant touch the same lines.
     pub workset_slots: usize,
+    /// Optional latency SLO budget in nanoseconds. When set, admission
+    /// sheds with [`ShedReason::SloBudget`] any request whose predicted
+    /// sojourn (per-tenant EWMA service rate × backlog) exceeds it.
+    pub slo_ns: Option<u64>,
 }
 
 impl TenantSpec {
     /// A tenant with default caps: 1024 in-flight requests, 4096 workset
-    /// slots (32 KiB).
+    /// slots (32 KiB), no latency SLO.
     pub fn new(name: impl Into<String>) -> TenantSpec {
         TenantSpec {
             name: name.into(),
             backlog_cap: 1024,
             workset_slots: 4096,
+            slo_ns: None,
         }
     }
 
@@ -67,6 +73,13 @@ impl TenantSpec {
     /// Sets the workset size in slots.
     pub fn workset_slots(mut self, slots: usize) -> TenantSpec {
         self.workset_slots = slots.max(1);
+        self
+    }
+
+    /// Sets the latency SLO budget: requests predicted to sojourn past
+    /// this are shed at admission with [`ShedReason::SloBudget`].
+    pub fn slo(mut self, budget: Duration) -> TenantSpec {
+        self.slo_ns = Some((budget.as_nanos() as u64).max(1));
         self
     }
 }
@@ -91,7 +104,23 @@ pub(crate) struct TenantState {
     pub(crate) admitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) shed: AtomicU64,
+    /// Completed, but after the request's deadline (`Outcome::TimedOut`).
+    pub(crate) timed_out: AtomicU64,
+    /// Panicked on a worker, contained (`Outcome::Failed`).
+    pub(crate) failed: AtomicU64,
+    /// Deadline elapsed while queued (`Outcome::Expired`).
+    pub(crate) expired: AtomicU64,
     pub(crate) iters: AtomicU64,
+    /// Iterations admitted but not yet retired — the backlog the sojourn
+    /// predictor multiplies by the EWMA service rate.
+    pub(crate) backlog_iters: AtomicU64,
+    /// EWMA of observed service cost, in nanoseconds per 1024 iterations
+    /// (integer fixed-point, `AdaptController` style: α = 1/4 via
+    /// `(ewma*3 + obs)/4`, first observation seeds directly). Zero means
+    /// unseeded — the predictor abstains until the first completion.
+    pub(crate) ewma_ns_per_kiter: AtomicU64,
+    /// Latency SLO budget from the spec, if any.
+    pub(crate) slo_ns: Option<u64>,
     /// Admit → dispatch.
     pub(crate) queue_ns: AtomicHistogram,
     /// Dispatch → complete.
@@ -111,7 +140,13 @@ impl TenantState {
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             iters: AtomicU64::new(0),
+            backlog_iters: AtomicU64::new(0),
+            ewma_ns_per_kiter: AtomicU64::new(0),
+            slo_ns: spec.slo_ns,
             queue_ns: AtomicHistogram::new(),
             service_ns: AtomicHistogram::new(),
             sojourn_ns: AtomicHistogram::new(),
@@ -132,7 +167,11 @@ struct TraceLanes {
 /// State shared between admission threads, the dispatcher, and executing
 /// batches.
 pub(crate) struct ServerShared {
-    pub(crate) pool: Arc<Pool>,
+    /// The pool dispatches run on. Behind a `RwLock` so the supervisor
+    /// can retire a wounded pool and swap in a replacement while the
+    /// server keeps serving; everyone else takes short read locks and
+    /// clones the `Arc` out ([`ServerShared::pool`]).
+    pub(crate) pool: RwLock<Arc<Pool>>,
     pub(crate) queue: MpmcQueue<Admitted>,
     pub(crate) tenants: Vec<TenantState>,
     /// Stamp origin: all request stamps are nanoseconds since this.
@@ -141,9 +180,19 @@ pub(crate) struct ServerShared {
     pub(crate) shutdown: AtomicBool,
     pub(crate) admitted: AtomicU64,
     pub(crate) completed: AtomicU64,
+    /// Completed after deadline (a subset of `completed`).
+    pub(crate) timed_out: AtomicU64,
+    /// Contained panics ([`crate::Outcome::Failed`]).
+    pub(crate) failed: AtomicU64,
+    /// Deadline elapsed in queue ([`crate::Outcome::Expired`]).
+    pub(crate) expired: AtomicU64,
     pub(crate) shed_queue_full: AtomicU64,
     pub(crate) shed_tenant_backlog: AtomicU64,
     pub(crate) shed_shutdown: AtomicU64,
+    pub(crate) shed_deadline_hopeless: AtomicU64,
+    pub(crate) shed_slo_budget: AtomicU64,
+    /// Pool rebuilds performed by the supervisor.
+    pub(crate) supervisor_restarts: AtomicU64,
     pub(crate) dispatches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     /// One self-tuning controller for every [`ServePolicy::Adaptive`]
@@ -159,12 +208,51 @@ impl ServerShared {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// The current pool, cloned out from under the supervisor's swap
+    /// slot. Callers that need a consistent pool across several calls
+    /// (a batch's whole execution, a snapshot) hold the clone.
+    pub(crate) fn pool(&self) -> Arc<Pool> {
+        Arc::clone(&self.pool.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
     /// Total in-flight requests across tenants.
     fn total_pending(&self) -> u64 {
         self.tenants
             .iter()
             .map(|t| t.pending.load(Ordering::SeqCst))
             .sum()
+    }
+
+    /// Feeds one completed request's observed service cost into its
+    /// tenant's EWMA service-rate estimate (ns per 1024 iterations,
+    /// integer fixed-point, α = 1/4 — the `AdaptController` idiom). The
+    /// first informative observation seeds the estimate directly.
+    pub(crate) fn observe_service(&self, a: &Admitted, service_ns: u64) {
+        let iters = a.req.iters().max(1);
+        let obs = (service_ns.saturating_mul(1024) / iters).max(1);
+        let t = &self.tenants[a.req.tenant];
+        let _ = t
+            .ewma_ns_per_kiter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(if cur == 0 { obs } else { (cur * 3 + obs) / 4 })
+            });
+    }
+
+    /// Predicted sojourn for a new request from `tenant`: the tenant's
+    /// admitted-but-unretired iteration backlog plus the request's own
+    /// cost, times the EWMA service rate. `None` while the estimate is
+    /// unseeded (the predictor abstains rather than shedding blind).
+    pub(crate) fn predicted_sojourn_ns(&self, tenant: usize, req: &LoopRequest) -> Option<u64> {
+        let t = &self.tenants[tenant];
+        let rate = t.ewma_ns_per_kiter.load(Ordering::Relaxed);
+        if rate == 0 {
+            return None;
+        }
+        let iters = t
+            .backlog_iters
+            .load(Ordering::Relaxed)
+            .saturating_add(req.iters());
+        Some(iters.saturating_mul(rate) / 1024)
     }
 
     pub(crate) fn trace_record(&self, kind: EventKind) {
@@ -185,7 +273,7 @@ impl ServerShared {
     /// the black box keeps the last N of these, and shed events drive its
     /// shed-spike trigger.
     pub(crate) fn serve_event(&self, kind: ServeEventKind, tenant: usize, id: u64, code: u32) {
-        self.pool.recorder().record_serve_event(ServeRecord {
+        self.pool().recorder().record_serve_event(ServeRecord {
             t_ns: self.now_ns(),
             kind,
             tenant: tenant as u32,
@@ -193,6 +281,60 @@ impl ServerShared {
             code,
         });
     }
+
+    /// Books one already-admitted request out of the ledger as shed
+    /// (stranded at shutdown), emitting the same trace event and
+    /// recorder serve-event the admission-time shed path does so trace,
+    /// ledger, and flight-recorder counts agree.
+    pub(crate) fn strand(&self, a: &Admitted) {
+        let t = &self.tenants[a.req.tenant];
+        t.pending.fetch_sub(1, Ordering::SeqCst);
+        t.shed.fetch_add(1, Ordering::Relaxed);
+        t.backlog_iters.fetch_sub(a.req.iters(), Ordering::Relaxed);
+        self.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+        self.trace_record(EventKind::RequestShed {
+            tenant: a.req.tenant as u32,
+            reason: ShedReason::ShuttingDown.code(),
+        });
+        self.serve_event(
+            ServeEventKind::Shed,
+            a.req.tenant,
+            a.id,
+            ShedReason::ShuttingDown.code(),
+        );
+    }
+}
+
+/// Retires out of `picked` every request whose deadline elapsed while it
+/// was queued: pending/backlog books are balanced, the `expired`
+/// counters move, and [`EventKind::RequestExpired`] plus the recorder
+/// serve-event fire — all without touching the pool. Returns the
+/// still-live requests in order.
+pub(crate) fn retire_expired(shared: &ServerShared, picked: Vec<Admitted>) -> Vec<Admitted> {
+    let now = shared.now_ns();
+    picked
+        .into_iter()
+        .filter_map(|a| {
+            let expired = a
+                .req
+                .deadline
+                .is_some_and(|d| now.saturating_sub(a.admit_ns) > d.as_nanos() as u64);
+            if !expired {
+                return Some(a);
+            }
+            let t = &shared.tenants[a.req.tenant];
+            t.expired.fetch_add(1, Ordering::Relaxed);
+            t.pending.fetch_sub(1, Ordering::SeqCst);
+            t.backlog_iters.fetch_sub(a.req.iters(), Ordering::Relaxed);
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+            shared.trace_record(EventKind::RequestExpired {
+                tenant: a.req.tenant as u32,
+                id: a.id,
+            });
+            shared.serve_event(ServeEventKind::Expired, a.req.tenant, a.id, 0);
+            None
+        })
+        .collect()
 }
 
 /// The serving ledger read straight off `ServerShared` — shared by
@@ -204,9 +346,15 @@ pub(crate) fn serve_snapshot_of(s: &ServerShared, discipline: Discipline) -> Ser
         discipline: discipline.label().to_string(),
         admitted: load(&s.admitted),
         completed: load(&s.completed),
+        timed_out: load(&s.timed_out),
+        failed: load(&s.failed),
+        expired: load(&s.expired),
         shed_queue_full: load(&s.shed_queue_full),
         shed_tenant_backlog: load(&s.shed_tenant_backlog),
         shed_shutdown: load(&s.shed_shutdown),
+        shed_deadline_hopeless: load(&s.shed_deadline_hopeless),
+        shed_slo_budget: load(&s.shed_slo_budget),
+        supervisor_restarts: load(&s.supervisor_restarts),
         dispatches: load(&s.dispatches),
         batched_requests: load(&s.batched_requests),
         tenants: s
@@ -216,6 +364,9 @@ pub(crate) fn serve_snapshot_of(s: &ServerShared, discipline: Discipline) -> Ser
                 name: t.name.clone(),
                 admitted: load(&t.admitted),
                 completed: load(&t.completed),
+                timed_out: load(&t.timed_out),
+                failed: load(&t.failed),
+                expired: load(&t.expired),
                 shed: load(&t.shed),
                 iters: load(&t.iters),
                 queue_ns: t.queue_ns.get(),
@@ -229,7 +380,7 @@ pub(crate) fn serve_snapshot_of(s: &ServerShared, discipline: Discipline) -> Ser
 /// Pool snapshot with the serve ledger attached — the one-document view
 /// served by `/snapshot.json` and `/metrics`.
 pub(crate) fn metrics_snapshot_of(s: &ServerShared, discipline: Discipline) -> MetricsSnapshot {
-    let mut snap = s.pool.metrics().snapshot();
+    let mut snap = s.pool().metrics().snapshot();
     snap.serve = Some(serve_snapshot_of(s, discipline));
     snap
 }
@@ -244,6 +395,7 @@ pub struct ServerBuilder {
     trace: Option<Arc<TraceSink>>,
     queue_seed: Option<u64>,
     telemetry: Option<String>,
+    supervise: Option<(SupervisorConfig, PoolFactory)>,
 }
 
 impl ServerBuilder {
@@ -311,6 +463,22 @@ impl ServerBuilder {
         self
     }
 
+    /// Spawns a [`Supervisor`] next to the dispatcher: it polls pool
+    /// health (watchdog stalls, spawn degradation, repeated contained
+    /// failures), and on trouble dumps the wounded pool's flight
+    /// recorder, retires it, and swaps in a pool built by `factory` —
+    /// with exponential backoff, up to the configured restart cap. The
+    /// factory receives the zero-based restart ordinal and must return a
+    /// pool with the same worker count.
+    pub fn supervise(
+        mut self,
+        config: SupervisorConfig,
+        factory: impl Fn(u32) -> Arc<Pool> + Send + 'static,
+    ) -> ServerBuilder {
+        self.supervise = Some((config, Box::new(factory)));
+        self
+    }
+
     /// Builds the server (spawning the dispatcher thread unless
     /// [`ServerBuilder::manual`] was requested). Panics if no tenant was
     /// registered, or if a trace sink lacks the serve lane.
@@ -340,7 +508,7 @@ impl ServerBuilder {
             self.pool.workers(),
         ));
         let shared = Arc::new(ServerShared {
-            pool: self.pool,
+            pool: RwLock::new(self.pool),
             queue,
             tenants: self.tenants.iter().map(TenantState::from_spec).collect(),
             epoch: Instant::now(),
@@ -348,9 +516,15 @@ impl ServerBuilder {
             shutdown: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             shed_tenant_backlog: AtomicU64::new(0),
             shed_shutdown: AtomicU64::new(0),
+            shed_deadline_hopeless: AtomicU64::new(0),
+            shed_slo_budget: AtomicU64::new(0),
+            supervisor_restarts: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             adapt,
@@ -361,7 +535,7 @@ impl ServerBuilder {
             let snap = Arc::clone(&shared);
             let rec = Arc::clone(&shared);
             let source = TelemetrySource::new(move || metrics_snapshot_of(&snap, discipline))
-                .with_recorders(move || vec![Arc::clone(rec.pool.recorder())]);
+                .with_recorders(move || vec![Arc::clone(rec.pool().recorder())]);
             match TelemetryServer::start(addr.as_str(), source) {
                 Ok(srv) => Some(srv),
                 Err(e) => {
@@ -377,12 +551,16 @@ impl ServerBuilder {
                 .spawn(move || dispatcher_loop(&shared, discipline))
                 .expect("spawn dispatcher")
         });
+        let supervisor = self
+            .supervise
+            .map(|(config, factory)| Supervisor::spawn(Arc::clone(&shared), config, factory));
         let tenants = shared.tenants.len();
         LoopServer {
             shared,
             discipline,
             state: Mutex::new(DispatchState::new(tenants)),
             dispatcher,
+            supervisor,
             telemetry,
         }
     }
@@ -396,7 +574,9 @@ fn dispatcher_loop(shared: &Arc<ServerShared>, discipline: Discipline) {
     let mut idle = 0u32;
     loop {
         st.pump(shared, discipline);
-        let picked = st.select(discipline);
+        // A selected request whose deadline ran out in the queue retires
+        // as Expired right here, without costing a pool dispatch.
+        let picked = retire_expired(shared, st.select(discipline));
         if picked.is_empty() {
             if shared.shutdown.load(Ordering::SeqCst)
                 && st.backlog() == 0
@@ -427,6 +607,9 @@ pub struct LoopServer {
     /// Manual-mode staging state (the threaded dispatcher owns its own).
     state: Mutex<DispatchState>,
     dispatcher: Option<JoinHandle<()>>,
+    /// Pool supervisor thread, when [`ServerBuilder::supervise`] asked
+    /// for one. Joined at shutdown.
+    supervisor: Option<JoinHandle<()>>,
     /// Live telemetry endpoint, when [`ServerBuilder::telemetry`] asked
     /// for one and the bind succeeded. Stopped on drop.
     telemetry: Option<TelemetryServer>,
@@ -444,6 +627,7 @@ impl LoopServer {
             trace: None,
             queue_seed: None,
             telemetry: None,
+            supervise: None,
         }
     }
 
@@ -459,9 +643,17 @@ impl LoopServer {
         self.discipline
     }
 
-    /// The pool this server dispatches onto.
-    pub fn pool(&self) -> &Arc<Pool> {
-        &self.shared.pool
+    /// The pool this server currently dispatches onto. A clone out of
+    /// the supervisor's swap slot: after a supervised restart this is
+    /// the replacement, while earlier clones keep the retired pool alive
+    /// until their batches finish.
+    pub fn pool(&self) -> Arc<Pool> {
+        self.shared.pool()
+    }
+
+    /// Pool rebuilds performed by the supervisor so far.
+    pub fn supervisor_restarts(&self) -> u64 {
+        self.shared.supervisor_restarts.load(Ordering::SeqCst)
     }
 
     /// Submits a request. Non-blocking: either the request is queued
@@ -492,8 +684,30 @@ impl LoopServer {
             t.pending.fetch_sub(1, Ordering::SeqCst);
             return self.shed(tenant_idx, ShedReason::TenantBacklog);
         }
+        // Sojourn prediction: EWMA service rate × (tenant backlog + this
+        // request). Abstains until the rate is seeded; sheds hopeless
+        // deadlines first (the request's own constraint), then SLO
+        // overruns (the tenant's configured budget).
+        if let Some(predicted) = s.predicted_sojourn_ns(tenant_idx, &req) {
+            if req
+                .deadline
+                .is_some_and(|d| predicted > d.as_nanos() as u64)
+            {
+                t.pending.fetch_sub(1, Ordering::SeqCst);
+                return self.shed(tenant_idx, ShedReason::DeadlineHopeless);
+            }
+            if t.slo_ns.is_some_and(|budget| predicted > budget) {
+                t.pending.fetch_sub(1, Ordering::SeqCst);
+                return self.shed(tenant_idx, ShedReason::SloBudget);
+            }
+        }
         let id = s.next_id.fetch_add(1, Ordering::Relaxed);
         let admit_ns = s.now_ns();
+        // The iteration backlog is booked before the push so the retire
+        // paths (which subtract) can never observe the request without
+        // its backlog contribution; a failed push backs it out.
+        let cost = req.iters();
+        t.backlog_iters.fetch_add(cost, Ordering::Relaxed);
         match s.queue.push(Admitted { req, id, admit_ns }) {
             Ok(()) => {
                 t.admitted.fetch_add(1, Ordering::Relaxed);
@@ -507,6 +721,7 @@ impl LoopServer {
             }
             Err(_) => {
                 t.pending.fetch_sub(1, Ordering::SeqCst);
+                t.backlog_iters.fetch_sub(cost, Ordering::Relaxed);
                 self.shed(tenant_idx, ShedReason::QueueFull)
             }
         }
@@ -519,6 +734,8 @@ impl LoopServer {
             ShedReason::QueueFull => &s.shed_queue_full,
             ShedReason::TenantBacklog => &s.shed_tenant_backlog,
             ShedReason::ShuttingDown => &s.shed_shutdown,
+            ShedReason::DeadlineHopeless => &s.shed_deadline_hopeless,
+            ShedReason::SloBudget => &s.shed_slo_budget,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         s.trace_record(EventKind::RequestShed {
@@ -551,7 +768,7 @@ impl LoopServer {
             "dispatch_next() is for manual-mode servers"
         );
         let mut st = self.lock_state();
-        let picked = st.select(self.discipline);
+        let picked = retire_expired(&self.shared, st.select(self.discipline));
         if picked.is_empty() {
             return Vec::new();
         }
@@ -609,12 +826,11 @@ impl LoopServer {
         self.stop();
         // Requests that slipped into the ring after the dispatcher's
         // final sweep: account them as shutdown sheds so the ledger
-        // balances (admitted = completed + stranded-shed).
+        // balances (admitted = completed + failed + expired +
+        // stranded-shed). `strand` emits the Shed trace event and the
+        // recorder serve-event, so trace/ledger/recorder counts agree.
         while let Some(a) = self.shared.queue.pop() {
-            let t = &self.shared.tenants[a.req.tenant];
-            t.pending.fetch_sub(1, Ordering::SeqCst);
-            t.shed.fetch_add(1, Ordering::Relaxed);
-            self.shared.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+            self.shared.strand(&a);
         }
         self.serve_snapshot()
     }
@@ -623,6 +839,9 @@ impl LoopServer {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.dispatcher.take() {
             h.join().expect("serve dispatcher panicked");
+        }
+        if let Some(h) = self.supervisor.take() {
+            h.join().expect("serve supervisor panicked");
         }
     }
 }
@@ -633,6 +852,9 @@ impl Drop for LoopServer {
         if let Some(h) = self.dispatcher.take() {
             // Propagating a panic out of drop would abort; the dispatcher
             // panicking is already a loud test failure elsewhere.
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }

@@ -15,6 +15,7 @@ fn req(tenant: usize, n: u64, phases: u32) -> LoopRequest {
         n,
         phases,
         policy: ServePolicy::Afs,
+        deadline: None,
     }
 }
 
@@ -285,6 +286,7 @@ fn adaptive_requests_complete_and_publish_controller_state() {
             n: 256,
             phases: 2,
             policy: ServePolicy::Adaptive,
+            deadline: None,
         };
         assert!(server.admit(r).is_accepted());
     }

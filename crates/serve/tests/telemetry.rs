@@ -18,6 +18,7 @@ fn req(tenant: usize, n: u64, phases: u32) -> LoopRequest {
         n,
         phases,
         policy: ServePolicy::Afs,
+        deadline: None,
     }
 }
 

@@ -348,6 +348,52 @@ pub fn chrome_trace(sink: &TraceSink, process_name: &str) -> String {
                         ),
                     );
                 }
+                EventKind::RequestFailed {
+                    tenant,
+                    id,
+                    worker,
+                    phase,
+                } => {
+                    // A contained panic still closes both async spans —
+                    // the request's sojourn ended, just not successfully.
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"service\",\"cat\":\"serve\",\"ph\":\"e\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3}}}",
+                            us(ev.t),
+                        ),
+                    );
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"e\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant},\"outcome\":\"failed\",\
+                             \"worker\":{worker},\"phase\":{phase}}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
+                EventKind::RequestExpired { tenant, id } => {
+                    // Expired while queued: no "service" span was ever
+                    // opened, so only the outer sojourn span closes.
+                    push(
+                        w,
+                        ev.t,
+                        &mut seq,
+                        format!(
+                            "{{\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"e\",\
+                             \"id\":{id},\"pid\":0,\"tid\":{w},\"ts\":{:.3},\
+                             \"args\":{{\"tenant\":{tenant},\"outcome\":\"expired\"}}}}",
+                            us(ev.t),
+                        ),
+                    );
+                }
                 EventKind::SchedTune { k, b } => {
                     push(
                         w,

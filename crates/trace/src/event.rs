@@ -120,12 +120,14 @@ pub enum EventKind {
         /// Server-assigned request id.
         id: u64,
     },
-    /// The serving frontend refused a request at admission (backpressure).
+    /// The serving frontend refused a request at admission (backpressure),
+    /// or accounted an already-admitted request as stranded at shutdown.
     RequestShed {
         /// Tenant the request belonged to.
         tenant: u32,
         /// Shed reason code (`afs_serve::ShedReason` discriminant: 0 =
-        /// queue full, 1 = tenant backlog, 2 = shutting down).
+        /// queue full, 1 = tenant backlog, 2 = shutting down, 3 = deadline
+        /// hopeless, 4 = SLO budget).
         reason: u32,
     },
     /// One phase of an admitted request finished executing on the pool
@@ -143,6 +145,29 @@ pub enum EventKind {
     /// were taken in the barrier turn slot. Closes the async span opened
     /// by [`EventKind::RequestAdmit`]. Recorded on the dispatcher's lane.
     RequestComplete {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Server-assigned request id.
+        id: u64,
+    },
+    /// An admitted request failed: its loop body panicked on a worker and
+    /// the batch driver contained the blast to this one request. The
+    /// request leaves the ledger as `failed`, never `completed`. Recorded
+    /// on the dispatcher's lane.
+    RequestFailed {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Server-assigned request id.
+        id: u64,
+        /// Worker whose body panicked.
+        worker: u32,
+        /// Zero-based phase index the panic happened in.
+        phase: u32,
+    },
+    /// An admitted request's deadline elapsed while it was still queued;
+    /// the dispatcher retired it as expired without touching the pool.
+    /// Recorded on the dispatcher's lane.
+    RequestExpired {
         /// Tenant the request belongs to.
         tenant: u32,
         /// Server-assigned request id.
@@ -268,6 +293,20 @@ mod tests {
         );
         assert_eq!(
             EventKind::RequestComplete { tenant: 1, id: 7 }.grab_access(),
+            None
+        );
+        assert_eq!(
+            EventKind::RequestFailed {
+                tenant: 0,
+                id: 7,
+                worker: 2,
+                phase: 1
+            }
+            .grab_access(),
+            None
+        );
+        assert_eq!(
+            EventKind::RequestExpired { tenant: 0, id: 7 }.grab_access(),
             None
         );
         assert_eq!(EventKind::SchedTune { k: 8, b: 2 }.grab_access(), None);

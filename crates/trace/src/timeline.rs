@@ -91,6 +91,8 @@ pub fn to_timeline(sink: &TraceSink) -> Timeline {
                 | EventKind::RequestShed { .. }
                 | EventKind::RequestPhase { .. }
                 | EventKind::RequestComplete { .. }
+                | EventKind::RequestFailed { .. }
+                | EventKind::RequestExpired { .. }
                 | EventKind::SchedTune { .. } => {}
             }
         }

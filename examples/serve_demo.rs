@@ -45,6 +45,7 @@ fn main() {
             n: 32 + rand() % 96,
             phases: 1,
             policy: ServePolicy::Afs,
+            deadline: None,
         };
         if let Admit::Shed(_) = server.admit(small) {
             shed_live[0] += 1;
@@ -57,6 +58,7 @@ fn main() {
                     n: 512 + rand() % 512,
                     phases: 2,
                     policy: ServePolicy::Afs,
+                    deadline: None,
                 };
                 if let Admit::Shed(_) = server.admit(bulk) {
                     shed_live[1] += 1;
